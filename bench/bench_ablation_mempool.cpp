@@ -1,0 +1,74 @@
+// Ablation (paper §3.1.3 / §4.1): memory-pool behaviour.
+//   - JAX preallocation: on by default, the paper disables it when
+//     oversubscribing GPUs (several processes cannot each claim 75% of
+//     device memory).
+//   - The OpenMP port's hand-written pool: allocation cost amortizes to
+//     zero once the free lists warm up.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mpisim/job.hpp"
+#include "omptarget/pool.hpp"
+
+using namespace toast;
+
+int main() {
+  toast::bench::print_header("Ablation: device memory pools");
+
+  // JAX preallocation vs process count.
+  std::printf("jax preallocation (medium problem):\n");
+  std::printf("%6s %6s | %12s | %12s\n", "procs", "p/gpu", "prealloc off",
+              "prealloc on");
+  for (const int procs : {4, 8, 16}) {
+    auto problem = bench_model::medium_problem();
+    problem.procs_per_node = procs;
+    mpisim::JobConfig off{problem, core::Backend::kJax};
+    off.jax_preallocate = false;
+    mpisim::JobConfig on{problem, core::Backend::kJax};
+    on.jax_preallocate = true;
+    const auto a = mpisim::run_benchmark_job(off);
+    const auto b = mpisim::run_benchmark_job(on);
+    auto cell = [](const mpisim::JobResult& r) {
+      return r.oom ? std::string("OOM") : toast::bench::fmt_seconds(r.runtime);
+    };
+    std::printf("%6d %6d | %12s | %12s\n", procs, (procs + 3) / 4,
+                cell(a).c_str(), cell(b).c_str());
+  }
+  std::printf(
+      "paper: disabling preallocation is the recommended practice when\n"
+      "       oversubscribing a device (%d processes cannot each claim 75%%\n"
+      "       of one GPU's memory).\n\n",
+      4);
+
+  // OpenMP pool warm-up.
+  std::printf("omp-target pool amortization:\n");
+  accel::SimDevice device;
+  omptarget::DevicePool pool(device);
+  double cold_cost = 0.0;
+  double warm_cost = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<omptarget::DevicePtr> held;
+    for (int i = 0; i < 64; ++i) {
+      double c = 0.0;
+      held.push_back(pool.allocate(1 << (10 + i % 8), c));
+      (round == 0 ? cold_cost : warm_cost) += c;
+    }
+    for (const auto& ptr : held) {
+      pool.release(ptr);
+    }
+  }
+  std::printf("  first round alloc cost : %s (raw omp_target_alloc calls)\n",
+              toast::bench::fmt_seconds(cold_cost).c_str());
+  std::printf("  warm rounds alloc cost : %s total over 3 rounds\n",
+              toast::bench::fmt_seconds(warm_cost).c_str());
+  std::printf("  pool hits %llu, misses %llu, high-water %.1f MB\n",
+              static_cast<unsigned long long>(pool.hits()),
+              static_cast<unsigned long long>(pool.misses()),
+              static_cast<double>(pool.high_water_bytes()) / 1.0e6);
+  std::printf(
+      "paper: the port ended up implementing a memory pool manually for\n"
+      "       OpenMP target offload; JAX's pool gave the same benefit out\n"
+      "       of the box at the price of less control (§4.1).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation (paper §3.1.3, footnote 8): interval handling in the OpenMP-
+// target port - the guard-cut pattern (iterations past the true interval
+// end return immediately) vs the padded-dummy-work pattern first tested
+// in JAX (out-of-interval lanes do throwaway work).  The paper found "no
+// significant performance difference between both patterns".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/context.hpp"
+
+using namespace toast;
+
+int main() {
+  toast::bench::print_header(
+      "Ablation: guard-cut vs padded-dummy-work interval handling "
+      "(OpenMP target)");
+
+  // A realistic interval population: jittered lengths, ~15% padding waste.
+  std::vector<core::Interval> intervals;
+  std::int64_t start = 0;
+  for (int i = 0; i < 32; ++i) {
+    const std::int64_t len = 800 + 37 * ((i * 13) % 11) - 120 * (i % 3);
+    intervals.push_back({start, start + len});
+    start += len + 20;
+  }
+  const std::int64_t n_samp = start;
+  (void)n_samp;
+  const std::int64_t n_det = 16;
+  std::int64_t max_len = 0;
+  for (const auto& v : intervals) max_len = std::max(max_len, v.length());
+
+  std::printf("%-28s %14s %14s %10s\n", "kernel shape", "guard-cut",
+              "dummy-work", "ratio");
+  std::printf("---------------------------------------------------------------"
+              "-----\n");
+
+  for (const auto& [label, flops, bytes] :
+       {std::tuple{"light (noise_weight-like)", 1.0, 16.0},
+        std::tuple{"medium (scan_map-like)", 8.0, 64.0},
+        std::tuple{"heavy (stokes-like)", 112.0, 64.0}}) {
+    core::ExecConfig cfg;
+    cfg.backend = core::Backend::kOmpTarget;
+    cfg.work_scale = 1.0e4;
+    core::ExecContext guard_ctx(cfg);
+    core::ExecContext dummy_ctx(cfg);
+
+    // Guard-cut: out-of-interval iterations cost only the test.
+    ::toast::omptarget::IterCost guard;
+    guard.flops = flops;
+    guard.bytes_read = bytes;
+    guard.guard_flops = 2.0;
+    guard_ctx.omp().target_for_collapse3(
+        "kernel", n_det, static_cast<std::int64_t>(intervals.size()),
+        max_len, guard, [&](std::int64_t, std::int64_t v, std::int64_t i) {
+          return intervals[static_cast<std::size_t>(v)].start + i <
+                 intervals[static_cast<std::size_t>(v)].stop;
+        });
+
+    // Dummy-work: every lane executes the full body; results of padded
+    // lanes are discarded by a masked store.
+    ::toast::omptarget::IterCost dummy;
+    dummy.flops = flops + 1.0;  // plus the mask select
+    dummy.bytes_read = bytes;
+    dummy_ctx.omp().target_for_collapse3(
+        "kernel", n_det, static_cast<std::int64_t>(intervals.size()),
+        max_len, dummy,
+        [&](std::int64_t, std::int64_t, std::int64_t) { return true; });
+
+    const double tg = guard_ctx.log().seconds("kernel");
+    const double td = dummy_ctx.log().seconds("kernel");
+    std::printf("%-28s %13.3fms %13.3fms %9.2fx\n", label, tg * 1e3, td * 1e3,
+                td / tg);
+  }
+
+  std::printf(
+      "\npaper: later tests showed no significant performance difference\n"
+      "       between the two patterns (footnote 8) - the padding waste is\n"
+      "       bounded by the interval-length jitter (~15-30%% here), and\n"
+      "       the kernels are memory-bound enough to hide part of it.\n");
+  return 0;
+}

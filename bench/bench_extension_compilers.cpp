@@ -1,0 +1,79 @@
+// Extension (paper §5 future work): "Exploring different C++ compilers
+// for building OpenMP Target Offload code could also be a fruitful object
+// of study."
+//
+// The paper settled on NVIDIA NVC after finding Clang workable and GCC
+// missing required target-offload features (§3.3).  We model the three
+// toolchains as (dispatch overhead, kernel code-generation efficiency,
+// offload feature support) triples and run the medium benchmark.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mpisim/job.hpp"
+
+using namespace toast;
+using core::Backend;
+
+namespace {
+
+struct Toolchain {
+  const char* name;
+  bool supports_offload;
+  double dispatch_overhead;  // OpenMP runtime submission cost
+  double codegen_factor;     // kernel efficiency relative to NVC
+  const char* note;
+};
+
+}  // namespace
+
+int main() {
+  toast::bench::print_header(
+      "Extension: OpenMP-target compiler study (medium, 16 procs)");
+
+  // Rough figures in line with published OpenMP-offload compiler
+  // comparisons (Davis et al. 2021; Diaz et al. 2019), which the paper
+  // cites for feature availability and runtime overhead.
+  const Toolchain toolchains[] = {
+      {"nvhpc (nvc)", true, 6.0e-6, 1.00,
+       "the paper's choice on Perlmutter"},
+      {"clang/llvm", true, 9.0e-6, 0.93,
+       "good feature support, slightly slower codegen"},
+      {"gcc", false, 0.0, 0.0,
+       "misses required target features: kernels stay on the host"},
+  };
+
+  const auto problem = bench_model::medium_problem();
+  const auto cpu = mpisim::run_benchmark_job({problem, Backend::kCpu});
+  std::printf("cpu baseline: %s\n\n",
+              toast::bench::fmt_seconds(cpu.runtime).c_str());
+  std::printf("%-14s | %14s %8s | %s\n", "compiler", "omp-target", "x cpu",
+              "notes");
+  std::printf("----------------------------------------------------------------"
+              "----\n");
+  for (const auto& tc : toolchains) {
+    if (!tc.supports_offload) {
+      // The build succeeds but target regions run on the host: the
+      // "port" performs exactly like the CPU baseline.
+      std::printf("%-14s | %14s %7.2fx | %s\n", tc.name,
+                  toast::bench::fmt_seconds(cpu.runtime).c_str(), 1.0,
+                  tc.note);
+      continue;
+    }
+    mpisim::JobConfig cfg{problem, Backend::kOmpTarget};
+    cfg.omp_dispatch_overhead = tc.dispatch_overhead;
+    cfg.device_spec = accel::a100_spec();
+    cfg.device_spec.compute_efficiency *= tc.codegen_factor;
+    cfg.device_spec.hbm_efficiency *= tc.codegen_factor;
+    const auto r = mpisim::run_benchmark_job(cfg);
+    std::printf("%-14s | %14s %7.2fx | %s\n", tc.name,
+                toast::bench::fmt_seconds(r.runtime).c_str(),
+                cpu.runtime / r.runtime, tc.note);
+  }
+  std::printf(
+      "\npaper §3.3: GCC lacks the needed target features; LLVM and NVHPC\n"
+      "support them well; NVC was chosen for Perlmutter.  End-to-end the\n"
+      "compiler choice moves the needle far less than having offload at\n"
+      "all - most of the runtime is host-side (Amdahl).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5: the full benchmark at the large problem size (5e10 samples,
+// ~10 TB, 8 nodes x 16 processes x 4 threads).
+//
+// Paper findings: vs the OpenMP CPU baseline, JAX is 2.28x faster and
+// OpenMP Target Offload 2.58x faster; forcing JAX onto its *CPU* backend
+// is 7.4x SLOWER than the threaded baseline (§4.2, excluded from the
+// paper's plot because it would dwarf the other bars).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mpisim/job.hpp"
+
+using toast::bench_model::large_problem;
+using toast::core::Backend;
+using toast::mpisim::JobConfig;
+using toast::mpisim::run_benchmark_job;
+
+int main() {
+  toast::bench::print_header(
+      "Figure 5: full benchmark, large problem (8 nodes x 16 procs x 4 "
+      "threads)");
+
+  const auto problem = large_problem();
+  const auto cpu = run_benchmark_job({problem, Backend::kCpu});
+
+  std::printf("%-22s %14s %10s\n", "implementation", "runtime", "vs cpu");
+  std::printf("------------------------------------------------\n");
+  std::printf("%-22s %14s %10s\n", "cpu (OpenMP)",
+              toast::bench::fmt_seconds(cpu.runtime).c_str(), "1.00x");
+
+  for (const auto& [label, backend] :
+       {std::pair{"jax", Backend::kJax},
+        std::pair{"omp-target", Backend::kOmpTarget},
+        std::pair{"jax (CPU backend)", Backend::kJaxCpu}}) {
+    const auto r = run_benchmark_job({problem, backend});
+    char speed[32];
+    if (r.oom) {
+      std::snprintf(speed, sizeof(speed), "OOM");
+      std::printf("%-22s %14s %10s\n", label, "OOM", speed);
+      continue;
+    }
+    const double s = cpu.runtime / r.runtime;
+    if (s >= 1.0) {
+      std::snprintf(speed, sizeof(speed), "%.2fx", s);
+    } else {
+      std::snprintf(speed, sizeof(speed), "%.1fx slower", 1.0 / s);
+    }
+    std::printf("%-22s %14s %10s\n", label,
+                toast::bench::fmt_seconds(r.runtime).c_str(), speed);
+  }
+
+  std::printf(
+      "\npaper: jax 2.28x, omp-target 2.58x faster than cpu;\n"
+      "       jax CPU backend 7.4x slower than the threaded baseline.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Substrate microbenchmarks (google-benchmark, real wall time): the
+// building blocks every experiment rests on — FFT, HEALPix projections,
+// quaternion math, counter RNG, and the mini-XLA trace/optimize/execute
+// path.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "healpix/healpix.hpp"
+#include "qarray/qarray.hpp"
+#include "rng/rng.hpp"
+#include "xla/jit.hpp"
+
+using namespace toast;
+
+static void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  std::mt19937 gen(1);
+  std::normal_distribution<double> nd;
+  for (auto& v : data) v = {nd(gen), nd(gen)};
+  for (auto _ : state) {
+    auto work = data;
+    fft::fft_inplace(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FftForward)->Range(1 << 8, 1 << 16);
+
+static void BM_HealpixAng2Pix(benchmark::State& state) {
+  const healpix::Healpix hp(state.range(0));
+  std::mt19937 gen(2);
+  std::uniform_real_distribution<double> uz(-1.0, 1.0);
+  std::uniform_real_distribution<double> up(0.0, 6.28);
+  std::vector<std::pair<double, double>> dirs(4096);
+  for (auto& d : dirs) d = {std::acos(uz(gen)), up(gen)};
+  const bool nest = state.range(1) != 0;
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const auto& [th, ph] : dirs) {
+      acc += nest ? hp.ang2pix_nest(th, ph) : hp.ang2pix_ring(th, ph);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HealpixAng2Pix)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
+
+static void BM_QuatMultMany(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> p(4 * n, 0.5), q(4 * n, 0.5), out(4 * n);
+  for (auto _ : state) {
+    qarray::mult_many(p, q, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuatMultMany)->Range(1 << 10, 1 << 16);
+
+static void BM_RngGaussian(benchmark::State& state) {
+  std::vector<double> out(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    rng::RngStream stream({1, 2}, {counter++, 0});
+    stream.gaussian(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngGaussian)->Range(1 << 10, 1 << 16);
+
+static void BM_XlaJitCached(benchmark::State& state) {
+  accel::SimDevice device;
+  accel::VirtualClock clock;
+  accel::TimeLog log;
+  xla::Runtime rt(device, clock, log);
+  xla::Jit fn("bench", [](const std::vector<xla::Array>& in) {
+    return std::vector<xla::Array>{
+        xla::sqrt(xla::abs(in[0] * 2.0 + 1.0)) - 0.5};
+  });
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)), 1.5);
+  const xla::Literal arg = xla::Literal::from_f64(
+      xla::Shape{state.range(0)}, data);
+  fn.call(rt, {arg});  // compile outside the loop
+  for (auto _ : state) {
+    auto out = fn.call(rt, {arg});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XlaJitCached)->Range(1 << 10, 1 << 14);
+
+static void BM_XlaCompile(benchmark::State& state) {
+  accel::SimDevice device;
+  accel::VirtualClock clock;
+  accel::TimeLog log;
+  xla::Runtime rt(device, clock, log);
+  std::vector<double> data(1024, 1.5);
+  const xla::Literal arg = xla::Literal::from_f64(xla::Shape{1024}, data);
+  for (auto _ : state) {
+    xla::Jit fn("bench", [](const std::vector<xla::Array>& in) {
+      xla::Array x = in[0];
+      for (int i = 0; i < 16; ++i) {
+        x = x * 1.001 + 0.25;
+      }
+      return std::vector<xla::Array>{xla::sqrt(xla::abs(x))};
+    });
+    auto out = fn.call(rt, {arg});
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_XlaCompile);
+
+static void BM_Threefry(benchmark::State& state) {
+  std::array<std::uint64_t, 2> key{1, 2};
+  std::array<std::uint64_t, 2> ctr{0, 0};
+  for (auto _ : state) {
+    ctr[1] += 1;
+    auto out = rng::threefry2x64(key, ctr);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Threefry);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#pragma once
+
+// Small table-printing helpers shared by the figure benchmarks.
+
+#include <cstdio>
+#include <string>
+
+namespace toast::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f s", s);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace toast::bench

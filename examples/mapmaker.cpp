@@ -1,0 +1,124 @@
+// End-to-end mini map-maker: several simulated "MPI ranks" each observe
+// the same synthetic sky with independent noise, bin their noise-weighted
+// timestreams into local maps, and the maps are combined with the in-
+// process allreduce.  The recovered map is compared against the input sky
+// — the science validation a CMB pipeline ultimately needs.
+//
+//   ./mapmaker [backend] [n_ranks]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kernels/jax.hpp"
+#include "mpisim/comm.hpp"
+#include "sim/satellite.hpp"
+#include "sim/workflow.hpp"
+
+using namespace toast;
+
+int main(int argc, char** argv) {
+  core::Backend backend = core::Backend::kOmpTarget;
+  int n_ranks = 4;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "cpu") backend = core::Backend::kCpu;
+    else if (arg == "omptarget") backend = core::Backend::kOmpTarget;
+    else if (arg == "jax") backend = core::Backend::kJax;
+    else {
+      std::fprintf(stderr, "usage: %s [cpu|omptarget|jax] [n_ranks]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (argc > 2) {
+    n_ranks = std::stoi(argv[2]);
+  }
+
+  const std::int64_t nside = 16;
+  const std::int64_t nnz = 3;
+  const std::int64_t n_pix = 12 * nside * nside;
+  const auto sky = sim::synthetic_sky(nside, nnz);
+  const auto fp = sim::hex_focalplane(8, 37.0, 10.0, 5.0e-6);
+
+  // Each rank: simulate, scan, noise-weight, bin.
+  std::vector<std::vector<double>> rank_maps;
+  std::vector<std::vector<double>> rank_hits;
+  double total_modelled_seconds = 0.0;
+  for (int rank = 0; rank < n_ranks; ++rank) {
+    core::ExecConfig cfg;
+    cfg.backend = backend;
+    core::ExecContext ctx(cfg);
+    kernels::jax::clear_jit_caches();
+
+    core::Data data;
+    sim::ScanParams scan;
+    scan.spin_period = 120.0;
+    data.observations.push_back(sim::simulate_satellite(
+        "rank" + std::to_string(rank), fp, 32768, scan,
+        1000 + static_cast<std::uint64_t>(rank)));
+
+    sim::WorkflowConfig wf;
+    wf.nside = nside;
+    wf.nnz = nnz;
+    wf.map_iterations = 1;
+    wf.include_unported = false;
+    auto pipeline = sim::make_benchmark_pipeline(wf);
+    pipeline.exec(data, ctx);
+    total_modelled_seconds += ctx.elapsed();
+
+    const auto& ob = data.observations[0];
+    const auto zmap = ob.field(core::fields::kZmap).f64();
+    rank_maps.emplace_back(zmap.begin(), zmap.end());
+
+    // Hit-weight accumulator for the normalization (intensity only).
+    std::vector<double> hits(static_cast<std::size_t>(n_pix), 0.0);
+    const auto pixels = ob.field(core::fields::kPixels).i64();
+    for (const auto p : pixels) {
+      if (p >= 0) {
+        hits[static_cast<std::size_t>(p)] += 1.0;
+      }
+    }
+    rank_hits.push_back(std::move(hits));
+  }
+
+  // Combine across ranks.
+  const auto zmap = mpisim::LocalComm::allreduce_sum(rank_maps);
+  const auto hits = mpisim::LocalComm::allreduce_sum(rank_hits);
+
+  // Simple intensity estimate: zmap_I / (hits * inverse variance); the
+  // noise-weighting applied the same weight to every sample of a
+  // detector, so the ratio to the input I map is nearly constant.
+  double covered = 0.0;
+  double corr_num = 0.0, corr_ii = 0.0, corr_ss = 0.0;
+  for (std::int64_t p = 0; p < n_pix; ++p) {
+    const double h = hits[static_cast<std::size_t>(p)];
+    if (h < 1.0) {
+      continue;
+    }
+    covered += 1.0;
+    const double est = zmap[static_cast<std::size_t>(p * nnz)] / h;
+    const double truth = sky[static_cast<std::size_t>(p * nnz)];
+    corr_num += est * truth;
+    corr_ii += est * est;
+    corr_ss += truth * truth;
+  }
+  const double corr = corr_num / std::sqrt(corr_ii * corr_ss);
+
+  std::printf("mapmaker on %s with %d ranks:\n", core::to_string(backend),
+              n_ranks);
+  std::printf("  sky coverage        : %.1f%% of %lld pixels\n",
+              100.0 * covered / static_cast<double>(n_pix),
+              static_cast<long long>(n_pix));
+  std::printf("  map/sky correlation : %.4f (1.0 = perfect recovery)\n",
+              corr);
+  std::printf("  modelled time       : %.3f s across ranks\n",
+              total_modelled_seconds);
+  if (corr < 0.9) {
+    std::printf("  WARNING: poor recovery - check the pipeline!\n");
+    return 1;
+  }
+  std::printf("  recovered the input sky.\n");
+  return 0;
+}

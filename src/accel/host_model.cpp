@@ -1,0 +1,41 @@
+#include "accel/host_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace toast::accel {
+
+double HostModel::bandwidth_share(int threads,
+                                  int socket_active_threads) const {
+  const int active = std::max(threads, socket_active_threads);
+  const double fraction =
+      static_cast<double>(threads) / static_cast<double>(std::max(1, active));
+  return spec_.dram_bandwidth * spec_.dram_efficiency * fraction;
+}
+
+double HostModel::exec_time(const WorkEstimate& w, int threads,
+                            int socket_active_threads) const {
+  if (w.flops <= 0.0 && w.total_bytes() <= 0.0) {
+    return 0.0;
+  }
+  const int t = std::max(1, threads);
+  // CPUs handle divergent branches with prediction rather than lockstep
+  // execution: divergence costs vectorization, not serialized paths.
+  const double simd = std::max(0.1, w.cpu_vector_eff / w.divergence);
+  // Thread-scaling efficiency: wide OpenMP regions lose time to NUMA,
+  // barriers and imbalance.  This is why the paper's CPU runtime keeps
+  // improving when the same cores are split into more processes (§4.1).
+  const double thread_eff =
+      1.0 / (1.0 + 0.025 * static_cast<double>(t - 1));
+  const double rate = static_cast<double>(t) * spec_.flops_per_core *
+                      spec_.compute_efficiency * simd * thread_eff;
+  const double t_compute = w.flops / rate;
+  const double t_memory =
+      w.total_bytes() / bandwidth_share(t, socket_active_threads);
+  // Atomics carry no extra host cost: the threaded CPU kernels accumulate
+  // into thread-private buffers (or see negligible contention, with tens
+  // of threads scattered over millions of addresses).
+  return std::max(t_compute, t_memory) + w.launches * spec_.call_overhead;
+}
+
+}  // namespace toast::accel

@@ -1,0 +1,39 @@
+#pragma once
+
+// Host-side (CPU) performance model: converts a WorkEstimate into virtual
+// seconds for an OpenMP-threaded kernel running on `threads` cores of a
+// Milan-like socket.  Used for the CPU baseline implementation and for the
+// "JAX CPU backend" mode (which restricts parallelism, see the paper §4.2).
+
+#include "accel/specs.hpp"
+#include "accel/work.hpp"
+
+namespace toast::accel {
+
+class HostModel {
+ public:
+  explicit HostModel(HostSpec spec = milan_spec()) : spec_(spec) {}
+
+  const HostSpec& spec() const { return spec_; }
+
+  /// Execution time of a kernel parallelized over `threads` cores.
+  /// DRAM bandwidth is a socket-level resource: `socket_active_threads`
+  /// says how many threads on the socket are competing for it in total
+  /// (>= threads when several processes run on the node).
+  double exec_time(const WorkEstimate& w, int threads,
+                   int socket_active_threads) const;
+
+  /// Single-threaded variant (socket otherwise idle).
+  double exec_time_serial(const WorkEstimate& w) const {
+    return exec_time(w, 1, 1);
+  }
+
+  /// Memory bandwidth share available to `threads` of
+  /// `socket_active_threads` active threads.
+  double bandwidth_share(int threads, int socket_active_threads) const;
+
+ private:
+  HostSpec spec_;
+};
+
+}  // namespace toast::accel

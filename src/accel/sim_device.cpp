@@ -1,0 +1,120 @@
+#include "accel/sim_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace toast::accel {
+
+DeviceSpec a100_spec() { return DeviceSpec{}; }
+HostSpec milan_spec() { return HostSpec{}; }
+NetworkSpec slingshot_spec() { return NetworkSpec{}; }
+
+const char* to_string(Sharing s) {
+  switch (s) {
+    case Sharing::kExclusive:
+      return "exclusive";
+    case Sharing::kTimeSliced:
+      return "time-sliced";
+    case Sharing::kMps:
+      return "mps";
+  }
+  return "unknown";
+}
+
+void SimDevice::set_sharing(Sharing mode, int procs_attached) {
+  sharing_ = mode;
+  procs_attached_ = std::max(1, procs_attached);
+  if (procs_attached_ == 1) {
+    sharing_ = Sharing::kExclusive;
+  }
+}
+
+double SimDevice::kernel_time(const WorkEstimate& w) const {
+  if (w.flops <= 0.0 && w.total_bytes() <= 0.0 && w.atomic_ops <= 0.0) {
+    return 0.0;
+  }
+  // Occupancy: fraction of the device a launch with this much exposed
+  // parallelism can keep busy.  Saturates towards 1 for large launches.
+  const double n = std::max(1.0, w.parallel_items);
+  const double occupancy = n / (n + 0.1 * spec_.saturation_threads);
+  const double t_compute =
+      w.flops * w.divergence /
+      (spec_.fp64_flops * spec_.compute_efficiency * occupancy);
+  const double t_memory =
+      w.total_bytes() / (spec_.hbm_bandwidth * spec_.hbm_efficiency *
+                         std::min(1.0, 0.25 + 0.75 * occupancy));
+  // Conflicting atomics serialize on the memory system; conflict-free
+  // atomics ride the normal write stream (already in bytes_written).
+  const double t_atomics =
+      w.atomic_ops * w.atomic_conflict_rate * spec_.atomic_conflict_cost;
+  return std::max(t_compute, t_memory) + t_atomics;
+}
+
+double SimDevice::exec_time(const WorkEstimate& w) const {
+  const double t_kernel = kernel_time(w);
+  const double t_launch = w.launches * spec_.launch_latency;
+  switch (sharing_) {
+    case Sharing::kExclusive:
+      return t_launch + t_kernel;
+    case Sharing::kMps:
+      // MPS runs kernels from different processes concurrently: each
+      // process sees its fair share of device throughput, but launch
+      // latency overlaps with other processes' execution.
+      return t_launch + t_kernel * procs_attached_;
+    case Sharing::kTimeSliced: {
+      // Without MPS the driver context-switches between the attached
+      // processes; each batch of launches pays a switch, and execution is
+      // serialized with no overlap benefit.
+      const double switches = std::max(1.0, w.launches);
+      return t_launch + t_kernel * procs_attached_ +
+             switches * spec_.context_switch_cost * (procs_attached_ - 1);
+    }
+  }
+  return t_launch + t_kernel;
+}
+
+double SimDevice::transfer_time(double bytes) const {
+  if (bytes <= 0.0) {
+    return 0.0;
+  }
+  // PCIe is shared between the processes attached to this GPU.
+  const double share =
+      spec_.pcie_bandwidth / std::max(1, procs_attached_);
+  return spec_.pcie_latency + bytes / share;
+}
+
+double SimDevice::fill_time(double bytes) const {
+  WorkEstimate w;
+  w.bytes_written = bytes;
+  w.launches = 1.0;
+  w.parallel_items = bytes / 8.0;
+  return exec_time(w);
+}
+
+void SimDevice::allocate(std::size_t bytes) {
+  if (allocated_ + bytes > capacity_bytes()) {
+    std::ostringstream msg;
+    msg << "simulated device out of memory: requested " << bytes
+        << " B with " << allocated_ << " B already allocated of "
+        << capacity_bytes() << " B capacity";
+    throw DeviceOomError(msg.str());
+  }
+  allocated_ += bytes;
+}
+
+void SimDevice::deallocate(std::size_t bytes) {
+  allocated_ -= std::min(allocated_, bytes);
+}
+
+void SimDevice::note_execution(const WorkEstimate& w, double seconds) {
+  total_launches_ += static_cast<std::uint64_t>(w.launches);
+  total_exec_seconds_ += seconds;
+}
+
+void SimDevice::reset_counters() {
+  total_launches_ = 0;
+  total_exec_seconds_ = 0.0;
+}
+
+}  // namespace toast::accel

@@ -1,0 +1,104 @@
+#pragma once
+
+// The simulated accelerator.  Functional execution of kernels happens on
+// the host (so numerics are real and testable); this class supplies the
+// *time* and *memory* behaviour of an A100-like device: execution cost of a
+// work estimate, transfer cost over PCIe, allocation tracking with
+// out-of-memory enforcement, and the process-sharing model (exclusive,
+// time-sliced without MPS, or MPS).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "accel/specs.hpp"
+#include "accel/work.hpp"
+
+namespace toast::accel {
+
+/// How multiple processes share one physical device.
+enum class Sharing {
+  kExclusive,   ///< one process owns the device
+  kTimeSliced,  ///< several processes, no MPS: driver context-switches
+  kMps,         ///< several processes, NVIDIA MPS: concurrent kernels
+};
+
+const char* to_string(Sharing s);
+
+/// Thrown when a simulated allocation exceeds device capacity.
+class DeviceOomError : public std::runtime_error {
+ public:
+  explicit DeviceOomError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Per-process virtual clock.  All model times accumulate here; wall time
+/// is unrelated.
+class VirtualClock {
+ public:
+  void advance(double seconds) { t_ += seconds; }
+  double now() const { return t_; }
+  void reset() { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+/// One simulated device (as seen by one process).
+class SimDevice {
+ public:
+  explicit SimDevice(DeviceSpec spec = a100_spec()) : spec_(spec) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Configure the sharing situation: how many processes are attached to
+  /// this physical GPU and whether MPS is active.
+  void set_sharing(Sharing mode, int procs_attached);
+  Sharing sharing() const { return sharing_; }
+  int procs_attached() const { return procs_attached_; }
+
+  /// Pure device execution time of one work estimate (no launch queueing,
+  /// no sharing): roofline of compute and memory streams, degraded by
+  /// occupancy, divergence and atomic conflicts.
+  double kernel_time(const WorkEstimate& w) const;
+
+  /// Time as experienced by the calling process, including launch latency
+  /// for each launch and the sharing model (time-slicing pays context
+  /// switches; MPS divides throughput but overlaps launch gaps).
+  double exec_time(const WorkEstimate& w) const;
+
+  /// Host to device / device to host transfer times (PCIe model).
+  double transfer_time(double bytes) const;
+
+  /// Device-side memset/fill time (HBM write stream + one launch).
+  double fill_time(double bytes) const;
+
+  // --- memory accounting -------------------------------------------------
+
+  /// Record an allocation of `bytes`; throws DeviceOomError if the device
+  /// would exceed capacity.
+  void allocate(std::size_t bytes);
+  void deallocate(std::size_t bytes);
+  std::size_t allocated_bytes() const { return allocated_; }
+  std::size_t capacity_bytes() const {
+    return static_cast<std::size_t>(spec_.memory_bytes);
+  }
+
+  // --- counters (for tests and reporting) --------------------------------
+
+  std::uint64_t total_launches() const { return total_launches_; }
+  double total_exec_seconds() const { return total_exec_seconds_; }
+  void note_execution(const WorkEstimate& w, double seconds);
+  void reset_counters();
+
+ private:
+  DeviceSpec spec_;
+  Sharing sharing_ = Sharing::kExclusive;
+  int procs_attached_ = 1;
+  std::size_t allocated_ = 0;
+  std::uint64_t total_launches_ = 0;
+  double total_exec_seconds_ = 0.0;
+};
+
+}  // namespace toast::accel

@@ -1,0 +1,72 @@
+#pragma once
+
+// Hardware specifications for the performance model.  Defaults describe one
+// Perlmutter GPU node as used in the paper: 4x NVIDIA A100-40GB, one AMD
+// Milan 64-core CPU, PCIe gen4, Slingshot interconnect.
+//
+// Every constant is a published figure or a standard sustained-fraction
+// estimate; none is fitted to a specific experiment output.  The calibration
+// that shapes the reproduced figures happens through the *work estimates*
+// the backends produce (padding, launches, divergence, atomics), not by
+// editing these numbers per experiment.
+
+namespace toast::accel {
+
+/// An A100-like accelerator.
+struct DeviceSpec {
+  /// Peak FP64 throughput (non tensor-core), flop/s.
+  double fp64_flops = 9.7e12;
+  /// Sustained fraction of peak for well-shaped numeric kernels.
+  double compute_efficiency = 0.60;
+  /// HBM2e bandwidth, bytes/s.
+  double hbm_bandwidth = 1.555e12;
+  /// Sustained fraction of HBM bandwidth for streaming kernels.
+  double hbm_efficiency = 0.75;
+  /// Host-device link (PCIe gen4 x16), bytes/s and per-transfer latency.
+  double pcie_bandwidth = 25.0e9;
+  double pcie_latency = 10.0e-6;
+  /// Device memory capacity, bytes.
+  double memory_bytes = 40.0e9;
+  /// Driver-level kernel launch latency (seconds); backend dispatch costs
+  /// are added on top by the backends themselves.
+  double launch_latency = 4.0e-6;
+  /// Threads needed to saturate the device (108 SMs x 2048 threads).
+  double saturation_threads = 221184.0;
+  /// Cost of a CUDA context switch when time-slicing between processes
+  /// without MPS (seconds per switch).
+  double context_switch_cost = 2.5e-4;
+  /// Extra cost of one conflicting FP64 atomic update (seconds).  Same-
+  /// address atomics are aggregated in L2 on Ampere, so the per-op
+  /// serialization is small; it still adds up over billions of updates.
+  double atomic_conflict_cost = 1.0e-11;
+};
+
+/// A Milan-like CPU socket.
+struct HostSpec {
+  int cores = 64;
+  /// Sustained per-core FP64 rate with full vectorization, flop/s
+  /// (2.45 GHz x 2 FMA pipes x 4-wide AVX2 x 2 flops ~= 39 G, derated).
+  double flops_per_core = 30.0e9;
+  /// Fraction of that rate these (partly branchy, partly strided) kernels
+  /// attain; applied on top of the per-kernel vectorization estimate.
+  double compute_efficiency = 0.45;
+  /// Socket DRAM bandwidth, bytes/s (8-channel DDR4-3200).
+  double dram_bandwidth = 190.0e9;
+  double dram_efficiency = 0.80;
+  /// Node memory, bytes.
+  double memory_bytes = 256.0e9;
+  /// Per-call overhead of invoking a compiled kernel from the framework.
+  double call_overhead = 2.0e-6;
+};
+
+/// Slingshot-like interconnect for the MPI model.
+struct NetworkSpec {
+  double bandwidth = 25.0e9;  // bytes/s per NIC
+  double latency = 2.0e-6;    // seconds
+};
+
+DeviceSpec a100_spec();
+HostSpec milan_spec();
+NetworkSpec slingshot_spec();
+
+}  // namespace toast::accel

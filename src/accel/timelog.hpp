@@ -1,0 +1,69 @@
+#pragma once
+
+// Accumulating log of virtual time per named category, shared by all
+// backends and the framework.  This is the reproduction of TOAST's timing
+// decorator infrastructure (paper §3.2.3): every kernel invocation and
+// every data-movement operation records its virtual duration under a
+// category name; Figure 6 is a dump of this log.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace toast::accel {
+
+class TimeLog {
+ public:
+  void add(const std::string& category, double seconds) {
+    auto& e = entries_[category];
+    e.seconds += seconds;
+    e.calls += 1;
+  }
+
+  double seconds(const std::string& category) const {
+    const auto it = entries_.find(category);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+
+  long calls(const std::string& category) const {
+    const auto it = entries_.find(category);
+    return it == entries_.end() ? 0 : it->second.calls;
+  }
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& [name, e] : entries_) {
+      t += e.seconds;
+    }
+    return t;
+  }
+
+  std::vector<std::string> categories() const {
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Merge another log into this one (used when aggregating processes).
+  void merge(const TimeLog& other) {
+    for (const auto& [name, e] : other.entries_) {
+      auto& mine = entries_[name];
+      mine.seconds += e.seconds;
+      mine.calls += e.calls;
+    }
+  }
+
+ private:
+  struct Entry {
+    double seconds = 0.0;
+    long calls = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace toast::accel

@@ -1,0 +1,56 @@
+#pragma once
+
+// Calibration constants for the job-level performance and memory models.
+//
+// These encode the *framework-level* facts of the paper's benchmark that
+// are not derivable from kernel structure: how much serial Python-side
+// work surrounds the kernels (the Amdahl bound of ~3x the paper states),
+// how much CPU work the >30 unported kernels represent, and the memory
+// behaviour of each backend's allocator (which produces Figure 4's OOM
+// pattern: JAX cannot run the medium problem with 1 or 64 processes, the
+// OpenMP port cannot with 64, the CPU baseline runs everywhere).
+
+namespace toast::bench_model {
+
+/// Host-side framework costs, per detector-sample at paper scale.
+struct FrameworkModel {
+  /// Serial (single-thread, per process) Python/framework time: data
+  /// distribution, bookkeeping, I/O.  Parallelized only by adding
+  /// processes.
+  double serial_seconds_per_sample = 1.6e-8;
+  /// Number of map-maker solver iterations in the benchmark workflow
+  /// (template_offset / scan_map / build_noise_weighted run once per
+  /// iteration).
+  int map_iterations = 5;
+};
+
+/// The memory model (see DESIGN.md §5).  "Staged" bytes are the fields
+/// the GPU section of the pipeline keeps resident per observation.
+struct MemoryModel {
+  /// Fraction of a rank's timestream bytes staged per observation at the
+  /// peak (signal + pixels + weights resident concurrently, ~40 of the
+  /// ~220 bytes/sample of stored state).
+  double staged_fraction = 0.18;
+  /// Fraction of a rank's data resident in host memory at once.
+  double host_resident_fraction = 0.18;
+  /// Per-process host overhead: Python runtime + buffers (bytes).
+  double host_overhead_cpu = 0.3e9;
+  /// GPU-enabled processes also carry driver/context mirrors.
+  double host_overhead_gpu = 1.3e9;
+  /// CUDA context + XLA workspace per JAX process (bytes).
+  double jax_context_bytes = 2.2e9;
+  /// JAX pool fragmentation factor with preallocation disabled.
+  double jax_pool_overhead = 1.3;
+  /// CUDA context per OpenMP-target process (bytes).
+  double omp_context_bytes = 0.5e9;
+  /// The OpenMP port stages detector batches through a bounded,
+  /// developer-managed pool rather than holding whole observations -
+  /// the "lower memory usage" the paper observes (§4.1).
+  double omp_batch_bytes = 2.0e9;
+  double omp_pool_overhead = 1.1;
+};
+
+FrameworkModel framework_model();
+MemoryModel memory_model();
+
+}  // namespace toast::bench_model

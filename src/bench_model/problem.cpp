@@ -1,0 +1,58 @@
+#include "bench_model/problem.hpp"
+
+#include "bench_model/calibration.hpp"
+
+namespace toast::bench_model {
+
+ProblemSize medium_problem() {
+  ProblemSize p;
+  p.name = "medium";
+  p.paper_total_samples = 5.0e9;
+  p.paper_n_detectors = 2048;
+  p.actual_n_detectors = 8;
+  p.actual_n_samples = 4096;
+  p.nodes = 1;
+  p.procs_per_node = 16;
+  p.gpus_per_node = 4;
+  p.cores_per_node = 64;
+  p.observations_per_proc = 4;
+  p.nside = 64;
+  return p;
+}
+
+ProblemSize large_problem() {
+  ProblemSize p;
+  p.name = "large";
+  p.paper_total_samples = 5.0e10;
+  p.paper_n_detectors = 2048;
+  p.actual_n_detectors = 8;
+  p.actual_n_samples = 4096;
+  p.nodes = 8;
+  p.procs_per_node = 16;
+  p.gpus_per_node = 4;
+  p.cores_per_node = 64;
+  p.observations_per_proc = 4;
+  p.nside = 64;
+  return p;
+}
+
+ProblemSize tiny_problem() {
+  ProblemSize p;
+  p.name = "tiny";
+  p.paper_total_samples = 4.0e6;
+  p.paper_n_detectors = 4;
+  p.actual_n_detectors = 4;
+  p.actual_n_samples = 1024;
+  p.nodes = 1;
+  p.procs_per_node = 1;
+  p.gpus_per_node = 1;
+  p.cores_per_node = 4;
+  p.observations_per_proc = 1;
+  p.nside = 16;
+  return p;
+}
+
+FrameworkModel framework_model() { return FrameworkModel{}; }
+MemoryModel memory_model() { return MemoryModel{}; }
+
+}  // namespace toast::bench_model

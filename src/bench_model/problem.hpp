@@ -1,0 +1,93 @@
+#pragma once
+
+// Problem-size definitions for the paper's benchmark runs, plus the
+// scale-factor plumbing that lets kernels execute functionally at a reduced
+// sample count while the analytic cost model is evaluated at paper scale.
+//
+// Paper, section 4:
+//   - medium: 5e9 samples (~1 TB of data), single node runs
+//   - large : 5e10 samples (~10 TB), 8-node run
+// A "sample" here is one time sample of one detector.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace toast::bench_model {
+
+/// A benchmark problem: how much data the paper's run processes, and how
+/// much we actually instantiate in memory for functional execution.
+struct ProblemSize {
+  std::string name;
+  /// Total detector-samples at paper scale (across the whole job).
+  double paper_total_samples = 0.0;
+  /// Detectors in the focalplane at paper scale ("a couple thousand").
+  std::int64_t paper_n_detectors = 0;
+
+  /// Detectors actually instantiated per process for functional execution.
+  std::int64_t actual_n_detectors = 0;
+  /// Samples per detector actually instantiated per process.
+  std::int64_t actual_n_samples = 0;
+
+  /// Job geometry at paper scale.
+  int nodes = 1;
+  int procs_per_node = 16;
+  int gpus_per_node = 4;
+  int cores_per_node = 64;
+
+  /// Observations (data chunks) per process; kernel launch counts are
+  /// proportional to this, not to the sample count.
+  int observations_per_proc = 1;
+
+  /// HEALPix resolution of the sky maps.
+  std::int64_t nside = 64;
+
+  int threads_per_proc() const {
+    const int procs = procs_per_node > 0 ? procs_per_node : 1;
+    const int t = cores_per_node / procs;
+    return t > 0 ? t : 1;
+  }
+  int total_procs() const { return nodes * procs_per_node; }
+
+  /// Samples per detector, per process, at paper scale.
+  double paper_samples_per_det_per_proc() const {
+    return paper_total_samples /
+           (static_cast<double>(paper_n_detectors) * total_procs());
+  }
+
+  /// Ratio between the paper-scale per-process work and the work we
+  /// actually execute; multiplies measured work estimates before they are
+  /// fed to the virtual clocks.  The per-process work is spread over
+  /// `observations_per_proc` observations, each executed functionally at
+  /// the reduced size.
+  double sample_scale() const {
+    const double actual = static_cast<double>(actual_n_detectors) *
+                          static_cast<double>(actual_n_samples) *
+                          static_cast<double>(observations_per_proc);
+    const double paper =
+        paper_total_samples / static_cast<double>(total_procs());
+    return paper / actual;
+  }
+
+  /// Bytes of timestream state per detector-sample on the host (signal,
+  /// flags, pixels, weights, pointing, templates...).  Chosen so that the
+  /// medium problem is ~1 TB, matching the paper's description.
+  static constexpr double bytes_per_sample = 200.0;
+
+  /// Total data volume at paper scale, in bytes.
+  double paper_total_bytes() const {
+    return paper_total_samples * bytes_per_sample;
+  }
+};
+
+/// Medium problem: 5e9 samples, one node (Figure 4 / Figure 6).
+ProblemSize medium_problem();
+
+/// Large problem: 5e10 samples, eight nodes (Figure 5).
+ProblemSize large_problem();
+
+/// A miniature problem for unit tests and quick examples: small enough to
+/// run in milliseconds, with the same structure.
+ProblemSize tiny_problem();
+
+}  // namespace toast::bench_model

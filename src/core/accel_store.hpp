@@ -1,0 +1,63 @@
+#pragma once
+
+// The framework-agnostic memory abstraction layer of paper §3.2.1: named
+// device copies of observation fields, with explicit create / update /
+// reset / delete operations whose costs depend on the backend:
+//   - OpenMP Target Offload: pooled omp_target_alloc, synchronous PCIe
+//     copies, device-side memset for reset;
+//   - JAX: allocator pool with pinned/asynchronous staging (cheaper
+//     update_device) and pool-recycled buffers (near-free reset) - the
+//     behaviour behind Figure 6's accel_data_* differences.
+//
+// Functionally, the device copy is a real shadow buffer: kernels read and
+// write the shadow, so forgetting a transfer produces stale data (and
+// failing tests), just like a real hybrid pipeline bug.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/observation.hpp"
+#include "omptarget/pool.hpp"
+
+namespace toast::core {
+
+class AccelStore {
+ public:
+  explicit AccelStore(ExecContext& ctx);
+
+  /// Map a field: allocate a device shadow (no copy yet).
+  void create(Field& field);
+  bool present(const Field& field) const;
+  void update_device(Field& field);
+  void update_host(Field& field);
+  /// Zero the device copy.
+  void reset(Field& field);
+  void remove(Field& field);
+  /// Drop every mapping (end of pipeline).
+  void clear();
+
+  /// Device address of the shadow copy.  Throws if not mapped.
+  template <typename T>
+  T* device_ptr(const Field& field) {
+    return reinterpret_cast<T*>(raw_ptr(field));
+  }
+
+  std::size_t mapped_bytes() const { return mapped_bytes_; }
+  std::size_t n_mapped() const { return shadows_.size(); }
+
+ private:
+  std::byte* raw_ptr(const Field& field);
+
+  ExecContext& ctx_;
+  omptarget::DevicePool pool_;
+  struct Shadow {
+    omptarget::DevicePtr dptr;
+    std::vector<std::byte> data;
+  };
+  std::map<const Field*, Shadow> shadows_;
+  std::size_t mapped_bytes_ = 0;
+};
+
+}  // namespace toast::core

@@ -1,0 +1,55 @@
+#include "core/context.hpp"
+
+namespace toast::core {
+
+ExecContext::ExecContext(const ExecConfig& config)
+    : config_(config),
+      device_(config.device_spec),
+      host_(config.host_spec),
+      omp_rt_(device_, clock_, log_),
+      jax_rt_(device_, clock_, log_) {
+  device_.set_sharing(config.sharing, config.procs_per_gpu);
+  omp_rt_.set_dispatch_overhead(config.omp_dispatch_overhead);
+  omp_rt_.set_work_scale(config.work_scale);
+  jax_rt_.set_work_scale(config.work_scale);
+  if (config.backend == Backend::kJax && config.jax_preallocate) {
+    jax_rt_.enable_preallocation();
+  }
+  if (config.backend == Backend::kJaxCpu) {
+    jax_rt_.set_cpu_backend(config.host_spec, config.threads,
+                            config.socket_active_threads);
+  }
+}
+
+Backend ExecContext::backend_for(const std::string& kernel) const {
+  const auto it = overrides_.find(kernel);
+  return it == overrides_.end() ? config_.backend : it->second;
+}
+
+void ExecContext::set_kernel_backend(const std::string& kernel, Backend b) {
+  overrides_[kernel] = b;
+}
+
+void ExecContext::charge_host_kernel(const std::string& name,
+                                     const accel::WorkEstimate& work) {
+  const accel::WorkEstimate scaled = work.scaled(config_.work_scale);
+  const double t = host_.exec_time(scaled, config_.threads,
+                                   config_.socket_active_threads);
+  clock_.advance(t);
+  log_.add(name, t);
+}
+
+void ExecContext::charge_host_kernel_raw(const std::string& name,
+                                         const accel::WorkEstimate& work) {
+  const double t = host_.exec_time(work, config_.threads,
+                                   config_.socket_active_threads);
+  clock_.advance(t);
+  log_.add(name, t);
+}
+
+void ExecContext::charge_serial(const std::string& name, double seconds) {
+  clock_.advance(seconds);
+  log_.add(name, seconds);
+}
+
+}  // namespace toast::core

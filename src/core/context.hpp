@@ -1,0 +1,92 @@
+#pragma once
+
+// ExecContext: everything one process needs to execute kernels — the
+// simulated device, virtual clock, time log, host model, both backend
+// runtimes, and the kernel dispatch table (paper §3.2.1: implementations
+// selectable globally, per pipeline, or per kernel).
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "accel/host_model.hpp"
+#include "accel/sim_device.hpp"
+#include "accel/timelog.hpp"
+#include "core/types.hpp"
+#include "omptarget/runtime.hpp"
+#include "xla/jit.hpp"
+
+namespace toast::core {
+
+struct ExecConfig {
+  Backend backend = Backend::kCpu;
+  /// OpenMP threads of this process and total busy threads on the socket.
+  int threads = 4;
+  int socket_active_threads = 64;
+  /// GPU sharing situation for this process.
+  accel::Sharing sharing = accel::Sharing::kExclusive;
+  int procs_per_gpu = 1;
+  /// Paper-scale over executed-scale work ratio (timestream domain).
+  double work_scale = 1.0;
+  /// Paper-scale over executed-scale size ratio for map-domain buffers
+  /// (e.g. (512/nside)^2 for production-resolution maps).
+  double map_scale = 1.0;
+  /// JAX device-memory pool preallocation (paper disables it when
+  /// oversubscribing, §3.1.3).
+  bool jax_preallocate = false;
+  /// Host-side cost of submitting one OpenMP target region; varies by
+  /// compiler runtime (NVHPC/Clang/GCC differ, paper §3.3).
+  double omp_dispatch_overhead = 6.0e-6;
+  accel::DeviceSpec device_spec = accel::a100_spec();
+  accel::HostSpec host_spec = accel::milan_spec();
+};
+
+class ExecContext {
+ public:
+  explicit ExecContext(const ExecConfig& config);
+
+  const ExecConfig& config() const { return config_; }
+  Backend backend() const { return config_.backend; }
+
+  accel::SimDevice& device() { return device_; }
+  accel::VirtualClock& clock() { return clock_; }
+  accel::TimeLog& log() { return log_; }
+  const accel::HostModel& host() const { return host_; }
+  omptarget::Runtime& omp() { return omp_rt_; }
+  xla::Runtime& jax() { return jax_rt_; }
+
+  // --- dispatch ----------------------------------------------------------
+
+  /// Backend used for a given kernel: the per-kernel override if present,
+  /// otherwise the context default.
+  Backend backend_for(const std::string& kernel) const;
+  void set_kernel_backend(const std::string& kernel, Backend b);
+  void clear_kernel_backends() { overrides_.clear(); }
+
+  // --- charging helpers ---------------------------------------------------
+
+  /// Charge a CPU (OpenMP-threaded) kernel execution (timestream-domain
+  /// work: scaled by work_scale).
+  void charge_host_kernel(const std::string& name,
+                          const accel::WorkEstimate& work);
+  /// Same, but the estimate is already at paper scale (map-domain ops
+  /// apply map_scale themselves).
+  void charge_host_kernel_raw(const std::string& name,
+                              const accel::WorkEstimate& work);
+  /// Charge host-serial framework time (Python-side work in the paper).
+  void charge_serial(const std::string& name, double seconds);
+
+  double elapsed() const { return clock_.now(); }
+
+ private:
+  ExecConfig config_;
+  accel::SimDevice device_;
+  accel::VirtualClock clock_;
+  accel::TimeLog log_;
+  accel::HostModel host_;
+  omptarget::Runtime omp_rt_;
+  xla::Runtime jax_rt_;
+  std::map<std::string, Backend> overrides_;
+};
+
+}  // namespace toast::core

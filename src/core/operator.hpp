@@ -1,0 +1,50 @@
+#pragma once
+
+// Operator base class: one modular processing step (paper §3.1).  Each
+// operator declares GPU support and the fields it reads/writes, which is
+// exactly the information the hybrid pipeline uses to place data movement
+// (paper §3.2.2).
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/observation.hpp"
+
+namespace toast::core {
+
+class AccelStore;
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Kernel/operator name; also the dispatch and timing key.
+  virtual std::string name() const = 0;
+
+  /// Whether a GPU implementation exists.  The paper's benchmark has >30
+  /// unported kernels; those return false and force data back to host.
+  virtual bool supports_accel() const { return false; }
+
+  /// Fields read (must be valid wherever the operator runs).
+  virtual std::vector<std::string> requires_fields() const { return {}; }
+  /// Fields written (become valid where the operator ran).  Fields that
+  /// do not exist yet are created by the operator itself.
+  virtual std::vector<std::string> provides_fields() const { return {}; }
+
+  /// Create any output fields that do not exist yet (host side).  Called
+  /// by the pipeline before staging so device copies can be mapped.
+  virtual void ensure_fields(Observation& ob) { (void)ob; }
+
+  /// Execute on one observation.  `accel` is the device-copy store when
+  /// the pipeline placed this call on the accelerator (the operator must
+  /// then run its device implementation against store pointers), or
+  /// nullptr for a host execution.  `backend` is the dispatched kernel
+  /// implementation (it may be an accel backend with accel == nullptr
+  /// when the operator itself has no GPU support, or kJaxCpu which always
+  /// runs host-side).
+  virtual void exec(Observation& ob, ExecContext& ctx, AccelStore* accel,
+                    Backend backend) = 0;
+};
+
+}  // namespace toast::core

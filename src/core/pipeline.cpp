@@ -1,0 +1,144 @@
+#include "core/pipeline.hpp"
+
+#include <map>
+#include <set>
+
+namespace toast::core {
+
+namespace {
+
+struct FieldState {
+  bool host_valid = true;
+  bool device_valid = false;
+};
+
+}  // namespace
+
+Backend Pipeline::dispatch_backend(const Operator& op,
+                                   ExecContext& ctx) const {
+  if (backend_override_.has_value()) {
+    return *backend_override_;
+  }
+  return ctx.backend_for(op.name());
+}
+
+void Pipeline::exec(Data& data, ExecContext& ctx) {
+  for (auto& ob : data.observations) {
+    exec(ob, ctx);
+  }
+}
+
+void Pipeline::exec(Observation& ob, ExecContext& ctx) {
+  AccelStore store(ctx);
+  std::map<Field*, FieldState> state;
+
+  auto ensure_mapped = [&](Field& f) {
+    if (!store.present(f)) {
+      store.create(f);
+      state[&f];  // host_valid=true, device_valid=false
+    }
+  };
+
+  for (const auto& op : operators_) {
+    ctx.charge_serial("pipeline_overhead", kOperatorOverheadSeconds);
+    op->ensure_fields(ob);
+
+    const Backend backend = dispatch_backend(*op, ctx);
+    const bool on_accel = op->supports_accel() && is_accel(backend);
+
+    std::set<std::string> touched;
+    for (const auto& name : op->requires_fields()) touched.insert(name);
+    for (const auto& name : op->provides_fields()) touched.insert(name);
+
+    if (on_accel) {
+      // Map every touched field; stage *in* only the inputs (in-place
+      // outputs appear in requires too).  Pure outputs get a device
+      // buffer without an upload.
+      for (const auto& name : touched) {
+        if (ob.has_field(name)) {
+          ensure_mapped(ob.field(name));
+        }
+      }
+      for (const auto& name : op->requires_fields()) {
+        if (!ob.has_field(name)) {
+          continue;
+        }
+        Field& f = ob.field(name);
+        if (!state[&f].device_valid) {
+          store.update_device(f);
+          state[&f].device_valid = true;
+        }
+      }
+      op->exec(ob, ctx, &store, backend);
+      for (const auto& name : op->provides_fields()) {
+        if (!ob.has_field(name)) {
+          continue;
+        }
+        Field& f = ob.field(name);
+        state[&f].device_valid = true;
+        state[&f].host_valid = false;
+      }
+      if (staging_ == Staging::kNaive) {
+        // Naive strategy: everything comes straight back and the device
+        // copies are dropped after every kernel.
+        for (const auto& name : touched) {
+          if (!ob.has_field(name)) {
+            continue;
+          }
+          Field& f = ob.field(name);
+          if (store.present(f)) {
+            if (!state[&f].host_valid) {
+              store.update_host(f);
+              state[&f].host_valid = true;
+            }
+            store.remove(f);
+            state.erase(&f);
+          }
+        }
+      }
+    } else {
+      // Host execution: any field whose current copy lives on the device
+      // must come back first.
+      for (const auto& name : touched) {
+        if (!ob.has_field(name)) {
+          continue;
+        }
+        Field& f = ob.field(name);
+        auto it = state.find(&f);
+        if (it != state.end() && !it->second.host_valid) {
+          store.update_host(f);
+          it->second.host_valid = true;
+        }
+      }
+      op->exec(ob, ctx, nullptr, backend);
+      for (const auto& name : op->provides_fields()) {
+        if (!ob.has_field(name)) {
+          continue;
+        }
+        Field& f = ob.field(name);
+        auto it = state.find(&f);
+        if (it != state.end()) {
+          it->second.host_valid = true;
+          it->second.device_valid = false;
+        }
+      }
+    }
+  }
+
+  // End of pipeline: final products back to the host; device-only
+  // intermediates are dropped without a transfer.
+  for (const auto& name : outputs_) {
+    if (!ob.has_field(name)) {
+      continue;
+    }
+    Field& f = ob.field(name);
+    const auto it = state.find(&f);
+    if (it != state.end() && !it->second.host_valid) {
+      store.update_host(f);
+      it->second.host_valid = true;
+    }
+  }
+  store.clear();
+}
+
+}  // namespace toast::core

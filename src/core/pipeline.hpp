@@ -1,0 +1,73 @@
+#pragma once
+
+// Hybrid CPU/GPU pipeline (paper §3.2.2).
+//
+// A Pipeline runs a sequence of operators over each observation.  Using
+// each operator's requires/provides declarations it keeps data resident on
+// the device across consecutive GPU operators, moves fields back to the
+// host only when a host-only operator (or the end of the pipeline) needs
+// them, and deletes device data when done.  The paper measured this
+// staging at ~40% faster than naively transferring around every kernel;
+// Staging::kNaive reproduces the naive strategy for that ablation.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/accel_store.hpp"
+#include "core/context.hpp"
+#include "core/observation.hpp"
+#include "core/operator.hpp"
+
+namespace toast::core {
+
+class Pipeline {
+ public:
+  enum class Staging {
+    kPipelined,  ///< move data across operator sequences (default)
+    kNaive,      ///< transfer in/out around every accelerated operator
+  };
+
+  explicit Pipeline(std::vector<std::shared_ptr<Operator>> operators,
+                    Staging staging = Staging::kPipelined)
+      : operators_(std::move(operators)), staging_(staging) {}
+
+  /// Fields copied back to the host at the end of the pipeline.  Device-
+  /// only intermediates (expanded pointing, Stokes weights...) are simply
+  /// deleted, which is a large part of the staging win of §3.2.2.  By
+  /// default the science products are kept.
+  void set_outputs(std::vector<std::string> outputs) {
+    outputs_ = std::move(outputs);
+  }
+  const std::vector<std::string>& outputs() const { return outputs_; }
+
+  /// Force every operator of this pipeline onto one backend, regardless
+  /// of the context default (paper §3.2.1: per-pipeline selection).
+  void set_backend_override(std::optional<Backend> backend) {
+    backend_override_ = backend;
+  }
+
+  /// Per-operator host-side framework overhead (the Python layer driving
+  /// the kernels), charged as serial time.
+  static constexpr double kOperatorOverheadSeconds = 5.0e-5;
+
+  void exec(Data& data, ExecContext& ctx);
+  void exec(Observation& ob, ExecContext& ctx);
+
+  const std::vector<std::shared_ptr<Operator>>& operators() const {
+    return operators_;
+  }
+
+ private:
+  Backend dispatch_backend(const Operator& op, ExecContext& ctx) const;
+
+  std::vector<std::shared_ptr<Operator>> operators_;
+  Staging staging_;
+  std::optional<Backend> backend_override_;
+  std::vector<std::string> outputs_ = {
+      std::string(fields::kSignal), std::string(fields::kZmap),
+      std::string(fields::kAmplitudes), std::string(fields::kPixels)};
+};
+
+}  // namespace toast::core

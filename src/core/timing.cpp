@@ -1,0 +1,128 @@
+#include "core/timing.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace toast::core {
+
+void write_timing_csv(const accel::TimeLog& log, std::ostream& out) {
+  out << "category,calls,seconds\n";
+  for (const auto& name : log.categories()) {
+    out << name << "," << log.calls(name) << "," << std::setprecision(12)
+        << log.seconds(name) << "\n";
+  }
+}
+
+void write_timing_csv(const accel::TimeLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  write_timing_csv(log, out);
+}
+
+accel::TimeLog read_timing_csv(std::istream& in) {
+  accel::TimeLog log;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    const auto c1 = line.find(',');
+    const auto c2 = line.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw std::runtime_error("malformed timing CSV line: " + line);
+    }
+    const std::string name = line.substr(0, c1);
+    const long calls = std::stol(line.substr(c1 + 1, c2 - c1 - 1));
+    const double seconds = std::stod(line.substr(c2 + 1));
+    // Reconstruct: one add per call would lose the total; add once with
+    // the full time then pad call count.
+    log.add(name, seconds);
+    for (long k = 1; k < calls; ++k) {
+      log.add(name, 0.0);
+    }
+  }
+  return log;
+}
+
+accel::TimeLog read_timing_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return read_timing_csv(in);
+}
+
+TimingComparison compare_timings(
+    const std::vector<std::pair<std::string, accel::TimeLog>>& runs) {
+  TimingComparison cmp;
+  for (const auto& [label, log] : runs) {
+    cmp.labels.push_back(label);
+  }
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    for (const auto& name : runs[r].second.categories()) {
+      auto& row = cmp.rows[name];
+      row.resize(runs.size(), 0.0);
+      row[r] = runs[r].second.seconds(name);
+    }
+  }
+  for (auto& [name, row] : cmp.rows) {
+    row.resize(runs.size(), 0.0);
+  }
+  return cmp;
+}
+
+std::string TimingComparison::to_csv() const {
+  std::ostringstream out;
+  out << "category";
+  for (const auto& label : labels) {
+    out << "," << label;
+  }
+  if (labels.size() > 1) {
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+      out << ",speedup_" << labels[i];
+    }
+  }
+  out << "\n";
+  for (const auto& [name, row] : rows) {
+    out << name;
+    for (const double v : row) {
+      out << "," << std::setprecision(9) << v;
+    }
+    if (labels.size() > 1) {
+      for (std::size_t i = 1; i < row.size(); ++i) {
+        out << "," << (row[i] > 0.0 ? row[0] / row[i] : 0.0);
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string TimingComparison::to_table() const {
+  std::ostringstream out;
+  out << std::left << std::setw(34) << "category";
+  for (const auto& label : labels) {
+    out << std::right << std::setw(14) << label;
+  }
+  out << "\n";
+  for (const auto& [name, row] : rows) {
+    out << std::left << std::setw(34) << name;
+    for (const double v : row) {
+      out << std::right << std::setw(14) << std::scientific
+          << std::setprecision(3) << v;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace toast::core

@@ -1,0 +1,40 @@
+#pragma once
+
+// Timing export and comparison (paper §3.2.3): TOAST dumps per-function
+// timing to CSV, and the authors built a script merging several CSV files
+// into a comparative spreadsheet — "the most significant productivity
+// boost throughout the project".  This is that tool.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/timelog.hpp"
+
+namespace toast::core {
+
+/// Write a TimeLog as CSV: category,calls,seconds.
+void write_timing_csv(const accel::TimeLog& log, std::ostream& out);
+void write_timing_csv(const accel::TimeLog& log, const std::string& path);
+
+/// Parse a CSV produced by write_timing_csv.
+accel::TimeLog read_timing_csv(std::istream& in);
+accel::TimeLog read_timing_csv_file(const std::string& path);
+
+/// A merged comparison of several runs: rows are categories, columns are
+/// run labels, cells are seconds (0 when absent).
+struct TimingComparison {
+  std::vector<std::string> labels;
+  std::map<std::string, std::vector<double>> rows;
+
+  /// Render as CSV with a ratio column (each run vs the first).
+  std::string to_csv() const;
+  /// Human-readable aligned table.
+  std::string to_table() const;
+};
+
+TimingComparison compare_timings(
+    const std::vector<std::pair<std::string, accel::TimeLog>>& runs);
+
+}  // namespace toast::core

@@ -1,0 +1,105 @@
+#include "fft/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace toast::fft {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void transform(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Iterative butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<std::complex<double>> data) {
+  transform(data, false);
+}
+
+void ifft_inplace(std::span<std::complex<double>> data) {
+  transform(data, true);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) {
+    v *= inv;
+  }
+}
+
+std::vector<std::complex<double>> rfft(std::span<const double> input) {
+  const std::size_t n = input.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("rfft: size must be a power of two");
+  }
+  std::vector<std::complex<double>> work(input.begin(), input.end());
+  fft_inplace(work);
+  work.resize(n / 2 + 1);
+  return work;
+}
+
+std::vector<double> irfft(std::span<const std::complex<double>> spectrum,
+                          std::size_t n) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("irfft: size must be a power of two");
+  }
+  if (spectrum.size() != n / 2 + 1) {
+    throw std::invalid_argument("irfft: spectrum must hold n/2 + 1 bins");
+  }
+  std::vector<std::complex<double>> work(n);
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    work[i] = spectrum[i];
+  }
+  // Hermitian symmetry for the upper half.
+  for (std::size_t i = 1; i < n / 2; ++i) {
+    work[n - i] = std::conj(spectrum[i]);
+  }
+  ifft_inplace(work);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = work[i].real();
+  }
+  return out;
+}
+
+}  // namespace toast::fft

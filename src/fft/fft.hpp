@@ -1,0 +1,38 @@
+#pragma once
+
+// Minimal FFT substrate used by the 1/f noise simulation.
+//
+// The paper's kernels rely on FFTW/cuFFT through TOAST; our noise generator
+// only needs power-of-two sizes, so an iterative radix-2 Cooley-Tukey
+// transform plus real-transform wrappers is sufficient and dependency free.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace toast::fft {
+
+/// Round n up to the next power of two (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True if n is a nonzero power of two.
+bool is_pow2(std::size_t n);
+
+/// In-place forward complex FFT (unnormalized).  data.size() must be a
+/// power of two.
+void fft_inplace(std::span<std::complex<double>> data);
+
+/// In-place inverse complex FFT, normalized by 1/N.
+void ifft_inplace(std::span<std::complex<double>> data);
+
+/// Forward real-to-complex transform: returns n/2 + 1 spectrum bins for a
+/// real input of power-of-two length n.
+std::vector<std::complex<double>> rfft(std::span<const double> input);
+
+/// Inverse complex-to-real transform: spectrum of n/2 + 1 bins to n real
+/// samples (n a power of two), normalized so irfft(rfft(x)) == x.
+std::vector<double> irfft(std::span<const std::complex<double>> spectrum,
+                          std::size_t n);
+
+}  // namespace toast::fft

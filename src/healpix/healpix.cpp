@@ -1,0 +1,389 @@
+#include "healpix/healpix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace toast::healpix {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kHalfPi = 0.5 * std::numbers::pi;
+constexpr double kInvHalfPi = 2.0 / std::numbers::pi;
+constexpr double kTwoThird = 2.0 / 3.0;
+
+// Ring offsets of the 12 base faces: jrll is the ring index of the face
+// center divided by nside, jpll the longitude index in units of pi/4.
+constexpr std::array<int, 12> kJrll = {2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4};
+constexpr std::array<int, 12> kJpll = {1, 3, 5, 7, 0, 2, 4, 6, 1, 3, 5, 7};
+
+double fmodulo(double v, double m) {
+  const double r = std::fmod(v, m);
+  return (r < 0.0) ? r + m : r;
+}
+
+std::int64_t isqrt(std::int64_t v) {
+  auto r = static_cast<std::int64_t>(
+      std::sqrt(static_cast<double>(v) + 0.5));
+  // Guard against floating-point over/undershoot.
+  while (r * r > v) --r;
+  while ((r + 1) * (r + 1) <= v) ++r;
+  return r;
+}
+
+}  // namespace
+
+std::int64_t npix2nside(std::int64_t npix) {
+  if (npix <= 0 || npix % 12 != 0) {
+    return 0;
+  }
+  const auto nside = isqrt(npix / 12);
+  if (12 * nside * nside != npix || (nside & (nside - 1)) != 0) {
+    return 0;
+  }
+  return nside;
+}
+
+std::uint64_t interleave_bits(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0x00000000FFFFFFFFULL;
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+void deinterleave_bits(std::uint64_t m, std::uint32_t& x, std::uint32_t& y) {
+  auto compress = [](std::uint64_t v) {
+    v &= 0x5555555555555555ULL;
+    v = (v | (v >> 1)) & 0x3333333333333333ULL;
+    v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+    v = (v | (v >> 4)) & 0x00FF00FF00FF00FFULL;
+    v = (v | (v >> 8)) & 0x0000FFFF0000FFFFULL;
+    v = (v | (v >> 16)) & 0x00000000FFFFFFFFULL;
+    return static_cast<std::uint32_t>(v);
+  };
+  x = compress(m);
+  y = compress(m >> 1);
+}
+
+Healpix::Healpix(std::int64_t nside) : nside_(nside) {
+  if (nside < 1 || nside > (std::int64_t{1} << 29) ||
+      (nside & (nside - 1)) != 0) {
+    throw std::invalid_argument("Healpix: nside must be a power of two");
+  }
+  order_ = 0;
+  while ((std::int64_t{1} << order_) < nside_) ++order_;
+  npix_ = 12 * nside_ * nside_;
+  ncap_ = 2 * nside_ * (nside_ - 1);
+  fact2_ = 4.0 / static_cast<double>(npix_);
+  fact1_ = static_cast<double>(nside_ << 1) * fact2_;
+}
+
+double Healpix::pixarea() const {
+  return 4.0 * kPi / static_cast<double>(npix_);
+}
+
+std::int64_t Healpix::zphi2pix_ring(double z, double sth, double phi) const {
+  const double za = std::abs(z);
+  const double tt = fmodulo(phi * kInvHalfPi, 4.0);  // in [0,4)
+  if (za <= kTwoThird) {
+    // Equatorial region.
+    const double temp1 = static_cast<double>(nside_) * (0.5 + tt);
+    const double temp2 = static_cast<double>(nside_) * z * 0.75;
+    const auto jp = static_cast<std::int64_t>(temp1 - temp2);
+    const auto jm = static_cast<std::int64_t>(temp1 + temp2);
+    const std::int64_t ir = nside_ + 1 + jp - jm;  // ring counted from z=2/3
+    const std::int64_t kshift = 1 - (ir & 1);
+    std::int64_t ip = (jp + jm - nside_ + kshift + 1) / 2;
+    ip = ((ip % (4 * nside_)) + 4 * nside_) % (4 * nside_);
+    return ncap_ + (ir - 1) * 4 * nside_ + ip;
+  }
+  // Polar caps.
+  const double tp = tt - std::floor(tt);
+  const double tmp = (sth >= 0.0)
+                         ? static_cast<double>(nside_) * sth *
+                               std::sqrt(3.0 / (1.0 + za))
+                         : static_cast<double>(nside_) *
+                               std::sqrt(3.0 * (1.0 - za));
+  const auto jp = static_cast<std::int64_t>(tp * tmp);
+  const auto jm = static_cast<std::int64_t>((1.0 - tp) * tmp);
+  const std::int64_t ir = jp + jm + 1;  // ring counted from the nearest pole
+  auto ip = static_cast<std::int64_t>(tt * static_cast<double>(ir));
+  ip = ((ip % (4 * ir)) + 4 * ir) % (4 * ir);
+  return (z > 0.0) ? 2 * ir * (ir - 1) + ip : npix_ - 2 * ir * (ir + 1) + ip;
+}
+
+std::int64_t Healpix::zphi2pix_nest(double z, double sth, double phi) const {
+  const double za = std::abs(z);
+  const double tt = fmodulo(phi * kInvHalfPi, 4.0);
+  int face = 0;
+  std::uint32_t ix = 0, iy = 0;
+  if (za <= kTwoThird) {
+    const double temp1 = static_cast<double>(nside_) * (0.5 + tt);
+    const double temp2 = static_cast<double>(nside_) * z * 0.75;
+    const auto jp = static_cast<std::int64_t>(temp1 - temp2);
+    const auto jm = static_cast<std::int64_t>(temp1 + temp2);
+    const auto ifp = static_cast<int>(jp >> order_);
+    const auto ifm = static_cast<int>(jm >> order_);
+    if (ifp == ifm) {
+      face = (ifp == 4) ? 4 : ifp + 4;
+    } else if (ifp < ifm) {
+      face = ifp;
+    } else {
+      face = ifm + 8;
+    }
+    ix = static_cast<std::uint32_t>(jm & (nside_ - 1));
+    iy = static_cast<std::uint32_t>(nside_ - (jp & (nside_ - 1)) - 1);
+  } else {
+    int ntt = static_cast<int>(tt);
+    if (ntt >= 4) ntt = 3;
+    const double tp = tt - ntt;
+    const double tmp = (sth >= 0.0)
+                           ? static_cast<double>(nside_) * sth *
+                                 std::sqrt(3.0 / (1.0 + za))
+                           : static_cast<double>(nside_) *
+                                 std::sqrt(3.0 * (1.0 - za));
+    auto jp = static_cast<std::int64_t>(tp * tmp);
+    auto jm = static_cast<std::int64_t>((1.0 - tp) * tmp);
+    if (jp >= nside_) jp = nside_ - 1;  // points exactly on a boundary
+    if (jm >= nside_) jm = nside_ - 1;
+    if (z >= 0.0) {
+      face = ntt;
+      ix = static_cast<std::uint32_t>(nside_ - jm - 1);
+      iy = static_cast<std::uint32_t>(nside_ - jp - 1);
+    } else {
+      face = ntt + 8;
+      ix = static_cast<std::uint32_t>(jp);
+      iy = static_cast<std::uint32_t>(jm);
+    }
+  }
+  return xyf2nest(ix, iy, face);
+}
+
+std::int64_t Healpix::ang2pix_ring(double theta, double phi) const {
+  const double z = std::cos(theta);
+  const double sth = (std::abs(z) > 0.99) ? std::sin(theta) : -1.0;
+  return zphi2pix_ring(z, sth, phi);
+}
+
+std::int64_t Healpix::ang2pix_nest(double theta, double phi) const {
+  const double z = std::cos(theta);
+  const double sth = (std::abs(z) > 0.99) ? std::sin(theta) : -1.0;
+  return zphi2pix_nest(z, sth, phi);
+}
+
+std::int64_t Healpix::vec2pix_ring(double x, double y, double z) const {
+  const double r = std::sqrt(x * x + y * y + z * z);
+  const double zn = z / r;
+  const double sth =
+      (std::abs(zn) > 0.99) ? std::sqrt(x * x + y * y) / r : -1.0;
+  return zphi2pix_ring(zn, sth, std::atan2(y, x));
+}
+
+std::int64_t Healpix::vec2pix_nest(double x, double y, double z) const {
+  const double r = std::sqrt(x * x + y * y + z * z);
+  const double zn = z / r;
+  const double sth =
+      (std::abs(zn) > 0.99) ? std::sqrt(x * x + y * y) / r : -1.0;
+  return zphi2pix_nest(zn, sth, std::atan2(y, x));
+}
+
+std::int64_t Healpix::xyf2nest(std::uint32_t x, std::uint32_t y,
+                               int face) const {
+  return (static_cast<std::int64_t>(face) << (2 * order_)) +
+         static_cast<std::int64_t>(interleave_bits(x, y));
+}
+
+void Healpix::nest2xyf(std::int64_t pix, std::uint32_t& x, std::uint32_t& y,
+                       int& face) const {
+  face = static_cast<int>(pix >> (2 * order_));
+  deinterleave_bits(
+      static_cast<std::uint64_t>(pix & ((std::int64_t{1} << (2 * order_)) - 1)),
+      x, y);
+}
+
+void Healpix::pix2ang_nest(std::int64_t pix, double& theta,
+                           double& phi) const {
+  std::uint32_t ix = 0, iy = 0;
+  int face = 0;
+  nest2xyf(pix, ix, iy, face);
+  const std::int64_t jr =
+      (static_cast<std::int64_t>(kJrll[face]) << order_) - ix - iy - 1;
+  double z = 0.0;
+  std::int64_t nr = 0;
+  if (jr < nside_) {
+    nr = jr;
+    z = 1.0 - static_cast<double>(nr * nr) * fact2_;
+  } else if (jr > 3 * nside_) {
+    nr = 4 * nside_ - jr;
+    z = static_cast<double>(nr * nr) * fact2_ - 1.0;
+  } else {
+    nr = nside_;
+    z = static_cast<double>(2 * nside_ - jr) * fact1_;
+  }
+  std::int64_t tmp = static_cast<std::int64_t>(kJpll[face]) * nr + ix - iy;
+  if (tmp < 0) tmp += 8 * nr;
+  theta = std::acos(std::clamp(z, -1.0, 1.0));
+  phi = (kPi / 4.0) * static_cast<double>(tmp) / static_cast<double>(nr);
+}
+
+void Healpix::pix2ang_ring(std::int64_t pix, double& theta,
+                           double& phi) const {
+  double z = 0.0;
+  if (pix < ncap_) {
+    // North polar cap.
+    const std::int64_t iring = (1 + isqrt(1 + 2 * pix)) / 2;
+    const std::int64_t iphi = (pix + 1) - 2 * iring * (iring - 1);
+    z = 1.0 - static_cast<double>(iring * iring) * fact2_;
+    phi = (static_cast<double>(iphi) - 0.5) * kHalfPi /
+          static_cast<double>(iring);
+  } else if (pix < npix_ - ncap_) {
+    // Equatorial belt.
+    const std::int64_t ip = pix - ncap_;
+    const std::int64_t iring = ip / (4 * nside_) + nside_;
+    const std::int64_t iphi = ip % (4 * nside_) + 1;
+    const double fodd = ((iring + nside_) & 1) ? 1.0 : 0.5;
+    z = static_cast<double>(2 * nside_ - iring) * fact1_;
+    phi = (static_cast<double>(iphi) - fodd) * kPi /
+          static_cast<double>(2 * nside_);
+  } else {
+    // South polar cap.
+    const std::int64_t ip = npix_ - pix;
+    const std::int64_t iring = (1 + isqrt(2 * ip - 1)) / 2;
+    const std::int64_t iphi = 4 * iring + 1 - (ip - 2 * iring * (iring - 1));
+    z = -1.0 + static_cast<double>(iring * iring) * fact2_;
+    phi = (static_cast<double>(iphi) - 0.5) * kHalfPi /
+          static_cast<double>(iring);
+  }
+  theta = std::acos(std::clamp(z, -1.0, 1.0));
+}
+
+std::int64_t Healpix::xyf2ring(std::uint32_t x, std::uint32_t y,
+                               int face) const {
+  const std::int64_t nl4 = 4 * nside_;
+  const std::int64_t jr =
+      static_cast<std::int64_t>(kJrll[face]) * nside_ - x - y - 1;
+  std::int64_t nr = 0, n_before = 0, kshift = 0;
+  if (jr < nside_) {
+    nr = jr;
+    n_before = 2 * nr * (nr - 1);
+    kshift = 0;
+  } else if (jr > 3 * nside_) {
+    nr = nl4 - jr;
+    n_before = npix_ - 2 * (nr + 1) * nr;
+    kshift = 0;
+  } else {
+    nr = nside_;
+    n_before = ncap_ + (jr - nside_) * nl4;
+    kshift = (jr - nside_) & 1;
+  }
+  std::int64_t jp =
+      (static_cast<std::int64_t>(kJpll[face]) * nr + x - y + 1 + kshift) / 2;
+  if (jp > nl4) {
+    jp -= nl4;
+  } else if (jp < 1) {
+    jp += nl4;
+  }
+  return n_before + jp - 1;
+}
+
+void Healpix::ring2xyf(std::int64_t pix, std::uint32_t& x, std::uint32_t& y,
+                       int& face) const {
+  std::int64_t iring = 0, iphi = 0, kshift = 0, nr = 0;
+  const std::int64_t nl2 = 2 * nside_;
+  if (pix < ncap_) {
+    iring = (1 + isqrt(1 + 2 * pix)) / 2;
+    iphi = (pix + 1) - 2 * iring * (iring - 1);
+    kshift = 0;
+    nr = iring;
+    face = 0;
+    std::int64_t tmp = iphi - 1;
+    if (tmp >= 2 * iring) {
+      face = 2;
+      tmp -= 2 * iring;
+    }
+    if (tmp >= iring) ++face;
+  } else if (pix < npix_ - ncap_) {
+    const std::int64_t ip = pix - ncap_;
+    iring = (ip >> (order_ + 2)) + nside_;
+    iphi = (ip & (4 * nside_ - 1)) + 1;
+    kshift = (iring + nside_) & 1;
+    nr = nside_;
+    const std::int64_t ire = iring - nside_ + 1;
+    const std::int64_t irm = nl2 + 2 - ire;
+    const std::int64_t ifm = (iphi - ire / 2 + nside_ - 1) >> order_;
+    const std::int64_t ifp = (iphi - irm / 2 + nside_ - 1) >> order_;
+    if (ifp == ifm) {
+      face = static_cast<int>((ifp == 4) ? 4 : ifp + 4);
+    } else if (ifp < ifm) {
+      face = static_cast<int>(ifp);
+    } else {
+      face = static_cast<int>(ifm + 8);
+    }
+  } else {
+    const std::int64_t ip = npix_ - pix;
+    iring = (1 + isqrt(2 * ip - 1)) / 2;
+    iphi = 4 * iring + 1 - (ip - 2 * iring * (iring - 1));
+    kshift = 0;
+    nr = iring;
+    iring = 2 * nl2 - iring;
+    face = 8;
+    std::int64_t tmp = iphi - 1;
+    if (tmp >= 2 * nr) {
+      face = 10;
+      tmp -= 2 * nr;
+    }
+    if (tmp >= nr) ++face;
+  }
+  const std::int64_t irt =
+      iring - static_cast<std::int64_t>(kJrll[face]) * nside_ + 1;
+  std::int64_t ipt =
+      2 * iphi - static_cast<std::int64_t>(kJpll[face]) * nr - kshift - 1;
+  if (ipt >= nl2) ipt -= 8 * nside_;
+  x = static_cast<std::uint32_t>((ipt - irt) >> 1);
+  y = static_cast<std::uint32_t>((-(ipt + irt)) >> 1);
+}
+
+void Healpix::pix2vec_ring(std::int64_t pix, double& x, double& y,
+                           double& z) const {
+  double theta = 0.0, phi = 0.0;
+  pix2ang_ring(pix, theta, phi);
+  const double st = std::sin(theta);
+  x = st * std::cos(phi);
+  y = st * std::sin(phi);
+  z = std::cos(theta);
+}
+
+void Healpix::pix2vec_nest(std::int64_t pix, double& x, double& y,
+                           double& z) const {
+  double theta = 0.0, phi = 0.0;
+  pix2ang_nest(pix, theta, phi);
+  const double st = std::sin(theta);
+  x = st * std::cos(phi);
+  y = st * std::sin(phi);
+  z = std::cos(theta);
+}
+
+std::int64_t Healpix::nest2ring(std::int64_t pix) const {
+  std::uint32_t x = 0, y = 0;
+  int face = 0;
+  nest2xyf(pix, x, y, face);
+  return xyf2ring(x, y, face);
+}
+
+std::int64_t Healpix::ring2nest(std::int64_t pix) const {
+  std::uint32_t x = 0, y = 0;
+  int face = 0;
+  ring2xyf(pix, x, y, face);
+  return xyf2nest(x, y, face);
+}
+
+}  // namespace toast::healpix

@@ -1,0 +1,86 @@
+#pragma once
+
+// HEALPix sphere pixelization (Gorski et al. 2005), implemented from the
+// published geometry.  Supports the RING and NESTED schemes for the
+// operations TOAST's pointing kernels need: angle/vector -> pixel, pixel ->
+// angle (for map synthesis and tests), and scheme conversion.
+//
+// This is deliberately the full branchy equatorial/polar-cap logic: the
+// paper singles out pixels_healpix as the kernel whose many branches hurt
+// GPU performance, so the reproduction needs the genuine control flow.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace toast::healpix {
+
+/// Recover NSIDE from a pixel count (returns 0 if npix is not a valid
+/// HEALPix pixel count).
+std::int64_t npix2nside(std::int64_t npix);
+
+/// Interleave the lower 32 bits of x and y (Morton/Z-order): result bit 2i
+/// is x bit i, bit 2i+1 is y bit i.
+std::uint64_t interleave_bits(std::uint32_t x, std::uint32_t y);
+
+/// Inverse of interleave_bits.
+void deinterleave_bits(std::uint64_t m, std::uint32_t& x, std::uint32_t& y);
+
+/// Geometry for one NSIDE.  NSIDE must be a power of two (required by the
+/// NESTED scheme), between 1 and 2^29.
+class Healpix {
+ public:
+  explicit Healpix(std::int64_t nside);
+
+  std::int64_t nside() const { return nside_; }
+  std::int64_t npix() const { return npix_; }
+  /// Pixels in each polar cap.
+  std::int64_t ncap() const { return ncap_; }
+  /// Number of rings (4*nside - 1).
+  std::int64_t nrings() const { return 4 * nside_ - 1; }
+  /// Solid angle per pixel (steradians); all HEALPix pixels are equal-area.
+  double pixarea() const;
+
+  /// ISO angles (theta = colatitude in [0, pi], phi = longitude) to pixel.
+  std::int64_t ang2pix_ring(double theta, double phi) const;
+  std::int64_t ang2pix_nest(double theta, double phi) const;
+
+  /// Unit-vector variants (the form the pointing kernel uses).
+  std::int64_t vec2pix_ring(double x, double y, double z) const;
+  std::int64_t vec2pix_nest(double x, double y, double z) const;
+
+  /// Pixel-center angles.
+  void pix2ang_ring(std::int64_t pix, double& theta, double& phi) const;
+  void pix2ang_nest(std::int64_t pix, double& theta, double& phi) const;
+
+  /// Pixel-center unit vectors.
+  void pix2vec_ring(std::int64_t pix, double& x, double& y, double& z) const;
+  void pix2vec_nest(std::int64_t pix, double& x, double& y, double& z) const;
+
+  /// Scheme conversion.
+  std::int64_t nest2ring(std::int64_t pix) const;
+  std::int64_t ring2nest(std::int64_t pix) const;
+
+  /// Decompose a NESTED pixel into (face, x, y); face in [0, 12).
+  void nest2xyf(std::int64_t pix, std::uint32_t& x, std::uint32_t& y,
+                int& face) const;
+  std::int64_t xyf2nest(std::uint32_t x, std::uint32_t y, int face) const;
+
+ private:
+  // Shared core: (z, sin(theta) or <0 if unknown, phi) -> pixel.
+  std::int64_t zphi2pix_ring(double z, double sth, double phi) const;
+  std::int64_t zphi2pix_nest(double z, double sth, double phi) const;
+  void ring2xyf(std::int64_t pix, std::uint32_t& x, std::uint32_t& y,
+                int& face) const;
+  std::int64_t xyf2ring(std::uint32_t x, std::uint32_t y, int face) const;
+
+  std::int64_t nside_;
+  int order_;  // log2(nside)
+  std::int64_t npix_;
+  std::int64_t ncap_;
+  double fact1_;  // (4/3) / nside    : equatorial-ring z spacing helper
+  double fact2_;  // 4 / npix
+};
+
+}  // namespace toast::healpix

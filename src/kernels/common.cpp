@@ -1,0 +1,58 @@
+#include "kernels/common.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace toast::kernels {
+
+double estimate_conflict_rate(std::span<const std::int64_t> indices,
+                              std::int64_t window) {
+  if (indices.empty()) {
+    return 0.0;
+  }
+  double conflicts = 0.0;
+  double valid = 0.0;
+  std::unordered_map<std::int64_t, int> seen;
+  const auto n = static_cast<std::int64_t>(indices.size());
+  for (std::int64_t start = 0; start < n; start += window) {
+    seen.clear();
+    const std::int64_t stop = std::min(n, start + window);
+    for (std::int64_t i = start; i < stop; ++i) {
+      if (indices[i] < 0) {
+        continue;
+      }
+      valid += 1.0;
+      if (++seen[indices[i]] > 1) {
+        conflicts += 1.0;
+      }
+    }
+  }
+  return valid > 0.0 ? conflicts / valid : 0.0;
+}
+
+std::int64_t total_interval_samples(std::span<const core::Interval> ivals) {
+  std::int64_t total = 0;
+  for (const auto& v : ivals) {
+    total += v.length();
+  }
+  return total;
+}
+
+double padding_ratio(std::span<const core::Interval> ivals) {
+  if (ivals.empty()) {
+    return 1.0;
+  }
+  std::int64_t max_len = 0;
+  for (const auto& v : ivals) {
+    max_len = std::max(max_len, v.length());
+  }
+  const std::int64_t total = total_interval_samples(ivals);
+  if (total == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(max_len) *
+         static_cast<double>(static_cast<std::int64_t>(ivals.size())) /
+         static_cast<double>(total);
+}
+
+}  // namespace toast::kernels

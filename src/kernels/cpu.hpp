@@ -1,0 +1,99 @@
+#pragma once
+
+// The CPU baseline kernels: the "original OpenMP (CPU)" implementations of
+// the paper, threaded over detectors x intervals and vectorized where the
+// pattern allows.  These are the reference both GPU ports are validated
+// against and the denominator of every speedup in the paper's Figures 4-6.
+//
+// All kernels operate on raw buffers in detector-major layout
+// (field[det * n_samp * width + samp * width + k]) and charge their
+// modelled execution time through ExecContext::charge_host_kernel.
+
+#include <cstdint>
+#include <span>
+
+#include "core/context.hpp"
+#include "core/types.hpp"
+
+namespace toast::kernels::cpu {
+
+/// Expand boresight pointing into per-detector pointing quaternions.
+void pointing_detector(std::span<const double> fp_quats,
+                       std::span<const double> boresight,
+                       std::span<const std::uint8_t> shared_flags,
+                       std::uint8_t flag_mask,
+                       std::span<const core::Interval> intervals,
+                       std::int64_t n_det, std::int64_t n_samp,
+                       std::span<double> quats, core::ExecContext& ctx);
+
+/// Translate detector pointing quaternions into HEALPix pixel numbers.
+/// Flagged samples get pixel -1.
+void pixels_healpix(std::span<const double> quats,
+                    std::span<const std::uint8_t> shared_flags,
+                    std::uint8_t flag_mask, std::int64_t nside, bool nest,
+                    std::span<const core::Interval> intervals,
+                    std::int64_t n_det, std::int64_t n_samp,
+                    std::span<std::int64_t> pixels, core::ExecContext& ctx);
+
+/// Detector response to I/Q/U Stokes parameters, with optional HWP.
+void stokes_weights_iqu(std::span<const double> quats,
+                        std::span<const double> hwp_angle,
+                        std::span<const double> pol_eff,
+                        std::span<const core::Interval> intervals,
+                        std::int64_t n_det, std::int64_t n_samp,
+                        std::span<double> weights, core::ExecContext& ctx);
+
+/// Trivial intensity-only weights (all ones).
+void stokes_weights_i(std::span<const core::Interval> intervals,
+                      std::int64_t n_det, std::int64_t n_samp,
+                      std::span<double> weights, core::ExecContext& ctx);
+
+/// Scan a pixelized sky map into timestreams: signal += scale * map . w.
+void scan_map(std::span<const double> sky_map, std::int64_t nnz,
+              std::span<const std::int64_t> pixels,
+              std::span<const double> weights, double data_scale,
+              std::span<const core::Interval> intervals, std::int64_t n_det,
+              std::int64_t n_samp, std::span<double> signal,
+              core::ExecContext& ctx);
+
+/// Scale timestreams by their detector noise weight (inverse variance).
+void noise_weight(std::span<const double> det_weights,
+                  std::span<const core::Interval> intervals,
+                  std::int64_t n_det, std::int64_t n_samp,
+                  std::span<double> signal, core::ExecContext& ctx);
+
+/// Accumulate noise-weighted timestreams onto a sky map (atomics on the
+/// map domain).
+void build_noise_weighted(std::span<const std::int64_t> pixels,
+                          std::span<const double> weights, std::int64_t nnz,
+                          std::span<const double> signal,
+                          std::span<const double> det_scale,
+                          std::span<const std::uint8_t> shared_flags,
+                          std::uint8_t flag_mask,
+                          std::span<const core::Interval> intervals,
+                          std::int64_t n_det, std::int64_t n_samp,
+                          std::span<double> zmap, core::ExecContext& ctx);
+
+/// Scan a step-wise offset template onto a timestream.
+void template_offset_add_to_signal(std::int64_t step_length,
+                                   std::span<const double> amplitudes,
+                                   std::int64_t n_amp_det,
+                                   std::span<const core::Interval> intervals,
+                                   std::int64_t n_det, std::int64_t n_samp,
+                                   std::span<double> signal,
+                                   core::ExecContext& ctx);
+
+/// Project a timestream onto the offset template basis (dot products).
+void template_offset_project_signal(
+    std::int64_t step_length, std::span<const double> signal,
+    std::span<const core::Interval> intervals, std::int64_t n_det,
+    std::int64_t n_samp, std::span<double> amplitudes,
+    std::int64_t n_amp_det, core::ExecContext& ctx);
+
+/// Diagonal preconditioner for the offset-template linear system.
+void template_offset_apply_diag_precond(std::span<const double> offset_var,
+                                        std::span<const double> amp_in,
+                                        std::span<double> amp_out,
+                                        core::ExecContext& ctx);
+
+}  // namespace toast::kernels::cpu

@@ -1,0 +1,93 @@
+#pragma once
+
+// OpenMP Target Offload ports of the kernels (paper §3.1.2).
+//
+// Each kernel keeps TOAST's compiled-extension structure: a `use_accel`
+// flag selects between the original host OpenMP loop and the target
+// region.  The target region is the paper's pattern exactly: the triple
+// (detector, interval, sample) loop collapsed over the *maximum* interval
+// length with an in-body guard that cuts iterations past the true
+// interval end — conditionals are cheap here because the cut branch is a
+// no-op.
+//
+// When `use_accel` is true the buffer pointers must be *device* pointers
+// (AccelStore shadows); when false they are host pointers.  This mirrors
+// the real port, where passing a host pointer to a target region is a
+// segfault.
+
+#include <cstdint>
+#include <span>
+
+#include "core/context.hpp"
+#include "core/types.hpp"
+
+namespace toast::kernels::omp {
+
+void pointing_detector(const double* fp_quats, const double* boresight,
+                       const std::uint8_t* shared_flags,
+                       std::uint8_t flag_mask,
+                       std::span<const core::Interval> intervals,
+                       std::int64_t n_det, std::int64_t n_samp, double* quats,
+                       core::ExecContext& ctx, bool use_accel);
+
+void pixels_healpix(const double* quats, const std::uint8_t* shared_flags,
+                    std::uint8_t flag_mask, std::int64_t nside, bool nest,
+                    std::span<const core::Interval> intervals,
+                    std::int64_t n_det, std::int64_t n_samp,
+                    std::int64_t* pixels, core::ExecContext& ctx,
+                    bool use_accel);
+
+void stokes_weights_iqu(const double* quats, const double* hwp_angle,
+                        const double* pol_eff,
+                        std::span<const core::Interval> intervals,
+                        std::int64_t n_det, std::int64_t n_samp,
+                        double* weights, core::ExecContext& ctx,
+                        bool use_accel);
+
+void stokes_weights_i(std::span<const core::Interval> intervals,
+                      std::int64_t n_det, std::int64_t n_samp,
+                      double* weights, core::ExecContext& ctx,
+                      bool use_accel);
+
+void scan_map(const double* sky_map, std::int64_t nnz,
+              const std::int64_t* pixels, const double* weights,
+              double data_scale, std::span<const core::Interval> intervals,
+              std::int64_t n_det, std::int64_t n_samp, double* signal,
+              core::ExecContext& ctx, bool use_accel);
+
+void noise_weight(const double* det_weights,
+                  std::span<const core::Interval> intervals,
+                  std::int64_t n_det, std::int64_t n_samp, double* signal,
+                  core::ExecContext& ctx, bool use_accel);
+
+void build_noise_weighted(const std::int64_t* pixels, const double* weights,
+                          std::int64_t nnz, const double* signal,
+                          const double* det_scale,
+                          const std::uint8_t* shared_flags,
+                          std::uint8_t flag_mask,
+                          std::span<const core::Interval> intervals,
+                          std::int64_t n_det, std::int64_t n_samp,
+                          double* zmap, core::ExecContext& ctx,
+                          bool use_accel);
+
+void template_offset_add_to_signal(std::int64_t step_length,
+                                   const double* amplitudes,
+                                   std::int64_t n_amp_det,
+                                   std::span<const core::Interval> intervals,
+                                   std::int64_t n_det, std::int64_t n_samp,
+                                   double* signal, core::ExecContext& ctx,
+                                   bool use_accel);
+
+void template_offset_project_signal(
+    std::int64_t step_length, const double* signal,
+    std::span<const core::Interval> intervals, std::int64_t n_det,
+    std::int64_t n_samp, double* amplitudes, std::int64_t n_amp_det,
+    core::ExecContext& ctx, bool use_accel);
+
+void template_offset_apply_diag_precond(const double* offset_var,
+                                        const double* amp_in,
+                                        std::int64_t n_amp, double* amp_out,
+                                        core::ExecContext& ctx,
+                                        bool use_accel);
+
+}  // namespace toast::kernels::omp

@@ -1,0 +1,223 @@
+#pragma once
+
+// Operator wrappers around the kernels: these are the modular pipeline
+// building blocks TOAST exposes (paper §3.1.1).  Each resolves observation
+// fields to raw buffers, consults the dispatch registry, and calls the
+// CPU / OpenMP-target / JAX implementation — on host pointers or on
+// AccelStore device shadows, as placed by the pipeline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/operator.hpp"
+
+namespace toast::kernels {
+
+/// Expand boresight pointing to per-detector quaternions ("quats").
+class PointingDetectorOp : public core::Operator {
+ public:
+  std::string name() const override { return "pointing_detector"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+};
+
+/// Compute HEALPix pixel indices ("pixels") from detector quaternions.
+class PixelsHealpixOp : public core::Operator {
+ public:
+  PixelsHealpixOp(std::int64_t nside, bool nest = true)
+      : nside_(nside), nest_(nest) {}
+  std::string name() const override { return "pixels_healpix"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+  std::int64_t nside() const { return nside_; }
+
+ private:
+  std::int64_t nside_;
+  bool nest_;
+};
+
+/// Compute I/Q/U Stokes weights ("weights") from detector quaternions.
+class StokesWeightsIquOp : public core::Operator {
+ public:
+  explicit StokesWeightsIquOp(bool use_hwp = true) : use_hwp_(use_hwp) {}
+  std::string name() const override { return "stokes_weights_IQU"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  bool use_hwp_;
+};
+
+/// Trivial intensity-only weights.
+class StokesWeightsIOp : public core::Operator {
+ public:
+  std::string name() const override { return "stokes_weights_I"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+};
+
+/// Scan the "sky_map" field into "signal" along the pointing.
+class ScanMapOp : public core::Operator {
+ public:
+  explicit ScanMapOp(std::int64_t nnz = 3, double data_scale = 1.0)
+      : nnz_(nnz), data_scale_(data_scale) {}
+  std::string name() const override { return "scan_map"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  std::int64_t nnz_;
+  double data_scale_;
+};
+
+/// Scale "signal" by the detector inverse noise variance.
+class NoiseWeightOp : public core::Operator {
+ public:
+  std::string name() const override { return "noise_weight"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+};
+
+/// Accumulate noise-weighted "signal" into the "zmap" accumulator.
+class BuildNoiseWeightedOp : public core::Operator {
+ public:
+  explicit BuildNoiseWeightedOp(std::int64_t nside, std::int64_t nnz = 3)
+      : nside_(nside), nnz_(nnz) {}
+  std::string name() const override { return "build_noise_weighted"; }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  std::int64_t nside_;
+  std::int64_t nnz_;
+};
+
+/// Shared configuration of the offset-template operators.
+struct TemplateOffsetConfig {
+  std::int64_t step_length = 256;
+  std::int64_t n_amp_det(std::int64_t n_samp) const {
+    return (n_samp + step_length - 1) / step_length;
+  }
+};
+
+/// Scan offset amplitudes ("amplitudes") onto "signal".
+class TemplateOffsetAddOp : public core::Operator {
+ public:
+  explicit TemplateOffsetAddOp(TemplateOffsetConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override {
+    return "template_offset_add_to_signal";
+  }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  TemplateOffsetConfig cfg_;
+};
+
+/// Project "signal" onto the offset amplitudes.
+class TemplateOffsetProjectOp : public core::Operator {
+ public:
+  explicit TemplateOffsetProjectOp(TemplateOffsetConfig cfg = {})
+      : cfg_(cfg) {}
+  std::string name() const override {
+    return "template_offset_project_signal";
+  }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  TemplateOffsetConfig cfg_;
+};
+
+/// Apply the diagonal offset preconditioner in amplitude space.
+class TemplateOffsetPrecondOp : public core::Operator {
+ public:
+  explicit TemplateOffsetPrecondOp(TemplateOffsetConfig cfg = {})
+      : cfg_(cfg) {}
+  std::string name() const override {
+    return "template_offset_apply_diag_precond";
+  }
+  bool supports_accel() const override { return true; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void ensure_fields(core::Observation& ob) override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  TemplateOffsetConfig cfg_;
+};
+
+/// A stand-in for the >30 kernels the paper had not ported to GPU: runs
+/// on the host only, touching "signal", and charges a configurable amount
+/// of CPU work.  This is what bounds the end-to-end speedup via Amdahl's
+/// law (§4).
+class UnportedHostOp : public core::Operator {
+ public:
+  UnportedHostOp(std::string name, double flops_per_sample,
+                 double bytes_per_sample)
+      : name_(std::move(name)),
+        flops_per_sample_(flops_per_sample),
+        bytes_per_sample_(bytes_per_sample) {}
+  std::string name() const override { return name_; }
+  bool supports_accel() const override { return false; }
+  std::vector<std::string> requires_fields() const override;
+  std::vector<std::string> provides_fields() const override;
+  void exec(core::Observation& ob, core::ExecContext& ctx,
+            core::AccelStore* accel, core::Backend backend) override;
+
+ private:
+  std::string name_;
+  double flops_per_sample_;
+  double bytes_per_sample_;
+};
+
+// Field names for per-observation instrument tables created by the
+// operators (staged to the device like any other field).
+namespace aux_fields {
+inline constexpr const char* kFpQuats = "fp_quats";
+inline constexpr const char* kPolEff = "pol_eff";
+inline constexpr const char* kDetWeights = "det_weights";
+inline constexpr const char* kDetScale = "det_scale";
+inline constexpr const char* kOffsetVar = "offset_var";
+inline constexpr const char* kAmplitudesIn = "amplitudes_in";
+}  // namespace aux_fields
+
+}  // namespace toast::kernels

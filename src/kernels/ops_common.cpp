@@ -1,0 +1,65 @@
+#include "kernels/ops_common.hpp"
+
+#include "kernels/operators.hpp"
+
+namespace toast::kernels::detail {
+
+void ensure_fp_quats(core::Observation& ob) {
+  if (ob.has_field(aux_fields::kFpQuats)) {
+    return;
+  }
+  const auto& fp = ob.focalplane();
+  auto& f = ob.create_buffer(aux_fields::kFpQuats, core::FieldType::kF64,
+                             4 * ob.n_detectors());
+  auto out = f.f64();
+  for (std::int64_t d = 0; d < ob.n_detectors(); ++d) {
+    for (int k = 0; k < 4; ++k) {
+      out[static_cast<std::size_t>(4 * d + k)] =
+          fp.quats[static_cast<std::size_t>(d)][static_cast<std::size_t>(k)];
+    }
+  }
+}
+
+void ensure_pol_eff(core::Observation& ob) {
+  if (ob.has_field(aux_fields::kPolEff)) {
+    return;
+  }
+  const auto& fp = ob.focalplane();
+  auto& f = ob.create_buffer(aux_fields::kPolEff, core::FieldType::kF64,
+                             ob.n_detectors());
+  auto out = f.f64();
+  for (std::int64_t d = 0; d < ob.n_detectors(); ++d) {
+    out[static_cast<std::size_t>(d)] =
+        fp.pol_eff.empty() ? 1.0 : fp.pol_eff[static_cast<std::size_t>(d)];
+  }
+}
+
+void ensure_det_weights(core::Observation& ob) {
+  if (ob.has_field(aux_fields::kDetWeights)) {
+    return;
+  }
+  const auto& fp = ob.focalplane();
+  auto& f = ob.create_buffer(aux_fields::kDetWeights, core::FieldType::kF64,
+                             ob.n_detectors());
+  auto out = f.f64();
+  for (std::int64_t d = 0; d < ob.n_detectors(); ++d) {
+    // Inverse variance of one sample: 1 / (NET^2 * f_sample).
+    const double net =
+        fp.net.empty() ? 1.0 : fp.net[static_cast<std::size_t>(d)];
+    out[static_cast<std::size_t>(d)] =
+        1.0 / (net * net * fp.sample_rate);
+  }
+}
+
+void ensure_det_scale(core::Observation& ob) {
+  if (ob.has_field(aux_fields::kDetScale)) {
+    return;
+  }
+  auto& f = ob.create_buffer(aux_fields::kDetScale, core::FieldType::kF64,
+                             ob.n_detectors());
+  for (auto& v : f.f64()) {
+    v = 1.0;
+  }
+}
+
+}  // namespace toast::kernels::detail

@@ -1,0 +1,45 @@
+#pragma once
+
+// Internal helpers shared by the operator wrappers.
+
+#include <cstdint>
+#include <string>
+
+#include "core/accel_store.hpp"
+#include "kernels/common.hpp"
+#include "core/observation.hpp"
+
+namespace toast::kernels::detail {
+
+/// Resolve a field to the buffer the kernel should operate on: the device
+/// shadow when staged, the host buffer otherwise.
+template <typename T>
+T* buf(core::Observation& ob, const std::string& name,
+       core::AccelStore* accel) {
+  core::Field& f = ob.field(name);
+  if (accel != nullptr) {
+    return accel->device_ptr<T>(f);
+  }
+  return reinterpret_cast<T*>(f.raw());
+}
+
+template <typename T>
+const T* buf_opt(core::Observation& ob, const std::string& name,
+                 core::AccelStore* accel) {
+  if (!ob.has_field(name)) {
+    return nullptr;
+  }
+  return buf<T>(ob, name, accel);
+}
+
+/// Flatten the focalplane detector quaternions into a field so they can
+/// be staged to the device like any other buffer.
+void ensure_fp_quats(core::Observation& ob);
+/// Polarization efficiency per detector.
+void ensure_pol_eff(core::Observation& ob);
+/// Inverse-variance noise weight per detector (from the 1/f noise model).
+void ensure_det_weights(core::Observation& ob);
+/// Unit calibration scale per detector.
+void ensure_det_scale(core::Observation& ob);
+
+}  // namespace toast::kernels::detail

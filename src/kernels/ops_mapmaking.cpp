@@ -1,0 +1,206 @@
+// Operator wrappers for the map-domain kernels: scan_map, noise_weight,
+// build_noise_weighted, plus the UnportedHostOp stand-in.
+
+#include "kernels/cpu.hpp"
+#include "kernels/jax.hpp"
+#include "kernels/omptarget.hpp"
+#include "kernels/operators.hpp"
+#include "kernels/ops_common.hpp"
+
+namespace toast::kernels {
+
+using core::Backend;
+using core::FieldType;
+using core::fields::kPixels;
+using core::fields::kSharedFlags;
+using core::fields::kSignal;
+using core::fields::kSkyMap;
+using core::fields::kWeights;
+using core::fields::kZmap;
+using detail::buf;
+using detail::buf_opt;
+
+// --- ScanMapOp --------------------------------------------------------------
+
+std::vector<std::string> ScanMapOp::requires_fields() const {
+  return {kSkyMap, kPixels, kWeights, kSignal};
+}
+
+std::vector<std::string> ScanMapOp::provides_fields() const {
+  return {kSignal};
+}
+
+void ScanMapOp::ensure_fields(core::Observation& ob) {
+  if (!ob.has_field(kSignal)) {
+    ob.create_detdata(kSignal, FieldType::kF64, 1);
+  }
+}
+
+void ScanMapOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                     core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const core::Field& map_field = ob.field(kSkyMap);
+  const std::int64_t n_pix = map_field.count() / nnz_;
+  const double* sky_map = buf<double>(ob, kSkyMap, accel);
+  const std::int64_t* pixels = buf<std::int64_t>(ob, kPixels, accel);
+  const double* weights = buf<double>(ob, kWeights, accel);
+  double* signal = buf<double>(ob, kSignal, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::scan_map({sky_map, static_cast<std::size_t>(n_pix * nnz_)}, nnz_,
+                    {pixels, static_cast<std::size_t>(n_det * n_samp)},
+                    {weights, static_cast<std::size_t>(nnz_ * n_det * n_samp)},
+                    data_scale_, ivals, n_det, n_samp,
+                    {signal, static_cast<std::size_t>(n_det * n_samp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::scan_map(sky_map, nnz_, pixels, weights, data_scale_, ivals,
+                    n_det, n_samp, signal, ctx, accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::scan_map(sky_map, n_pix, nnz_, pixels, weights, data_scale_,
+                    ivals, n_det, n_samp, signal, ctx);
+      break;
+  }
+}
+
+// --- NoiseWeightOp ----------------------------------------------------------
+
+std::vector<std::string> NoiseWeightOp::requires_fields() const {
+  return {kSignal, aux_fields::kDetWeights};
+}
+
+std::vector<std::string> NoiseWeightOp::provides_fields() const {
+  return {kSignal};
+}
+
+void NoiseWeightOp::ensure_fields(core::Observation& ob) {
+  detail::ensure_det_weights(ob);
+  if (!ob.has_field(kSignal)) {
+    ob.create_detdata(kSignal, FieldType::kF64, 1);
+  }
+}
+
+void NoiseWeightOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                         core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const double* det_weights = buf<double>(ob, aux_fields::kDetWeights, accel);
+  double* signal = buf<double>(ob, kSignal, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::noise_weight({det_weights, static_cast<std::size_t>(n_det)},
+                        ivals, n_det, n_samp,
+                        {signal, static_cast<std::size_t>(n_det * n_samp)},
+                        ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::noise_weight(det_weights, ivals, n_det, n_samp, signal, ctx,
+                        accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::noise_weight(det_weights, ivals, n_det, n_samp, signal, ctx);
+      break;
+  }
+}
+
+// --- BuildNoiseWeightedOp ---------------------------------------------------
+
+std::vector<std::string> BuildNoiseWeightedOp::requires_fields() const {
+  return {kPixels, kWeights, kSignal, kSharedFlags, aux_fields::kDetScale,
+          kZmap};
+}
+
+std::vector<std::string> BuildNoiseWeightedOp::provides_fields() const {
+  return {kZmap};
+}
+
+void BuildNoiseWeightedOp::ensure_fields(core::Observation& ob) {
+  detail::ensure_det_scale(ob);
+  if (!ob.has_field(kZmap)) {
+    ob.create_buffer(kZmap, FieldType::kF64, 12 * nside_ * nside_ * nnz_);
+  }
+}
+
+void BuildNoiseWeightedOp::exec(core::Observation& ob,
+                                core::ExecContext& ctx,
+                                core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const std::int64_t n_pix = 12 * nside_ * nside_;
+  const std::int64_t* pixels = buf<std::int64_t>(ob, kPixels, accel);
+  const double* weights = buf<double>(ob, kWeights, accel);
+  const double* signal = buf<double>(ob, kSignal, accel);
+  const double* det_scale = buf<double>(ob, aux_fields::kDetScale, accel);
+  const std::uint8_t* flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
+  double* zmap = buf<double>(ob, kZmap, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::build_noise_weighted(
+          {pixels, static_cast<std::size_t>(n_det * n_samp)},
+          {weights, static_cast<std::size_t>(nnz_ * n_det * n_samp)}, nnz_,
+          {signal, static_cast<std::size_t>(n_det * n_samp)},
+          {det_scale, static_cast<std::size_t>(n_det)},
+          flags == nullptr ? std::span<const std::uint8_t>()
+                           : std::span<const std::uint8_t>(
+                                 flags, static_cast<std::size_t>(n_samp)),
+          kDefaultFlagMask, ivals, n_det, n_samp,
+          {zmap, static_cast<std::size_t>(n_pix * nnz_)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::build_noise_weighted(pixels, weights, nnz_, signal, det_scale,
+                                flags, kDefaultFlagMask, ivals, n_det,
+                                n_samp, zmap, ctx, accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::build_noise_weighted(pixels, weights, n_pix, nnz_, signal,
+                                det_scale, flags, kDefaultFlagMask, ivals,
+                                n_det, n_samp, zmap, ctx);
+      break;
+  }
+}
+
+// --- UnportedHostOp ---------------------------------------------------------
+
+std::vector<std::string> UnportedHostOp::requires_fields() const {
+  return {kSignal};
+}
+
+std::vector<std::string> UnportedHostOp::provides_fields() const {
+  return {kSignal};
+}
+
+void UnportedHostOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                          core::AccelStore* accel, Backend backend) {
+  (void)accel;
+  (void)backend;
+  // Touch the signal (a cheap in-place transform keeps the data flow
+  // real) and charge the declared CPU work.
+  if (ob.has_field(kSignal)) {
+    for (auto& v : ob.field(kSignal).f64()) {
+      v = v * (1.0 + 1e-16);
+    }
+  }
+  const double samples =
+      static_cast<double>(ob.n_detectors() * ob.n_samples());
+  accel::WorkEstimate w;
+  w.flops = flops_per_sample_ * samples;
+  w.bytes_read = bytes_per_sample_ * samples;
+  w.bytes_written = bytes_per_sample_ * samples;
+  w.launches = 1.0;
+  w.parallel_items = samples;
+  w.cpu_vector_eff = 0.60;
+  ctx.charge_host_kernel(name_, w);
+}
+
+}  // namespace toast::kernels

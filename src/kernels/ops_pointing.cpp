@@ -1,0 +1,214 @@
+// Operator wrappers for the pointing-expansion chain: pointing_detector,
+// pixels_healpix, stokes_weights_{IQU,I}.
+
+#include "kernels/cpu.hpp"
+#include "kernels/jax.hpp"
+#include "kernels/omptarget.hpp"
+#include "kernels/operators.hpp"
+#include "kernels/ops_common.hpp"
+
+namespace toast::kernels {
+
+using core::Backend;
+using core::FieldType;
+using core::fields::kBoresight;
+using core::fields::kHwpAngle;
+using core::fields::kPixels;
+using core::fields::kQuats;
+using core::fields::kSharedFlags;
+using core::fields::kWeights;
+using detail::buf;
+using detail::buf_opt;
+
+namespace {
+
+std::span<const std::uint8_t> flag_span(const std::uint8_t* flags,
+                                        std::int64_t n) {
+  return flags == nullptr
+             ? std::span<const std::uint8_t>()
+             : std::span<const std::uint8_t>(flags,
+                                             static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+// --- PointingDetectorOp -----------------------------------------------------
+
+std::vector<std::string> PointingDetectorOp::requires_fields() const {
+  return {kBoresight, kSharedFlags, aux_fields::kFpQuats};
+}
+
+std::vector<std::string> PointingDetectorOp::provides_fields() const {
+  return {kQuats};
+}
+
+void PointingDetectorOp::ensure_fields(core::Observation& ob) {
+  detail::ensure_fp_quats(ob);
+  if (!ob.has_field(kQuats)) {
+    ob.create_detdata(kQuats, FieldType::kF64, 4);
+  }
+}
+
+void PointingDetectorOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                              core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const double* fpq = buf<double>(ob, aux_fields::kFpQuats, accel);
+  const double* bore = buf<double>(ob, kBoresight, accel);
+  const std::uint8_t* flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
+  double* quats = buf<double>(ob, kQuats, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::pointing_detector(
+          {fpq, static_cast<std::size_t>(4 * n_det)},
+          {bore, static_cast<std::size_t>(4 * n_samp)},
+          flag_span(flags, n_samp), kDefaultFlagMask, ivals, n_det, n_samp,
+          {quats, static_cast<std::size_t>(4 * n_det * n_samp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::pointing_detector(fpq, bore, flags, kDefaultFlagMask, ivals,
+                             n_det, n_samp, quats, ctx, accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::pointing_detector(fpq, bore, flags, kDefaultFlagMask, ivals,
+                             n_det, n_samp, quats, ctx);
+      break;
+  }
+}
+
+// --- PixelsHealpixOp --------------------------------------------------------
+
+std::vector<std::string> PixelsHealpixOp::requires_fields() const {
+  return {kQuats, kSharedFlags};
+}
+
+std::vector<std::string> PixelsHealpixOp::provides_fields() const {
+  return {kPixels};
+}
+
+void PixelsHealpixOp::ensure_fields(core::Observation& ob) {
+  if (!ob.has_field(kPixels)) {
+    ob.create_detdata(kPixels, FieldType::kI64, 1);
+  }
+}
+
+void PixelsHealpixOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                           core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const double* quats = buf<double>(ob, kQuats, accel);
+  const std::uint8_t* flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
+  std::int64_t* pixels = buf<std::int64_t>(ob, kPixels, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::pixels_healpix(
+          {quats, static_cast<std::size_t>(4 * n_det * n_samp)},
+          flag_span(flags, n_samp), kDefaultFlagMask, nside_, nest_, ivals,
+          n_det, n_samp,
+          {pixels, static_cast<std::size_t>(n_det * n_samp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::pixels_healpix(quats, flags, kDefaultFlagMask, nside_, nest_,
+                          ivals, n_det, n_samp, pixels, ctx,
+                          accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::pixels_healpix(quats, flags, kDefaultFlagMask, nside_, nest_,
+                          ivals, n_det, n_samp, pixels, ctx);
+      break;
+  }
+}
+
+// --- StokesWeightsIquOp -----------------------------------------------------
+
+std::vector<std::string> StokesWeightsIquOp::requires_fields() const {
+  return {kQuats, kHwpAngle, aux_fields::kPolEff};
+}
+
+std::vector<std::string> StokesWeightsIquOp::provides_fields() const {
+  return {kWeights};
+}
+
+void StokesWeightsIquOp::ensure_fields(core::Observation& ob) {
+  detail::ensure_pol_eff(ob);
+  if (!ob.has_field(kWeights)) {
+    ob.create_detdata(kWeights, FieldType::kF64, 3);
+  }
+}
+
+void StokesWeightsIquOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                              core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const double* quats = buf<double>(ob, kQuats, accel);
+  const double* hwp =
+      use_hwp_ ? buf_opt<double>(ob, kHwpAngle, accel) : nullptr;
+  const double* pol_eff = buf<double>(ob, aux_fields::kPolEff, accel);
+  double* weights = buf<double>(ob, kWeights, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::stokes_weights_iqu(
+          {quats, static_cast<std::size_t>(4 * n_det * n_samp)},
+          hwp == nullptr
+              ? std::span<const double>()
+              : std::span<const double>(hwp, static_cast<std::size_t>(n_samp)),
+          {pol_eff, static_cast<std::size_t>(n_det)}, ivals, n_det, n_samp,
+          {weights, static_cast<std::size_t>(3 * n_det * n_samp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::stokes_weights_iqu(quats, hwp, pol_eff, ivals, n_det, n_samp,
+                              weights, ctx, accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::stokes_weights_iqu(quats, hwp, pol_eff, ivals, n_det, n_samp,
+                              weights, ctx);
+      break;
+  }
+}
+
+// --- StokesWeightsIOp -------------------------------------------------------
+
+std::vector<std::string> StokesWeightsIOp::provides_fields() const {
+  return {kWeights};
+}
+
+void StokesWeightsIOp::ensure_fields(core::Observation& ob) {
+  if (!ob.has_field(kWeights)) {
+    ob.create_detdata(kWeights, FieldType::kF64, 1);
+  }
+}
+
+void StokesWeightsIOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                            core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  double* weights = buf<double>(ob, kWeights, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::stokes_weights_i(
+          ivals, n_det, n_samp,
+          {weights, static_cast<std::size_t>(n_det * n_samp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::stokes_weights_i(ivals, n_det, n_samp, weights, ctx,
+                            accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::stokes_weights_i(ivals, n_det, n_samp, weights, ctx);
+      break;
+  }
+}
+
+}  // namespace toast::kernels

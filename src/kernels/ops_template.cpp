@@ -1,0 +1,192 @@
+// Operator wrappers for the offset-template kernels.
+
+#include "kernels/cpu.hpp"
+#include "kernels/jax.hpp"
+#include "kernels/omptarget.hpp"
+#include "kernels/operators.hpp"
+#include "kernels/ops_common.hpp"
+
+namespace toast::kernels {
+
+using core::Backend;
+using core::FieldType;
+using core::fields::kAmplitudes;
+using core::fields::kSignal;
+using detail::buf;
+
+namespace {
+
+void ensure_amplitudes(core::Observation& ob,
+                       const TemplateOffsetConfig& cfg) {
+  if (!ob.has_field(kAmplitudes)) {
+    ob.create_buffer(kAmplitudes, FieldType::kF64,
+                     ob.n_detectors() * cfg.n_amp_det(ob.n_samples()),
+                     /*scalable=*/true);
+  }
+}
+
+void ensure_offset_var(core::Observation& ob,
+                       const TemplateOffsetConfig& cfg) {
+  if (ob.has_field(aux_fields::kOffsetVar)) {
+    return;
+  }
+  const std::int64_t n_amp_det = cfg.n_amp_det(ob.n_samples());
+  auto& f = ob.create_buffer(aux_fields::kOffsetVar, FieldType::kF64,
+                             ob.n_detectors() * n_amp_det,
+                             /*scalable=*/true);
+  const auto& fp = ob.focalplane();
+  auto out = f.f64();
+  for (std::int64_t d = 0; d < ob.n_detectors(); ++d) {
+    const double net =
+        fp.net.empty() ? 1.0 : fp.net[static_cast<std::size_t>(d)];
+    // Variance of one offset amplitude: step_length samples averaged.
+    const double var = net * net * fp.sample_rate /
+                       static_cast<double>(cfg.step_length);
+    for (std::int64_t a = 0; a < n_amp_det; ++a) {
+      out[static_cast<std::size_t>(d * n_amp_det + a)] = var;
+    }
+  }
+}
+
+}  // namespace
+
+// --- TemplateOffsetAddOp ----------------------------------------------------
+
+std::vector<std::string> TemplateOffsetAddOp::requires_fields() const {
+  return {kAmplitudes, kSignal};
+}
+
+std::vector<std::string> TemplateOffsetAddOp::provides_fields() const {
+  return {kSignal};
+}
+
+void TemplateOffsetAddOp::ensure_fields(core::Observation& ob) {
+  ensure_amplitudes(ob, cfg_);
+  if (!ob.has_field(kSignal)) {
+    ob.create_detdata(kSignal, FieldType::kF64, 1);
+  }
+}
+
+void TemplateOffsetAddOp::exec(core::Observation& ob, core::ExecContext& ctx,
+                               core::AccelStore* accel, Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const std::int64_t n_amp_det = cfg_.n_amp_det(n_samp);
+  const double* amplitudes = buf<double>(ob, kAmplitudes, accel);
+  double* signal = buf<double>(ob, kSignal, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::template_offset_add_to_signal(
+          cfg_.step_length,
+          {amplitudes, static_cast<std::size_t>(n_det * n_amp_det)},
+          n_amp_det, ivals, n_det, n_samp,
+          {signal, static_cast<std::size_t>(n_det * n_samp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::template_offset_add_to_signal(cfg_.step_length, amplitudes,
+                                         n_amp_det, ivals, n_det, n_samp,
+                                         signal, ctx, accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::template_offset_add_to_signal(cfg_.step_length, amplitudes,
+                                         n_amp_det, ivals, n_det, n_samp,
+                                         signal, ctx);
+      break;
+  }
+}
+
+// --- TemplateOffsetProjectOp ------------------------------------------------
+
+std::vector<std::string> TemplateOffsetProjectOp::requires_fields() const {
+  return {kSignal, kAmplitudes};
+}
+
+std::vector<std::string> TemplateOffsetProjectOp::provides_fields() const {
+  return {kAmplitudes};
+}
+
+void TemplateOffsetProjectOp::ensure_fields(core::Observation& ob) {
+  ensure_amplitudes(ob, cfg_);
+}
+
+void TemplateOffsetProjectOp::exec(core::Observation& ob,
+                                   core::ExecContext& ctx,
+                                   core::AccelStore* accel,
+                                   Backend backend) {
+  const std::int64_t n_det = ob.n_detectors();
+  const std::int64_t n_samp = ob.n_samples();
+  const std::int64_t n_amp_det = cfg_.n_amp_det(n_samp);
+  const double* signal = buf<double>(ob, kSignal, accel);
+  double* amplitudes = buf<double>(ob, kAmplitudes, accel);
+  const auto& ivals = ob.intervals();
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::template_offset_project_signal(
+          cfg_.step_length,
+          {signal, static_cast<std::size_t>(n_det * n_samp)}, ivals, n_det,
+          n_samp, {amplitudes, static_cast<std::size_t>(n_det * n_amp_det)},
+          n_amp_det, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::template_offset_project_signal(cfg_.step_length, signal, ivals,
+                                          n_det, n_samp, amplitudes,
+                                          n_amp_det, ctx, accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::template_offset_project_signal(cfg_.step_length, signal, ivals,
+                                          n_det, n_samp, amplitudes,
+                                          n_amp_det, ctx);
+      break;
+  }
+}
+
+// --- TemplateOffsetPrecondOp --------------------------------------------------
+
+std::vector<std::string> TemplateOffsetPrecondOp::requires_fields() const {
+  return {kAmplitudes, aux_fields::kOffsetVar};
+}
+
+std::vector<std::string> TemplateOffsetPrecondOp::provides_fields() const {
+  return {kAmplitudes};
+}
+
+void TemplateOffsetPrecondOp::ensure_fields(core::Observation& ob) {
+  ensure_amplitudes(ob, cfg_);
+  ensure_offset_var(ob, cfg_);
+}
+
+void TemplateOffsetPrecondOp::exec(core::Observation& ob,
+                                   core::ExecContext& ctx,
+                                   core::AccelStore* accel,
+                                   Backend backend) {
+  const std::int64_t n_amp =
+      ob.n_detectors() * cfg_.n_amp_det(ob.n_samples());
+  const double* offset_var = buf<double>(ob, aux_fields::kOffsetVar, accel);
+  double* amplitudes = buf<double>(ob, kAmplitudes, accel);
+
+  switch (backend) {
+    case Backend::kCpu:
+      cpu::template_offset_apply_diag_precond(
+          {offset_var, static_cast<std::size_t>(n_amp)},
+          {amplitudes, static_cast<std::size_t>(n_amp)},
+          {amplitudes, static_cast<std::size_t>(n_amp)}, ctx);
+      break;
+    case Backend::kOmpTarget:
+      omp::template_offset_apply_diag_precond(offset_var, amplitudes, n_amp,
+                                              amplitudes, ctx,
+                                              accel != nullptr);
+      break;
+    case Backend::kJax:
+    case Backend::kJaxCpu:
+      jax::template_offset_apply_diag_precond(offset_var, amplitudes, n_amp,
+                                              amplitudes, ctx);
+      break;
+  }
+}
+
+}  // namespace toast::kernels

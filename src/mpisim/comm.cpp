@@ -1,0 +1,51 @@
+#include "mpisim/comm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace toast::mpisim {
+
+double CommModel::allreduce_seconds(double bytes, int ranks) const {
+  if (ranks <= 1 || bytes <= 0.0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(ranks);
+  return 2.0 * (n - 1.0) / n * bytes / net_.bandwidth +
+         2.0 * (n - 1.0) * net_.latency;
+}
+
+double CommModel::bcast_seconds(double bytes, int ranks) const {
+  if (ranks <= 1 || bytes <= 0.0) {
+    return 0.0;
+  }
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * (net_.latency + bytes / net_.bandwidth);
+}
+
+double CommModel::gather_seconds(double bytes_per_rank, int ranks) const {
+  if (ranks <= 1 || bytes_per_rank <= 0.0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(ranks);
+  return (n - 1.0) * (net_.latency + bytes_per_rank / net_.bandwidth);
+}
+
+std::vector<double> LocalComm::allreduce_sum(
+    const std::vector<std::vector<double>>& contributions) {
+  if (contributions.empty()) {
+    return {};
+  }
+  const std::size_t n = contributions.front().size();
+  std::vector<double> out(n, 0.0);
+  for (const auto& c : contributions) {
+    if (c.size() != n) {
+      throw std::invalid_argument("allreduce_sum: length mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] += c[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace toast::mpisim

@@ -1,0 +1,49 @@
+#pragma once
+
+// Simulated MPI layer: deterministic collective-cost models over a
+// Slingshot-like network, plus a tiny functional communicator for ranks
+// simulated within one process (used by the examples and tests to
+// actually combine per-rank maps).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/specs.hpp"
+
+namespace toast::mpisim {
+
+/// Cost model for the collectives the benchmark uses.
+class CommModel {
+ public:
+  explicit CommModel(accel::NetworkSpec net = accel::slingshot_spec())
+      : net_(net) {}
+
+  /// Ring allreduce: 2 (n-1)/n * bytes / bandwidth + 2 (n-1) * latency.
+  double allreduce_seconds(double bytes, int ranks) const;
+  /// Binomial-tree broadcast.
+  double bcast_seconds(double bytes, int ranks) const;
+  /// Gather to root (root receives (n-1) chunks serially).
+  double gather_seconds(double bytes_per_rank, int ranks) const;
+
+ private:
+  accel::NetworkSpec net_;
+};
+
+/// Functional in-process communicator: ranks deposit buffers, collectives
+/// combine them.  Used where tests / examples need the *values*, not just
+/// the cost.
+class LocalComm {
+ public:
+  explicit LocalComm(int size) : size_(size) {}
+  int size() const { return size_; }
+
+  /// Sum contributions elementwise; all spans must be equal length.
+  static std::vector<double> allreduce_sum(
+      const std::vector<std::vector<double>>& contributions);
+
+ private:
+  int size_;
+};
+
+}  // namespace toast::mpisim

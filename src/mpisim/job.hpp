@@ -1,0 +1,81 @@
+#pragma once
+
+// Job-level simulation: run the paper's benchmark for one configuration
+// (problem size, backend, process count, MPS on/off, staging strategy)
+// and report the modelled job runtime plus per-category timings.
+//
+// One representative rank is executed functionally (all ranks are
+// statistically identical); the job model then composes:
+//   - host lane: everything the rank's virtual clock accrued minus device
+//     execution (serial framework, CPU kernels, dispatch, JIT, transfers),
+//   - device lane: the device-execution seconds of the Q = procs-per-GPU
+//     ranks sharing one GPU (with context-switch penalties when MPS is
+//     off),
+//   - overlap: oversubscription hides host gaps behind other processes'
+//     kernels; with one process per device nothing overlaps,
+//   - a final map-domain allreduce over the network model,
+//   - paper-scale memory-footprint checks that produce the OOM failures
+//     of Figure 4.
+
+#include <string>
+
+#include "accel/sim_device.hpp"
+#include "accel/timelog.hpp"
+#include "bench_model/calibration.hpp"
+#include "bench_model/problem.hpp"
+#include "core/pipeline.hpp"
+#include "core/types.hpp"
+#include "sim/workflow.hpp"
+
+namespace toast::mpisim {
+
+struct JobConfig {
+  bench_model::ProblemSize problem;
+  core::Backend backend = core::Backend::kCpu;
+  /// NVIDIA MPS (required for OpenMP-target oversubscription, §3.1.2).
+  bool mps = true;
+  core::Pipeline::Staging staging = core::Pipeline::Staging::kPipelined;
+  bool jax_preallocate = false;
+  /// Override the workflow (0 keeps the calibrated default).
+  int map_iterations = 0;
+  /// Accelerator specification (defaults to the A100; the extension
+  /// benchmark sweeps other targets).
+  accel::DeviceSpec device_spec = accel::a100_spec();
+  /// OpenMP-target dispatch overhead (compiler-runtime dependent).
+  double omp_dispatch_overhead = 6.0e-6;
+  std::uint64_t seed = 2023;
+};
+
+struct MemoryFootprint {
+  double host_bytes_per_proc = 0.0;
+  double device_bytes_per_proc = 0.0;
+  double host_bytes_per_node = 0.0;
+  double device_bytes_per_gpu = 0.0;
+  bool host_oom = false;
+  bool device_oom = false;
+};
+
+struct JobResult {
+  bool oom = false;
+  std::string oom_reason;
+  /// Modelled job runtime (virtual seconds) at paper scale.
+  double runtime = 0.0;
+  /// Decomposition of the representative rank.
+  double host_seconds = 0.0;
+  double device_seconds = 0.0;      // one rank, exclusive
+  double device_busy_per_gpu = 0.0; // all ranks sharing the GPU
+  double transfer_seconds = 0.0;
+  double comm_seconds = 0.0;
+  /// Per-category virtual time of the representative rank.
+  accel::TimeLog rank_log;
+  MemoryFootprint memory;
+};
+
+/// Paper-scale memory footprints for a configuration (also used alone by
+/// the Figure 4 bench to annotate OOM points).
+MemoryFootprint estimate_memory(const JobConfig& cfg);
+
+/// Run the benchmark job.
+JobResult run_benchmark_job(const JobConfig& cfg);
+
+}  // namespace toast::mpisim

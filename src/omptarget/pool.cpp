@@ -1,0 +1,63 @@
+#include "omptarget/pool.hpp"
+
+#include <algorithm>
+
+namespace toast::omptarget {
+
+DevicePool::~DevicePool() { release_all(); }
+
+std::size_t DevicePool::size_class(std::size_t bytes) {
+  std::size_t c = 64;
+  while (c < bytes) {
+    c <<= 1;
+  }
+  return c;
+}
+
+DevicePtr DevicePool::allocate(std::size_t bytes, double& cost_seconds) {
+  const std::size_t cls = size_class(bytes);
+  auto& list = free_lists_[cls];
+  DevicePtr ptr;
+  ptr.bytes = cls;
+  if (!list.empty()) {
+    ptr.id = list.back();
+    list.pop_back();
+    pooled_ -= cls;
+    ++hits_;
+    cost_seconds = 0.0;
+  } else {
+    device_.allocate(cls);
+    ptr.id = next_id_++;
+    ++misses_;
+    cost_seconds = raw_alloc_cost_;
+  }
+  live_[ptr.id] = cls;
+  in_use_ += cls;
+  high_water_ = std::max(high_water_, in_use_ + pooled_);
+  return ptr;
+}
+
+void DevicePool::release(DevicePtr ptr) {
+  const auto it = live_.find(ptr.id);
+  if (it == live_.end()) {
+    return;  // double release is a no-op
+  }
+  const std::size_t cls = it->second;
+  live_.erase(it);
+  in_use_ -= cls;
+  pooled_ += cls;
+  free_lists_[cls].push_back(ptr.id);
+}
+
+void DevicePool::release_all() {
+  for (auto& [cls, list] : free_lists_) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      device_.deallocate(cls);
+    }
+    list.clear();
+  }
+  pooled_ = 0;
+  // Live allocations stay live; callers must release them first.
+}
+
+}  // namespace toast::omptarget

@@ -1,0 +1,190 @@
+#include "omptarget/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace toast::omptarget {
+
+void Runtime::data_create(const void* host, std::size_t bytes) {
+  if (mapped_.count(host) != 0) {
+    throw std::logic_error("omptarget: buffer already mapped");
+  }
+  double alloc_cost = 0.0;
+  Mapping m;
+  m.dptr = pool_.allocate(bytes, alloc_cost);
+  m.shadow.resize(bytes);
+  mapped_.emplace(host, std::move(m));
+  clock_.advance(alloc_cost);
+  log_.add("accel_data_create", alloc_cost);
+}
+
+void Runtime::data_update_device(const void* host) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    throw std::logic_error("omptarget: update_device on unmapped buffer");
+  }
+  std::memcpy(it->second.shadow.data(), host, it->second.shadow.size());
+  const double t = device_.transfer_time(
+      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  clock_.advance(t);
+  log_.add("accel_data_update_device", t);
+}
+
+void Runtime::data_update_device_async(const void* host) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    throw std::logic_error("omptarget: async update on unmapped buffer");
+  }
+  std::memcpy(it->second.shadow.data(), host, it->second.shadow.size());
+  const double t = device_.transfer_time(
+      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  // Transfers serialize with each other on the PCIe link, but overlap
+  // with compute until the synchronization point.
+  const double start = std::max(clock_.now(), pending_complete_);
+  pending_complete_ = start + t;
+  log_.add("accel_data_update_device_async", t);
+}
+
+void Runtime::wait_transfers() {
+  if (pending_complete_ > clock_.now()) {
+    const double wait = pending_complete_ - clock_.now();
+    clock_.advance(wait);
+    log_.add("accel_transfer_wait", wait);
+  }
+  pending_complete_ = 0.0;
+}
+
+void Runtime::data_update_host(const void* host) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    throw std::logic_error("omptarget: update_host on unmapped buffer");
+  }
+  std::memcpy(const_cast<void*>(host), it->second.shadow.data(),
+              it->second.shadow.size());
+  const double t = device_.transfer_time(
+      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  clock_.advance(t);
+  log_.add("accel_data_update_host", t);
+}
+
+void Runtime::data_reset(const void* host) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    throw std::logic_error("omptarget: reset on unmapped buffer");
+  }
+  std::memset(it->second.shadow.data(), 0, it->second.shadow.size());
+  const double t = device_.fill_time(
+      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  clock_.advance(t);
+  log_.add("accel_data_reset", t);
+}
+
+void Runtime::data_delete(const void* host) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    return;
+  }
+  pool_.release(it->second.dptr);
+  mapped_.erase(it);
+  log_.add("accel_data_delete", 0.0);
+}
+
+bool Runtime::data_present(const void* host) const {
+  return mapped_.count(host) != 0;
+}
+
+std::size_t Runtime::data_bytes(const void* host) const {
+  const auto it = mapped_.find(host);
+  return it == mapped_.end() ? 0 : it->second.shadow.size();
+}
+
+void* Runtime::raw_device_ptr(const void* host) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    throw std::logic_error(
+        "omptarget: device_ptr on unmapped buffer (missing data_create)");
+  }
+  return it->second.shadow.data();
+}
+
+accel::WorkEstimate Runtime::charge(const std::string& name, double executed,
+                                    double cut, double total_items,
+                                    const IterCost& cost) {
+  accel::WorkEstimate w;
+  w.flops = executed * cost.flops + cut * cost.guard_flops;
+  w.bytes_read = executed * cost.bytes_read;
+  w.bytes_written = executed * cost.bytes_written;
+  w.launches = 1.0;
+  w.parallel_items = total_items;
+  w.divergence = cost.divergence;
+  w.atomic_ops = executed * cost.atomic_ops;
+  w.atomic_conflict_rate = cost.atomic_conflict_rate;
+
+  const accel::WorkEstimate scaled = w.scaled(work_scale_);
+  const double t = device_.exec_time(scaled) + dispatch_overhead_;
+  device_.note_execution(scaled, t);
+  clock_.advance(t);
+  log_.add(name, t);
+  return scaled;
+}
+
+accel::WorkEstimate Runtime::target_for_collapse3(
+    const std::string& name, std::int64_t na, std::int64_t nb,
+    std::int64_t nc, const IterCost& cost,
+    const std::function<bool(std::int64_t, std::int64_t, std::int64_t)>&
+        body) {
+  double executed = 0.0;
+  double cut = 0.0;
+  for (std::int64_t a = 0; a < na; ++a) {
+    for (std::int64_t b = 0; b < nb; ++b) {
+      for (std::int64_t c = 0; c < nc; ++c) {
+        if (body(a, b, c)) {
+          executed += 1.0;
+        } else {
+          cut += 1.0;
+        }
+      }
+    }
+  }
+  return charge(name, executed, cut,
+                static_cast<double>(na) * static_cast<double>(nb) *
+                    static_cast<double>(nc),
+                cost);
+}
+
+accel::WorkEstimate Runtime::target_for(
+    const std::string& name, std::int64_t n, const IterCost& cost,
+    const std::function<bool(std::int64_t)>& body) {
+  double executed = 0.0;
+  double cut = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (body(i)) {
+      executed += 1.0;
+    } else {
+      cut += 1.0;
+    }
+  }
+  return charge(name, executed, cut, static_cast<double>(n), cost);
+}
+
+ScopedDataRegion::ScopedDataRegion(Runtime& rt, std::vector<MapSpec> maps)
+    : rt_(rt), maps_(std::move(maps)) {
+  for (const auto& m : maps_) {
+    rt_.data_create(m.host, m.bytes);
+    if (m.to_device) {
+      rt_.data_update_device(m.host);
+    }
+  }
+}
+
+ScopedDataRegion::~ScopedDataRegion() {
+  for (const auto& m : maps_) {
+    if (m.from_device) {
+      rt_.data_update_host(m.host);
+    }
+    rt_.data_delete(m.host);
+  }
+}
+
+}  // namespace toast::omptarget

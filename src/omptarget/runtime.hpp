@@ -1,0 +1,169 @@
+#pragma once
+
+// Mini OpenMP Target Offload runtime.
+//
+// Reproduces the structure of the paper's OpenMP port (§3.1.2):
+//   - a host<->device pointer association table with explicit
+//     update_device / update_host / reset operations (TOAST's accel data
+//     API, implemented over omp_target_alloc + the memory pool);
+//   - a launch entry point modelling
+//       #pragma omp target teams distribute parallel for collapse(3)
+//     over (detector, interval, padded-sample) index space with the
+//     guard-cut pattern: iterations beyond the true interval length return
+//     without doing work, and only the guard test is charged.
+//
+// Functional execution happens on the host against *device shadow copies*
+// of the mapped buffers: a kernel that runs before its inputs were
+// update_device()'d sees stale data, exactly like a real offload bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/sim_device.hpp"
+#include "accel/timelog.hpp"
+#include "accel/work.hpp"
+#include "omptarget/pool.hpp"
+
+namespace toast::omptarget {
+
+/// Per-iteration cost declaration for a target region.  OpenMP Target
+/// Offload has no view of the loop body, so (like a performance engineer
+/// reasoning about a kernel) the port declares its per-iteration work;
+/// tests cross-check these declarations against the mini-XLA's counted
+/// costs.
+struct IterCost {
+  double flops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  /// Cost of an iteration cut by the interval guard (just the test).
+  double guard_flops = 2.0;
+  /// Longest-path multiplier for divergent branches inside the body; SIMT
+  /// warps pay the longest taken path, not the sum of all paths.
+  double divergence = 1.0;
+  /// Atomic updates per executed iteration and their conflict rate.
+  double atomic_ops = 0.0;
+  double atomic_conflict_rate = 0.0;
+};
+
+class Runtime {
+ public:
+  Runtime(accel::SimDevice& device, accel::VirtualClock& clock,
+          accel::TimeLog& log)
+      : device_(device), clock_(clock), log_(log), pool_(device) {}
+
+  accel::SimDevice& device() { return device_; }
+  accel::VirtualClock& clock() { return clock_; }
+  accel::TimeLog& log() { return log_; }
+  DevicePool& pool() { return pool_; }
+
+  /// Host-side cost of submitting one target region (OpenMP runtime +
+  /// driver).  Lower than the JAX dispatch path, which is one of the
+  /// paper's findings (§4.1, footnote 10).
+  double dispatch_overhead() const { return dispatch_overhead_; }
+  void set_dispatch_overhead(double s) { dispatch_overhead_ = s; }
+
+  /// Ratio of paper-scale work to functionally executed work; multiplies
+  /// work estimates and transfer sizes before they reach the clocks.
+  double work_scale() const { return work_scale_; }
+  void set_work_scale(double s) { work_scale_ = s; }
+
+  // --- data environment (TOAST accel data API over map clauses) ---------
+
+  /// Map a host buffer to the device: allocates a device shadow copy.
+  void data_create(const void* host, std::size_t bytes);
+  /// Copy host -> device shadow.
+  void data_update_device(const void* host);
+  /// The `nowait` form (paper §2.2.2: compilers attempt asynchronous data
+  /// movement, but overlapping it with execution needs explicit
+  /// dependencies).  The copy happens functionally at once; its modelled
+  /// cost overlaps subsequent launches until wait_transfers().
+  void data_update_device_async(const void* host);
+  /// Synchronize queued async transfers: charges only the portion of the
+  /// transfer time not already hidden behind work submitted since.
+  void wait_transfers();
+  /// Completion time (virtual clock) of the queued transfers.
+  double pending_transfer_completion() const { return pending_complete_; }
+  /// Copy device shadow -> host.
+  void data_update_host(const void* host);
+  /// Zero the device shadow (device-side memset).
+  void data_reset(const void* host);
+  /// Unmap and release the device shadow.
+  void data_delete(const void* host);
+  bool data_present(const void* host) const;
+  std::size_t data_bytes(const void* host) const;
+
+  /// Device address of a mapped buffer (the shadow copy), typed.  Throws
+  /// if the buffer is not mapped — the moral equivalent of an offload
+  /// segfault, but diagnosable.
+  template <typename T>
+  T* device_ptr(const T* host) {
+    return static_cast<T*>(raw_device_ptr(host));
+  }
+
+  // --- kernel launch -----------------------------------------------------
+
+  /// #pragma omp target teams distribute parallel for collapse(3).
+  ///
+  /// Executes body(a, b, c) over [0,na) x [0,nb) x [0,nc); the body returns
+  /// false when the interval guard cut the iteration.  Charges the device
+  /// model with the measured executed/cut mix and logs the virtual time
+  /// under `name`.  Returns the (scaled) work estimate for inspection.
+  accel::WorkEstimate target_for_collapse3(
+      const std::string& name, std::int64_t na, std::int64_t nb,
+      std::int64_t nc, const IterCost& cost,
+      const std::function<bool(std::int64_t, std::int64_t, std::int64_t)>&
+          body);
+
+  /// Single collapsed loop (used by the amplitude-space kernels).
+  accel::WorkEstimate target_for(
+      const std::string& name, std::int64_t n, const IterCost& cost,
+      const std::function<bool(std::int64_t)>& body);
+
+ private:
+  void* raw_device_ptr(const void* host);
+  accel::WorkEstimate charge(const std::string& name, double executed,
+                             double cut, double total_items,
+                             const IterCost& cost);
+
+  struct Mapping {
+    DevicePtr dptr;
+    std::vector<std::byte> shadow;
+  };
+
+  accel::SimDevice& device_;
+  accel::VirtualClock& clock_;
+  accel::TimeLog& log_;
+  DevicePool pool_;
+  std::map<const void*, Mapping> mapped_;
+  double dispatch_overhead_ = 6.0e-6;
+  double work_scale_ = 1.0;
+  double pending_complete_ = 0.0;
+};
+
+/// RAII form of "#pragma omp target data map(...)": maps a set of host
+/// buffers on entry and unmaps them on exit, optionally copying in/out.
+class ScopedDataRegion {
+ public:
+  struct MapSpec {
+    const void* host = nullptr;
+    std::size_t bytes = 0;
+    bool to_device = false;    // map(to:) / map(tofrom:)
+    bool from_device = false;  // map(from:) / map(tofrom:)
+  };
+
+  ScopedDataRegion(Runtime& rt, std::vector<MapSpec> maps);
+  ~ScopedDataRegion();
+
+  ScopedDataRegion(const ScopedDataRegion&) = delete;
+  ScopedDataRegion& operator=(const ScopedDataRegion&) = delete;
+
+ private:
+  Runtime& rt_;
+  std::vector<MapSpec> maps_;
+};
+
+}  // namespace toast::omptarget

@@ -1,0 +1,202 @@
+#include "qarray/qarray.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace toast::qarray {
+
+double norm(const Quat& q) {
+  return std::sqrt(q[0] * q[0] + q[1] * q[1] + q[2] * q[2] + q[3] * q[3]);
+}
+
+Quat normalize(const Quat& q) {
+  const double n = norm(q);
+  if (n == 0.0) {
+    return Quat{0.0, 0.0, 0.0, 1.0};
+  }
+  const double inv = 1.0 / n;
+  return Quat{q[0] * inv, q[1] * inv, q[2] * inv, q[3] * inv};
+}
+
+Quat mult(const Quat& p, const Quat& q) {
+  // Scalar-last Hamilton product.
+  return Quat{
+      p[3] * q[0] + p[0] * q[3] + p[1] * q[2] - p[2] * q[1],
+      p[3] * q[1] - p[0] * q[2] + p[1] * q[3] + p[2] * q[0],
+      p[3] * q[2] + p[0] * q[1] - p[1] * q[0] + p[2] * q[3],
+      p[3] * q[3] - p[0] * q[0] - p[1] * q[1] - p[2] * q[2],
+  };
+}
+
+Quat conj(const Quat& q) { return Quat{-q[0], -q[1], -q[2], q[3]}; }
+
+Vec3 rotate(const Quat& q, const Vec3& v) {
+  // v' = v + 2 * qv x (qv x v + w v), the standard expansion avoiding two
+  // full quaternion products.
+  const double qx = q[0], qy = q[1], qz = q[2], qw = q[3];
+  const double tx = 2.0 * (qy * v[2] - qz * v[1]);
+  const double ty = 2.0 * (qz * v[0] - qx * v[2]);
+  const double tz = 2.0 * (qx * v[1] - qy * v[0]);
+  return Vec3{
+      v[0] + qw * tx + (qy * tz - qz * ty),
+      v[1] + qw * ty + (qz * tx - qx * tz),
+      v[2] + qw * tz + (qx * ty - qy * tx),
+  };
+}
+
+Quat from_axisangle(const Vec3& axis, double angle) {
+  const double half = 0.5 * angle;
+  const double s = std::sin(half);
+  return Quat{axis[0] * s, axis[1] * s, axis[2] * s, std::cos(half)};
+}
+
+Quat from_iso_angles(double theta, double phi, double psi) {
+  // R_z(phi) * R_y(theta) * R_z(psi) in quaternion form.
+  const Quat qphi = from_axisangle(Vec3{0.0, 0.0, 1.0}, phi);
+  const Quat qtheta = from_axisangle(Vec3{0.0, 1.0, 0.0}, theta);
+  const Quat qpsi = from_axisangle(Vec3{0.0, 0.0, 1.0}, psi);
+  return mult(mult(qphi, qtheta), qpsi);
+}
+
+void to_iso_angles(const Quat& qin, double& theta, double& phi, double& psi) {
+  const Quat q = normalize(qin);
+  // Direction of the rotated z-axis gives theta/phi.
+  const Vec3 dir = rotate(q, Vec3{0.0, 0.0, 1.0});
+  theta = std::acos(std::clamp(dir[2], -1.0, 1.0));
+  phi = std::atan2(dir[1], dir[0]);
+  // Orientation: rotated x-axis projected on the tangent plane gives psi.
+  const Vec3 xax = rotate(q, Vec3{1.0, 0.0, 0.0});
+  // Local meridian (d/dtheta) and parallel (d/dphi) unit vectors.
+  const double ct = std::cos(theta), st = std::sin(theta);
+  const double cp = std::cos(phi), sp = std::sin(phi);
+  const Vec3 etheta{ct * cp, ct * sp, -st};
+  const Vec3 ephi{-sp, cp, 0.0};
+  const double x = xax[0] * etheta[0] + xax[1] * etheta[1] + xax[2] * etheta[2];
+  const double y = xax[0] * ephi[0] + xax[1] * ephi[1] + xax[2] * ephi[2];
+  psi = std::atan2(y, x);
+}
+
+Quat slerp(const Quat& a, const Quat& b, double t) {
+  double cosom = a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+  Quat bb = b;
+  if (cosom < 0.0) {
+    cosom = -cosom;
+    for (auto& c : bb) c = -c;
+  }
+  double s0 = 1.0 - t;
+  double s1 = t;
+  if (cosom < 0.9995) {
+    const double omega = std::acos(std::clamp(cosom, -1.0, 1.0));
+    const double so = std::sin(omega);
+    s0 = std::sin(s0 * omega) / so;
+    s1 = std::sin(s1 * omega) / so;
+  }
+  return normalize(Quat{
+      s0 * a[0] + s1 * bb[0],
+      s0 * a[1] + s1 * bb[1],
+      s0 * a[2] + s1 * bb[2],
+      s0 * a[3] + s1 * bb[3],
+  });
+}
+
+Quat from_vectors(const Vec3& a, const Vec3& b) {
+  const double dot = a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+  Vec3 cross{a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+             a[0] * b[1] - a[1] * b[0]};
+  if (dot < -1.0 + 1e-12) {
+    // Antiparallel: rotate pi about any axis perpendicular to a.
+    Vec3 axis = std::abs(a[0]) < 0.9 ? Vec3{1.0, 0.0, 0.0}
+                                     : Vec3{0.0, 1.0, 0.0};
+    // Make perpendicular via Gram-Schmidt.
+    const double proj = axis[0] * a[0] + axis[1] * a[1] + axis[2] * a[2];
+    for (int i = 0; i < 3; ++i) {
+      axis[static_cast<std::size_t>(i)] -=
+          proj * a[static_cast<std::size_t>(i)];
+    }
+    const double n = std::sqrt(axis[0] * axis[0] + axis[1] * axis[1] +
+                               axis[2] * axis[2]);
+    return Quat{axis[0] / n, axis[1] / n, axis[2] / n, 0.0};
+  }
+  return normalize(Quat{cross[0], cross[1], cross[2], 1.0 + dot});
+}
+
+std::array<double, 9> to_rotmat(const Quat& q) {
+  const double x = q[0], y = q[1], z = q[2], w = q[3];
+  return {1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z),
+          2.0 * (x * z + w * y),
+          2.0 * (x * y + w * z),       1.0 - 2.0 * (x * x + z * z),
+          2.0 * (y * z - w * x),
+          2.0 * (x * z - w * y),       2.0 * (y * z + w * x),
+          1.0 - 2.0 * (x * x + y * y)};
+}
+
+void mult_many(std::span<const double> p, std::span<const double> q,
+               std::span<double> out) {
+  assert(p.size() == q.size() && p.size() == out.size());
+  const std::size_t n = p.size() / 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat pi{p[4 * i], p[4 * i + 1], p[4 * i + 2], p[4 * i + 3]};
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Quat r = mult(pi, qi);
+    out[4 * i] = r[0];
+    out[4 * i + 1] = r[1];
+    out[4 * i + 2] = r[2];
+    out[4 * i + 3] = r[3];
+  }
+}
+
+void mult_one_many(const Quat& p, std::span<const double> q,
+                   std::span<double> out) {
+  assert(q.size() == out.size());
+  const std::size_t n = q.size() / 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Quat r = mult(p, qi);
+    out[4 * i] = r[0];
+    out[4 * i + 1] = r[1];
+    out[4 * i + 2] = r[2];
+    out[4 * i + 3] = r[3];
+  }
+}
+
+void mult_many_one(std::span<const double> p, const Quat& q,
+                   std::span<double> out) {
+  assert(p.size() == out.size());
+  const std::size_t n = p.size() / 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat pi{p[4 * i], p[4 * i + 1], p[4 * i + 2], p[4 * i + 3]};
+    const Quat r = mult(pi, q);
+    out[4 * i] = r[0];
+    out[4 * i + 1] = r[1];
+    out[4 * i + 2] = r[2];
+    out[4 * i + 3] = r[3];
+  }
+}
+
+void rotate_many_one(std::span<const double> q, const Vec3& v,
+                     std::span<double> out) {
+  const std::size_t n = q.size() / 4;
+  assert(out.size() == 3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Vec3 r = rotate(qi, v);
+    out[3 * i] = r[0];
+    out[3 * i + 1] = r[1];
+    out[3 * i + 2] = r[2];
+  }
+}
+
+void normalize_inplace(std::span<double> q) {
+  const std::size_t n = q.size() / 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Quat r = normalize(qi);
+    q[4 * i] = r[0];
+    q[4 * i + 1] = r[1];
+    q[4 * i + 2] = r[2];
+    q[4 * i + 3] = r[3];
+  }
+}
+
+}  // namespace toast::qarray

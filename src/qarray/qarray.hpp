@@ -1,0 +1,76 @@
+#pragma once
+
+// Quaternion array operations used by the pointing-expansion kernels.
+//
+// Conventions follow TOAST's qarray module: a quaternion is stored as four
+// contiguous doubles (x, y, z, w) with the scalar part LAST.  Array variants
+// operate on n contiguous quaternions (row-major n x 4).
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace toast::qarray {
+
+using Quat = std::array<double, 4>;
+using Vec3 = std::array<double, 3>;
+
+/// Euclidean norm of a quaternion.
+double norm(const Quat& q);
+
+/// Return q scaled to unit norm.  A zero quaternion yields the identity.
+Quat normalize(const Quat& q);
+
+/// Hamilton product r = p * q (scalar-last convention).
+Quat mult(const Quat& p, const Quat& q);
+
+/// Conjugate (inverse for unit quaternions).
+Quat conj(const Quat& q);
+
+/// Rotate vector v by unit quaternion q.
+Vec3 rotate(const Quat& q, const Vec3& v);
+
+/// Quaternion representing a rotation of `angle` radians about unit `axis`.
+Quat from_axisangle(const Vec3& axis, double angle);
+
+/// Rotation taking the z-axis to the direction given by ISO spherical
+/// coordinates (theta = colatitude, phi = longitude), then rotating by
+/// `psi` about the resulting direction (position angle).
+Quat from_iso_angles(double theta, double phi, double psi);
+
+/// Recover (theta, phi, psi) from a unit quaternion produced as above.
+void to_iso_angles(const Quat& q, double& theta, double& phi, double& psi);
+
+/// Spherical linear interpolation between unit quaternions (t in [0,1]).
+Quat slerp(const Quat& a, const Quat& b, double t);
+
+/// The rotation taking unit vector `a` onto unit vector `b` (shortest
+/// arc).  Antiparallel inputs rotate about any perpendicular axis.
+Quat from_vectors(const Vec3& a, const Vec3& b);
+
+/// 3x3 rotation matrix (row-major) of a unit quaternion.
+std::array<double, 9> to_rotmat(const Quat& q);
+
+// --- Array variants (n quaternions, contiguous n x 4 storage) ------------
+
+/// out[i] = p[i] * q[i].  All spans must hold 4*n doubles.
+void mult_many(std::span<const double> p, std::span<const double> q,
+               std::span<double> out);
+
+/// out[i] = p * q[i] for a fixed left operand.
+void mult_one_many(const Quat& p, std::span<const double> q,
+                   std::span<double> out);
+
+/// out[i] = p[i] * q for a fixed right operand.
+void mult_many_one(std::span<const double> p, const Quat& q,
+                   std::span<double> out);
+
+/// Rotate the single vector v by each quaternion; out holds 3*n doubles.
+void rotate_many_one(std::span<const double> q, const Vec3& v,
+                     std::span<double> out);
+
+/// Normalize each quaternion in place.
+void normalize_inplace(std::span<double> q);
+
+}  // namespace toast::qarray

@@ -1,0 +1,112 @@
+#include "rng/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace toast::rng {
+
+namespace {
+
+// Threefry-2x64 rotation constants (from the Threefish cipher family).
+constexpr std::array<unsigned, 8> kRot = {16, 42, 12, 31, 16, 32, 24, 21};
+constexpr std::uint64_t kParity = 0x1BD11BDAA9FC1A22ULL;
+
+inline std::uint64_t rotl64(std::uint64_t x, unsigned r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Convert a 64-bit word to a double in [0, 1) with 53 bits of precision.
+inline double to_unit_double(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::array<std::uint64_t, 2> threefry2x64(
+    const std::array<std::uint64_t, 2>& key,
+    const std::array<std::uint64_t, 2>& counter) {
+  const std::array<std::uint64_t, 3> ks = {key[0], key[1],
+                                           kParity ^ key[0] ^ key[1]};
+  std::uint64_t x0 = counter[0] + ks[0];
+  std::uint64_t x1 = counter[1] + ks[1];
+  // 20 rounds with key injection every 4 rounds.
+  for (unsigned round = 0; round < 20; ++round) {
+    x0 += x1;
+    x1 = rotl64(x1, kRot[round % 8]);
+    x1 ^= x0;
+    if ((round + 1) % 4 == 0) {
+      const unsigned s = (round + 1) / 4;
+      x0 += ks[s % 3];
+      x1 += ks[(s + 1) % 3] + s;
+    }
+  }
+  return {x0, x1};
+}
+
+void RngStream::bits(std::span<std::uint64_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const auto block = threefry2x64(key_, counter_);
+    out[i] = block[0];
+    if (i + 1 < out.size()) {
+      out[i + 1] = block[1];
+    }
+    counter_[1] += 1;
+    i += 2;
+  }
+}
+
+void RngStream::uniform_01(std::span<double> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const auto block = threefry2x64(key_, counter_);
+    out[i] = to_unit_double(block[0]);
+    if (i + 1 < out.size()) {
+      out[i + 1] = to_unit_double(block[1]);
+    }
+    counter_[1] += 1;
+    i += 2;
+  }
+}
+
+void RngStream::uniform_m11(std::span<double> out) {
+  uniform_01(out);
+  for (auto& v : out) {
+    v = 2.0 * v - 1.0;
+  }
+}
+
+void RngStream::gaussian(std::span<double> out) {
+  // Box-Muller on pairs of uniforms.  The first uniform is mapped away from
+  // exactly zero so the log is finite.
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const auto block = threefry2x64(key_, counter_);
+    counter_[1] += 1;
+    const double u1 = to_unit_double(block[0]);
+    const double u2 = to_unit_double(block[1]);
+    const double r = std::sqrt(-2.0 * std::log1p(-u1));
+    const double a = 2.0 * std::numbers::pi * u2;
+    out[i] = r * std::cos(a);
+    if (i + 1 < out.size()) {
+      out[i + 1] = r * std::sin(a);
+    }
+    i += 2;
+  }
+}
+
+void random_uniform_01(std::uint64_t key1, std::uint64_t key2,
+                       std::uint64_t counter1, std::uint64_t counter2,
+                       std::span<double> out) {
+  RngStream stream({key1, key2}, {counter1, counter2});
+  stream.uniform_01(out);
+}
+
+void random_gaussian(std::uint64_t key1, std::uint64_t key2,
+                     std::uint64_t counter1, std::uint64_t counter2,
+                     std::span<double> out) {
+  RngStream stream({key1, key2}, {counter1, counter2});
+  stream.gaussian(out);
+}
+
+}  // namespace toast::rng

@@ -1,0 +1,63 @@
+#pragma once
+
+// Counter-based random number generation (Threefry-2x64), modelled on the
+// random123 generator TOAST uses.  Counter-based RNGs are the natural choice
+// for reproducible, massively parallel noise simulation: any (key, counter)
+// pair can be evaluated independently, so detector i / sample j always sees
+// the same value regardless of process decomposition.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace toast::rng {
+
+/// One 2x64 Threefry block: two 64-bit words of key, two of counter,
+/// producing two 64-bit outputs.  20 rounds (the recommended safe margin).
+std::array<std::uint64_t, 2> threefry2x64(
+    const std::array<std::uint64_t, 2>& key,
+    const std::array<std::uint64_t, 2>& counter);
+
+/// A seekable stream view over the Threefry generator.
+///
+/// `key` identifies the logical stream (e.g. {telescope, observation}) and
+/// `counter[0]` a sub-stream (e.g. detector); `counter[1]` indexes the
+/// position inside the stream and is advanced by the fill functions.
+class RngStream {
+ public:
+  RngStream(std::array<std::uint64_t, 2> key,
+            std::array<std::uint64_t, 2> counter)
+      : key_(key), counter_(counter) {}
+
+  /// Uniform doubles in [0, 1).
+  void uniform_01(std::span<double> out);
+
+  /// Uniform doubles in [-1, 1).
+  void uniform_m11(std::span<double> out);
+
+  /// Standard normal deviates via Box-Muller.
+  void gaussian(std::span<double> out);
+
+  /// Raw 64-bit words.
+  void bits(std::span<std::uint64_t> out);
+
+  /// Skip ahead `n` positions without generating output.
+  void skip(std::uint64_t n) { counter_[1] += n; }
+
+  std::array<std::uint64_t, 2> counter() const { return counter_; }
+
+ private:
+  std::array<std::uint64_t, 2> key_;
+  std::array<std::uint64_t, 2> counter_;
+};
+
+/// Convenience one-shot fills matching TOAST's functional rng API.
+void random_uniform_01(std::uint64_t key1, std::uint64_t key2,
+                       std::uint64_t counter1, std::uint64_t counter2,
+                       std::span<double> out);
+void random_gaussian(std::uint64_t key1, std::uint64_t key2,
+                     std::uint64_t counter1, std::uint64_t counter2,
+                     std::span<double> out);
+
+}  // namespace toast::rng

@@ -1,0 +1,108 @@
+#include "sim/ground.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "qarray/qarray.hpp"
+#include "rng/rng.hpp"
+
+namespace toast::sim {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kEarthRotation = 2.0 * std::numbers::pi / 86164.0;  // rad/s
+}  // namespace
+
+core::Observation simulate_ground(const std::string& name,
+                                  const core::Focalplane& fp,
+                                  std::int64_t n_samples,
+                                  const GroundScanParams& params,
+                                  std::uint64_t seed) {
+  core::Observation ob(name, fp, n_samples);
+
+  auto& times = ob.create_shared(core::fields::kTimes, core::FieldType::kF64);
+  auto& bore =
+      ob.create_shared(core::fields::kBoresight, core::FieldType::kF64, 4);
+  auto& hwp =
+      ob.create_shared(core::fields::kHwpAngle, core::FieldType::kF64);
+  auto& flags =
+      ob.create_shared(core::fields::kSharedFlags, core::FieldType::kU8);
+
+  const double dt = 1.0 / params.sample_rate;
+  const double az0 = params.azimuth_center_deg * kDegToRad;
+  const double half_throw = 0.5 * params.azimuth_throw_deg * kDegToRad;
+  const double el = params.elevation_deg * kDegToRad;
+  const double lat = params.site_latitude_deg * kDegToRad;
+  const double az_rate = params.scan_rate_deg_s * kDegToRad;
+  const double sweep_seconds = 2.0 * half_throw / az_rate;
+
+  // Per-sweep turnaround jitter so interval lengths genuinely vary.
+  rng::RngStream jitter({seed, 0x6E0D}, {0, 0});
+
+  const qarray::Vec3 yaxis{0.0, 1.0, 0.0};
+  const qarray::Vec3 zaxis{0.0, 0.0, 1.0};
+  // Horizon frame -> celestial frame: tilt by the co-latitude.
+  const auto q_site = qarray::from_axisangle(yaxis, kPi / 2.0 - lat);
+
+  auto t_span = times.f64();
+  auto b_span = bore.f64();
+  auto h_span = hwp.f64();
+  auto f_span = flags.u8();
+
+  std::int64_t sweep_index = -1;
+  double sweep_turnaround = params.turnaround_fraction;
+  std::int64_t interval_start = -1;
+
+  for (std::int64_t s = 0; s < n_samples; ++s) {
+    const double t = static_cast<double>(s) * dt;
+    t_span[static_cast<std::size_t>(s)] = t;
+
+    // Triangle wave in azimuth.
+    const double phase = std::fmod(t, 2.0 * sweep_seconds) / sweep_seconds;
+    const double tri = phase < 1.0 ? 2.0 * phase - 1.0 : 3.0 - 2.0 * phase;
+    const double az = az0 + half_throw * tri;
+
+    // New sweep?  Draw its turnaround fraction.
+    const auto this_sweep = static_cast<std::int64_t>(t / sweep_seconds);
+    if (this_sweep != sweep_index) {
+      sweep_index = this_sweep;
+      std::array<double, 2> u{};
+      jitter.uniform_01(u);
+      sweep_turnaround =
+          params.turnaround_fraction * (0.5 + 1.5 * u[0]);
+    }
+    // Within-sweep position in [0,1); turnaround at both ends.
+    const double sweep_pos = std::fmod(t, sweep_seconds) / sweep_seconds;
+    const bool turning = sweep_pos < 0.5 * sweep_turnaround ||
+                         sweep_pos > 1.0 - 0.5 * sweep_turnaround;
+    f_span[static_cast<std::size_t>(s)] = turning ? 1 : 0;
+
+    // Interval bookkeeping: one interval per unflagged stretch.
+    if (!turning && interval_start < 0) {
+      interval_start = s;
+    }
+    if ((turning || s == n_samples - 1) && interval_start >= 0) {
+      ob.intervals().push_back({interval_start, turning ? s : s + 1});
+      interval_start = -1;
+    }
+
+    // Horizon pointing: R_z(-az) * R_y(pi/2 - el) takes z to (az, el).
+    auto q_h = qarray::mult(qarray::from_axisangle(zaxis, -az),
+                            qarray::from_axisangle(yaxis, kPi / 2.0 - el));
+    // Sky rotation and site orientation.
+    const auto q_lst =
+        qarray::from_axisangle(zaxis, kEarthRotation * t);
+    auto q = qarray::mult(q_lst, qarray::mult(q_site, q_h));
+    q = qarray::normalize(q);
+    for (int c = 0; c < 4; ++c) {
+      b_span[static_cast<std::size_t>(4 * s + c)] =
+          q[static_cast<std::size_t>(c)];
+    }
+    h_span[static_cast<std::size_t>(s)] =
+        std::fmod(2.0 * kPi * 2.0 * t, 2.0 * kPi);  // 2 Hz HWP
+  }
+  return ob;
+}
+
+}  // namespace toast::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+// Ground-based telescope simulation: the other observing mode TOAST
+// serves (the paper's benchmark is the satellite workflow; CMB-S4 and the
+// Simons Observatory it names are ground experiments).  A ground
+// telescope scans back and forth in azimuth at fixed elevation while the
+// sky rotates overhead; the natural scan intervals are the constant-
+// velocity sweeps between turnarounds - which makes interval lengths vary
+// with the scan geometry, stressing the same padding machinery as the
+// satellite case.
+
+#include <cstdint>
+
+#include "core/observation.hpp"
+
+namespace toast::sim {
+
+struct GroundScanParams {
+  double sample_rate = 37.0;   // Hz
+  double site_latitude_deg = -23.0;  // Atacama-like
+  double azimuth_center_deg = 180.0;
+  double azimuth_throw_deg = 40.0;   // peak-to-peak sweep
+  double elevation_deg = 50.0;
+  double scan_rate_deg_s = 1.0;      // on-sky azimuth speed
+  /// Fraction of each sweep spent in the (flagged) turnaround.
+  double turnaround_fraction = 0.08;
+};
+
+/// Create a ground observation: boresight quaternions following the
+/// azimuth scan as the sky rotates, HWP angle, times, shared flags (the
+/// turnarounds are flagged), and one interval per constant-velocity
+/// sweep.  Interval lengths vary because the turnaround points drift
+/// with sky rotation.
+core::Observation simulate_ground(const std::string& name,
+                                  const core::Focalplane& fp,
+                                  std::int64_t n_samples,
+                                  const GroundScanParams& params = {},
+                                  std::uint64_t seed = 0);
+
+}  // namespace toast::sim

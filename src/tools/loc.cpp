@@ -1,0 +1,196 @@
+#include "tools/loc.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace toast::tools {
+
+LocCount count_cpp(const std::string& source) {
+  LocCount count;
+  bool in_block_comment = false;
+  std::istringstream stream(source);
+  std::string line;
+  while (std::getline(stream, line)) {
+    bool has_code = false;
+    bool has_comment = in_block_comment;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block_comment) {
+        has_comment = true;
+        if (c == '*' && next == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') {
+        has_comment = true;
+        break;  // rest of line is comment
+      }
+      if (c == '/' && next == '*') {
+        has_comment = true;
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        // Skip string literal (handles escapes).
+        has_code = true;
+        for (++i; i < line.size(); ++i) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == '"') {
+            break;
+          }
+        }
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        has_code = true;
+      }
+    }
+    if (has_code) {
+      ++count.code;
+    } else if (has_comment) {
+      ++count.comment;
+    } else {
+      ++count.blank;
+    }
+  }
+  return count;
+}
+
+LocCount count_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("loc: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return count_cpp(buf.str());
+}
+
+LocCount count_files(const std::vector<std::string>& paths) {
+  LocCount total;
+  for (const auto& p : paths) {
+    total += count_file(p);
+  }
+  return total;
+}
+
+LocCount count_function(const std::string& source, const std::string& name) {
+  // Find "name" followed (possibly after whitespace) by '('.
+  std::size_t pos = 0;
+  std::size_t start = std::string::npos;
+  while ((pos = source.find(name, pos)) != std::string::npos) {
+    std::size_t after = pos + name.size();
+    while (after < source.size() &&
+           std::isspace(static_cast<unsigned char>(source[after]))) {
+      ++after;
+    }
+    if (after < source.size() && source[after] == '(') {
+      start = pos;
+      break;
+    }
+    pos += name.size();
+  }
+  if (start == std::string::npos) {
+    return {};
+  }
+  // Walk to the opening brace, then to its match.
+  std::size_t i = source.find('{', start);
+  if (i == std::string::npos) {
+    return {};
+  }
+  int depth = 0;
+  std::size_t end = i;
+  for (; end < source.size(); ++end) {
+    if (source[end] == '{') ++depth;
+    if (source[end] == '}') {
+      --depth;
+      if (depth == 0) {
+        break;
+      }
+    }
+  }
+  // Count from the start of the signature line through the closing brace.
+  const std::size_t line_start = source.rfind('\n', start);
+  const std::size_t from = line_start == std::string::npos ? 0 : line_start + 1;
+  return count_cpp(source.substr(from, end - from + 1));
+}
+
+std::map<std::string, std::pair<std::string, std::vector<std::string>>>
+jax_graph_manifest() {
+  return {
+      {"pointing_detector",
+       {"src/kernels/jax/pointing_detector.cpp", {"graph"}}},
+      {"pixels_healpix",
+       {"src/kernels/jax/pixels_healpix.cpp", {"spread_bits", "graph"}}},
+      {"stokes_weights",
+       {"src/kernels/jax/stokes_weights.cpp", {"iqu_graph", "i_graph"}}},
+      {"scan_map", {"src/kernels/jax/scan_map.cpp", {"graph"}}},
+      {"noise_weight", {"src/kernels/jax/noise_weight.cpp", {"graph"}}},
+      {"build_noise_weighted",
+       {"src/kernels/jax/build_noise_weighted.cpp", {"graph"}}},
+      {"template_offset",
+       {"src/kernels/jax/template_offset.cpp",
+        {"amplitude_index", "add_graph", "project_graph", "precond_graph"}}},
+  };
+}
+
+std::map<std::string, std::map<std::string, std::vector<std::string>>>
+kernel_source_manifest() {
+  // Kernel implementation files only (Figure 3).  The shared
+  // cpu.hpp/omptarget.hpp/jax.hpp declarations are support code.
+  return {
+      {"pointing_detector",
+       {{"cpu", {"src/kernels/cpu/pointing_detector.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/pointing_detector.cpp"}},
+        {"jax", {"src/kernels/jax/pointing_detector.cpp"}}}},
+      {"pixels_healpix",
+       {{"cpu", {"src/kernels/cpu/pixels_healpix.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/pixels_healpix.cpp"}},
+        {"jax", {"src/kernels/jax/pixels_healpix.cpp"}}}},
+      {"stokes_weights",
+       {{"cpu", {"src/kernels/cpu/stokes_weights.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/stokes_weights.cpp"}},
+        {"jax", {"src/kernels/jax/stokes_weights.cpp"}}}},
+      {"scan_map",
+       {{"cpu", {"src/kernels/cpu/scan_map.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/scan_map.cpp"}},
+        {"jax", {"src/kernels/jax/scan_map.cpp"}}}},
+      {"noise_weight",
+       {{"cpu", {"src/kernels/cpu/noise_weight.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/noise_weight.cpp"}},
+        {"jax", {"src/kernels/jax/noise_weight.cpp"}}}},
+      {"build_noise_weighted",
+       {{"cpu", {"src/kernels/cpu/build_noise_weighted.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/build_noise_weighted.cpp"}},
+        {"jax", {"src/kernels/jax/build_noise_weighted.cpp"}}}},
+      {"template_offset",
+       {{"cpu", {"src/kernels/cpu/template_offset.cpp"}},
+        {"omptarget", {"src/kernels/omptarget/template_offset.cpp"}},
+        {"jax", {"src/kernels/jax/template_offset.cpp"}}}},
+  };
+}
+
+std::map<std::string, std::vector<std::string>> support_source_manifest() {
+  // Accelerator-related dependencies per implementation: data movement,
+  // GPU types, launch plumbing (Figure 2's upper bars).
+  return {
+      {"cpu", {"src/kernels/cpu.hpp", "src/kernels/common.hpp",
+               "src/kernels/common.cpp"}},
+      {"omptarget",
+       {"src/kernels/omptarget.hpp", "src/kernels/common.hpp",
+        "src/kernels/common.cpp", "src/omptarget/runtime.hpp",
+        "src/omptarget/runtime.cpp", "src/omptarget/pool.hpp",
+        "src/omptarget/pool.cpp"}},
+      {"jax", {"src/kernels/jax.hpp", "src/kernels/jax/support.hpp",
+               "src/kernels/jax/support.cpp"}},
+  };
+}
+
+}  // namespace toast::tools

@@ -1,0 +1,57 @@
+#pragma once
+
+// A cloc-like line counter (paper Figures 2-3 measure lines of code with
+// cloc v1.82, excluding blanks and comments).  Handles C and C++ comments
+// and string literals well enough for this codebase's style.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace toast::tools {
+
+struct LocCount {
+  int code = 0;
+  int comment = 0;
+  int blank = 0;
+
+  LocCount& operator+=(const LocCount& o) {
+    code += o.code;
+    comment += o.comment;
+    blank += o.blank;
+    return *this;
+  }
+};
+
+/// Count lines in a C/C++ source string.
+LocCount count_cpp(const std::string& source);
+
+/// Count lines in a file (throws if unreadable).
+LocCount count_file(const std::string& path);
+
+/// Sum over several files.
+LocCount count_files(const std::vector<std::string>& paths);
+
+/// Count the code lines of one function body in a source string: from the
+/// first occurrence of `name` followed by '(' through the matching close
+/// of its outermost brace.  Returns zeros if not found.  Used to isolate
+/// the *array-program* part of the JAX ports (what would be the Python
+/// function in the paper) from the C++ marshalling around it.
+LocCount count_function(const std::string& source, const std::string& name);
+
+/// The graph-builder function names of each JAX kernel (the direct
+/// analogue of the paper's Python kernel bodies).
+std::map<std::string, std::pair<std::string, std::vector<std::string>>>
+jax_graph_manifest();
+
+/// The per-kernel source manifest of this repository: kernel name ->
+/// { implementation name -> list of files relative to the repo root }.
+/// Used by the Figure 2/3 benchmarks.
+std::map<std::string, std::map<std::string, std::vector<std::string>>>
+kernel_source_manifest();
+
+/// Implementation-level dependency/support files (Figure 2's "lines of
+/// code" bar includes them; the "kernel code" bar does not).
+std::map<std::string, std::vector<std::string>> support_source_manifest();
+
+}  // namespace toast::tools

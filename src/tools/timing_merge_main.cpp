@@ -1,0 +1,35 @@
+// Timing-merge CLI (paper §3.2.3): merge several timing CSV files (as
+// written by core::write_timing_csv) into one comparative table with
+// speedup columns relative to the first file.
+//
+// Usage: toast_timing_merge run_a.csv run_b.csv [run_c.csv ...]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/timing.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <timing.csv> [more.csv ...]\n"
+                 "Merges timing CSVs into a comparative table; speedups are\n"
+                 "relative to the first file.\n",
+                 argv[0]);
+    return 2;
+  }
+  std::vector<std::pair<std::string, toast::accel::TimeLog>> runs;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      runs.emplace_back(argv[i], toast::core::read_timing_csv_file(argv[i]));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  const auto cmp = toast::core::compare_timings(runs);
+  std::fputs(cmp.to_table().c_str(), stdout);
+  std::printf("\nCSV:\n%s", cmp.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,384 @@
+#include "xla/array.hpp"
+
+#include <stdexcept>
+
+namespace toast::xla {
+
+namespace {
+
+thread_local TraceContext* g_current = nullptr;
+
+TraceContext& ctx_or_throw() {
+  if (g_current == nullptr) {
+    throw std::logic_error(
+        "xla: array operations require an active trace (call through jit)");
+  }
+  return *g_current;
+}
+
+void check_same_ctx(const Array& a, const Array& b) {
+  if (a.ctx() != b.ctx()) {
+    throw std::logic_error("xla: arrays from different traces");
+  }
+}
+
+bool is_scalar(const Shape& s) { return s.num_elements() == 1 && s.rank() == 0; }
+
+/// Result shape for elementwise ops with scalar broadcasting.
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  if (a == b) return a;
+  if (is_scalar(a)) return b;
+  if (is_scalar(b)) return a;
+  throw std::invalid_argument("xla: shape mismatch " + a.to_string() + " vs " +
+                              b.to_string() +
+                              " (use broadcast_col/broadcast_row)");
+}
+
+Array emit_unary(Opcode op, Array a, DType out_dtype) {
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = op;
+  in.dtype = out_dtype;
+  in.shape = a.shape();
+  in.operands = {a.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array emit_binary(Opcode op, Array a, Array b, DType out_dtype) {
+  check_same_ctx(a, b);
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = op;
+  in.dtype = out_dtype;
+  in.shape = broadcast_shape(a.shape(), b.shape());
+  in.operands = {a.id(), b.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+void require_dtype(const Array& a, DType d, const char* what) {
+  if (a.dtype() != d) {
+    throw std::invalid_argument(std::string("xla: ") + what +
+                                " requires dtype " + to_string(d) + ", got " +
+                                to_string(a.dtype()));
+  }
+}
+
+}  // namespace
+
+TraceContext::TraceContext(std::string name) {
+  module_.name = std::move(name);
+  previous_ = g_current;
+  g_current = this;
+}
+
+TraceContext::~TraceContext() { g_current = previous_; }
+
+TraceContext* TraceContext::current() { return g_current; }
+
+InstrId TraceContext::emit(HloInstruction instr) {
+  module_.instructions.push_back(std::move(instr));
+  return static_cast<InstrId>(module_.instructions.size() - 1);
+}
+
+HloModule TraceContext::finish(const std::vector<InstrId>& roots) {
+  module_.roots = roots;
+  return std::move(module_);
+}
+
+const Shape& Array::shape() const { return ctx_->at(id_).shape; }
+DType Array::dtype() const { return ctx_->at(id_).dtype; }
+
+Array constant(double v) { return constant_array(Literal::scalar_f64(v)); }
+Array constant_i64(std::int64_t v) {
+  return constant_array(Literal::scalar_i64(v));
+}
+
+Array constant_array(const Literal& value) {
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kConstant;
+  in.dtype = value.dtype();
+  in.shape = value.shape();
+  in.literal = value;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array iota(std::int64_t n) {
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kIota;
+  in.dtype = DType::kI64;
+  in.shape = Shape{n};
+  in.i0 = n;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array add(Array a, Array b) { return emit_binary(Opcode::kAdd, a, b, a.dtype()); }
+Array sub(Array a, Array b) { return emit_binary(Opcode::kSub, a, b, a.dtype()); }
+Array mul(Array a, Array b) { return emit_binary(Opcode::kMul, a, b, a.dtype()); }
+Array div(Array a, Array b) { return emit_binary(Opcode::kDiv, a, b, a.dtype()); }
+Array minimum(Array a, Array b) {
+  return emit_binary(Opcode::kMin, a, b, a.dtype());
+}
+Array maximum(Array a, Array b) {
+  return emit_binary(Opcode::kMax, a, b, a.dtype());
+}
+Array atan2(Array y, Array x) {
+  require_dtype(y, DType::kF64, "atan2");
+  return emit_binary(Opcode::kAtan2, y, x, DType::kF64);
+}
+Array mod(Array a, Array b) { return emit_binary(Opcode::kMod, a, b, a.dtype()); }
+Array neg(Array a) { return emit_unary(Opcode::kNeg, a, a.dtype()); }
+Array abs(Array a) { return emit_unary(Opcode::kAbs, a, a.dtype()); }
+Array sign(Array a) { return emit_unary(Opcode::kSign, a, a.dtype()); }
+Array tanh(Array a) {
+  require_dtype(a, DType::kF64, "tanh");
+  return emit_unary(Opcode::kTanh, a, DType::kF64);
+}
+Array sqrt(Array a) {
+  require_dtype(a, DType::kF64, "sqrt");
+  return emit_unary(Opcode::kSqrt, a, DType::kF64);
+}
+Array sin(Array a) {
+  require_dtype(a, DType::kF64, "sin");
+  return emit_unary(Opcode::kSin, a, DType::kF64);
+}
+Array cos(Array a) {
+  require_dtype(a, DType::kF64, "cos");
+  return emit_unary(Opcode::kCos, a, DType::kF64);
+}
+Array exp(Array a) {
+  require_dtype(a, DType::kF64, "exp");
+  return emit_unary(Opcode::kExp, a, DType::kF64);
+}
+Array log(Array a) {
+  require_dtype(a, DType::kF64, "log");
+  return emit_unary(Opcode::kLog, a, DType::kF64);
+}
+Array floor(Array a) {
+  require_dtype(a, DType::kF64, "floor");
+  return emit_unary(Opcode::kFloor, a, DType::kF64);
+}
+
+Array select(Array pred, Array on_true, Array on_false) {
+  require_dtype(pred, DType::kPred, "select");
+  check_same_ctx(pred, on_true);
+  check_same_ctx(pred, on_false);
+  if (on_true.dtype() != on_false.dtype()) {
+    throw std::invalid_argument("xla: select branch dtype mismatch");
+  }
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kSelect;
+  in.dtype = on_true.dtype();
+  in.shape = broadcast_shape(broadcast_shape(pred.shape(), on_true.shape()),
+                             on_false.shape());
+  in.operands = {pred.id(), on_true.id(), on_false.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array clamp(Array v, Array lo, Array hi) {
+  check_same_ctx(v, lo);
+  check_same_ctx(v, hi);
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kClamp;
+  in.dtype = v.dtype();
+  in.shape = v.shape();
+  in.operands = {v.id(), lo.id(), hi.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array lt(Array a, Array b) { return emit_binary(Opcode::kLt, a, b, DType::kPred); }
+Array le(Array a, Array b) { return emit_binary(Opcode::kLe, a, b, DType::kPred); }
+Array gt(Array a, Array b) { return emit_binary(Opcode::kGt, a, b, DType::kPred); }
+Array ge(Array a, Array b) { return emit_binary(Opcode::kGe, a, b, DType::kPred); }
+Array eq(Array a, Array b) { return emit_binary(Opcode::kEq, a, b, DType::kPred); }
+Array ne(Array a, Array b) { return emit_binary(Opcode::kNe, a, b, DType::kPred); }
+
+Array logical_and(Array a, Array b) {
+  require_dtype(a, DType::kPred, "logical_and");
+  return emit_binary(Opcode::kAnd, a, b, DType::kPred);
+}
+Array logical_or(Array a, Array b) {
+  require_dtype(a, DType::kPred, "logical_or");
+  return emit_binary(Opcode::kOr, a, b, DType::kPred);
+}
+Array logical_not(Array a) {
+  require_dtype(a, DType::kPred, "logical_not");
+  return emit_unary(Opcode::kNot, a, DType::kPred);
+}
+Array bitwise_and(Array a, Array b) {
+  require_dtype(a, DType::kI64, "bitwise_and");
+  return emit_binary(Opcode::kAnd, a, b, DType::kI64);
+}
+Array bitwise_or(Array a, Array b) {
+  require_dtype(a, DType::kI64, "bitwise_or");
+  return emit_binary(Opcode::kOr, a, b, DType::kI64);
+}
+Array bitwise_xor(Array a, Array b) {
+  require_dtype(a, DType::kI64, "bitwise_xor");
+  return emit_binary(Opcode::kXor, a, b, DType::kI64);
+}
+Array shift_left(Array a, Array bits) {
+  require_dtype(a, DType::kI64, "shift_left");
+  return emit_binary(Opcode::kShl, a, bits, DType::kI64);
+}
+Array shift_right(Array a, Array bits) {
+  require_dtype(a, DType::kI64, "shift_right");
+  return emit_binary(Opcode::kShr, a, bits, DType::kI64);
+}
+Array to_f64(Array a) { return emit_unary(Opcode::kCastF64, a, DType::kF64); }
+Array to_i64(Array a) { return emit_unary(Opcode::kCastI64, a, DType::kI64); }
+
+Array reshape(Array a, Shape shape) {
+  if (shape.num_elements() != a.shape().num_elements()) {
+    throw std::invalid_argument("xla: reshape changes element count");
+  }
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kReshape;
+  in.dtype = a.dtype();
+  in.shape = std::move(shape);
+  in.operands = {a.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array broadcast_col(Array a, std::int64_t m) {
+  if (a.shape().rank() != 1) {
+    throw std::invalid_argument("xla: broadcast_col expects rank-1 input");
+  }
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kBroadcastCol;
+  in.dtype = a.dtype();
+  in.shape = Shape{a.shape().dim(0), m};
+  in.operands = {a.id()};
+  in.i0 = m;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array broadcast_row(Array a, std::int64_t n) {
+  if (a.shape().rank() != 1) {
+    throw std::invalid_argument("xla: broadcast_row expects rank-1 input");
+  }
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kBroadcastRow;
+  in.dtype = a.dtype();
+  in.shape = Shape{n, a.shape().dim(0)};
+  in.operands = {a.id()};
+  in.i0 = n;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array slice_col(Array a, std::int64_t col) {
+  if (a.shape().rank() != 2 || col < 0 || col >= a.shape().dim(1)) {
+    throw std::invalid_argument("xla: slice_col out of range");
+  }
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kSliceCol;
+  in.dtype = a.dtype();
+  in.shape = Shape{a.shape().dim(0)};
+  in.operands = {a.id()};
+  in.i0 = col;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array gather(Array table, Array indices) {
+  if (table.shape().rank() != 1) {
+    throw std::invalid_argument("xla: gather table must be rank 1");
+  }
+  require_dtype(indices, DType::kI64, "gather indices");
+  check_same_ctx(table, indices);
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kGather;
+  in.dtype = table.dtype();
+  in.shape = indices.shape();
+  in.operands = {table.id(), indices.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+namespace {
+
+Array emit_scatter(Opcode op, Array base, Array indices, Array updates) {
+  if (base.shape().rank() != 1) {
+    throw std::invalid_argument("xla: scatter base must be rank 1");
+  }
+  require_dtype(indices, DType::kI64, "scatter indices");
+  if (indices.shape() != updates.shape()) {
+    throw std::invalid_argument("xla: scatter indices/updates shape mismatch");
+  }
+  if (base.dtype() != updates.dtype()) {
+    throw std::invalid_argument("xla: scatter dtype mismatch");
+  }
+  check_same_ctx(base, indices);
+  check_same_ctx(base, updates);
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = op;
+  in.dtype = base.dtype();
+  in.shape = base.shape();
+  in.operands = {base.id(), indices.id(), updates.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+}  // namespace
+
+Array scatter_add(Array base, Array indices, Array updates) {
+  return emit_scatter(Opcode::kScatterAdd, base, indices, updates);
+}
+
+Array scatter_set(Array base, Array indices, Array updates) {
+  return emit_scatter(Opcode::kScatterSet, base, indices, updates);
+}
+
+Array reduce_sum(Array a, int axis) {
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kReduceSum;
+  in.dtype = a.dtype();
+  if (axis == -1) {
+    in.shape = Shape{};
+  } else if (axis == 1 && a.shape().rank() == 2) {
+    in.shape = Shape{a.shape().dim(0)};
+  } else if (axis == 0 && a.shape().rank() == 1) {
+    in.shape = Shape{};
+    axis = -1;
+  } else {
+    throw std::invalid_argument("xla: unsupported reduce_sum axis");
+  }
+  in.operands = {a.id()};
+  in.i0 = axis;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array reduce_max(Array a) {
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kReduceMax;
+  in.dtype = a.dtype();
+  in.shape = Shape{};
+  in.operands = {a.id()};
+  in.i0 = -1;
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+Array dot(Array a, Array b) {
+  if (a.shape().rank() != 1 || a.shape() != b.shape()) {
+    throw std::invalid_argument("xla: dot expects equal rank-1 shapes");
+  }
+  require_dtype(a, DType::kF64, "dot");
+  check_same_ctx(a, b);
+  auto& ctx = ctx_or_throw();
+  HloInstruction in;
+  in.opcode = Opcode::kDot;
+  in.dtype = DType::kF64;
+  in.shape = Shape{};
+  in.operands = {a.id(), b.id()};
+  return Array(&ctx, ctx.emit(std::move(in)));
+}
+
+}  // namespace toast::xla

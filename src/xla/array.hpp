@@ -1,0 +1,156 @@
+#pragma once
+
+// Tracing front-end: the NumPy-like Array type the "JAX" kernel ports are
+// written against.  Operations on Arrays do not compute anything — they
+// record HLO instructions into the active TraceContext, exactly like JAX
+// tracers do.  jit() (xla/jit.hpp) creates the context, traces the Python-
+// looking kernel body once per shape signature, optimizes and executes.
+//
+// Purity is enforced by construction: there is no in-place mutation; the
+// closest thing to x[idx] += y is the functional scatter_add, mirroring
+// JAX's x.at[idx].add(y).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xla/hlo.hpp"
+
+namespace toast::xla {
+
+class TraceContext {
+ public:
+  explicit TraceContext(std::string name);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  static TraceContext* current();
+
+  InstrId emit(HloInstruction instr);
+  const HloInstruction& at(InstrId id) const { return module_.at(id); }
+
+  /// Finish tracing: mark roots and take the module.
+  HloModule finish(const std::vector<InstrId>& roots);
+
+  HloModule& module() { return module_; }
+
+ private:
+  HloModule module_;
+  TraceContext* previous_ = nullptr;
+};
+
+/// Handle to a traced value.
+class Array {
+ public:
+  Array() = default;
+  Array(TraceContext* ctx, InstrId id) : ctx_(ctx), id_(id) {}
+
+  bool valid() const { return ctx_ != nullptr; }
+  InstrId id() const { return id_; }
+  TraceContext* ctx() const { return ctx_; }
+
+  const Shape& shape() const;
+  DType dtype() const;
+  std::int64_t size() const { return shape().num_elements(); }
+
+ private:
+  TraceContext* ctx_ = nullptr;
+  InstrId id_ = -1;
+};
+
+// --- leaves ---------------------------------------------------------------
+
+Array constant(double v);
+Array constant_i64(std::int64_t v);
+Array constant_array(const Literal& value);
+/// [0, 1, ..., n-1] as I64.
+Array iota(std::int64_t n);
+
+// --- elementwise ----------------------------------------------------------
+
+Array add(Array a, Array b);
+Array sub(Array a, Array b);
+Array mul(Array a, Array b);
+Array div(Array a, Array b);
+Array minimum(Array a, Array b);
+Array maximum(Array a, Array b);
+Array atan2(Array y, Array x);
+Array mod(Array a, Array b);
+Array neg(Array a);
+Array abs(Array a);
+/// -1, 0 or +1 with the operand's dtype.
+Array sign(Array a);
+Array sqrt(Array a);
+Array tanh(Array a);
+Array sin(Array a);
+Array cos(Array a);
+Array exp(Array a);
+Array log(Array a);
+Array floor(Array a);
+Array select(Array pred, Array on_true, Array on_false);
+Array clamp(Array v, Array lo, Array hi);
+Array lt(Array a, Array b);
+Array le(Array a, Array b);
+Array gt(Array a, Array b);
+Array ge(Array a, Array b);
+Array eq(Array a, Array b);
+Array ne(Array a, Array b);
+Array logical_and(Array a, Array b);
+Array logical_or(Array a, Array b);
+Array logical_not(Array a);
+Array bitwise_and(Array a, Array b);
+Array bitwise_or(Array a, Array b);
+Array bitwise_xor(Array a, Array b);
+Array shift_left(Array a, Array bits);
+Array shift_right(Array a, Array bits);
+Array to_f64(Array a);
+Array to_i64(Array a);
+
+// --- structure ------------------------------------------------------------
+
+Array reshape(Array a, Shape shape);
+/// [n] -> [n, m], replicating each value across a row of m columns.
+Array broadcast_col(Array a, std::int64_t m);
+/// [m] -> [n, m], replicating the vector as n rows.
+Array broadcast_row(Array a, std::int64_t n);
+/// [n, m] -> [n], column `col`.
+Array slice_col(Array a, std::int64_t col);
+
+// --- heavy ----------------------------------------------------------------
+
+/// table must be rank 1; result has the shape of `indices` with table's
+/// dtype.  Out-of-range indices are clamped (JAX semantics).
+Array gather(Array table, Array indices);
+/// Functional scatter-add: result = base with updates[i] added at
+/// indices[i]; base rank 1, indices/updates same shape.  Out-of-range
+/// indices are dropped (JAX drop semantics).
+Array scatter_add(Array base, Array indices, Array updates);
+/// Functional scatter-store (JAX's x.at[idx].set(y)); out-of-range indices
+/// are dropped, duplicate indices take the last update.
+Array scatter_set(Array base, Array indices, Array updates);
+/// axis = -1: reduce everything to a scalar.  axis = 1 on rank 2: -> [n].
+Array reduce_sum(Array a, int axis = -1);
+/// Full max-reduction to a scalar.
+Array reduce_max(Array a);
+/// 1-D dot product -> scalar.
+Array dot(Array a, Array b);
+
+// --- operator sugar ---------------------------------------------------------
+
+inline Array operator+(Array a, Array b) { return add(a, b); }
+inline Array operator-(Array a, Array b) { return sub(a, b); }
+inline Array operator*(Array a, Array b) { return mul(a, b); }
+inline Array operator/(Array a, Array b) { return div(a, b); }
+inline Array operator-(Array a) { return neg(a); }
+inline Array operator+(Array a, double b) { return add(a, constant(b)); }
+inline Array operator-(Array a, double b) { return sub(a, constant(b)); }
+inline Array operator*(Array a, double b) { return mul(a, constant(b)); }
+inline Array operator/(Array a, double b) { return div(a, constant(b)); }
+inline Array operator+(double a, Array b) { return add(constant(a), b); }
+inline Array operator-(double a, Array b) { return sub(constant(a), b); }
+inline Array operator*(double a, Array b) { return mul(constant(a), b); }
+inline Array operator/(double a, Array b) { return div(constant(a), b); }
+
+}  // namespace toast::xla

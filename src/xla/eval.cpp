@@ -1,0 +1,438 @@
+#include "xla/eval.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace toast::xla {
+
+namespace {
+
+// Scalar-broadcast accessors: a size-1 operand supplies its single value
+// for every output element.
+double getf(const Literal& l, std::int64_t i) {
+  return l.num_elements() == 1 ? l.f64()[0]
+                               : l.f64()[static_cast<std::size_t>(i)];
+}
+std::int64_t geti(const Literal& l, std::int64_t i) {
+  return l.num_elements() == 1 ? l.i64()[0]
+                               : l.i64()[static_cast<std::size_t>(i)];
+}
+std::uint8_t getp(const Literal& l, std::int64_t i) {
+  return l.num_elements() == 1 ? l.pred()[0]
+                               : l.pred()[static_cast<std::size_t>(i)];
+}
+double getd(const Literal& l, std::int64_t i) {
+  return l.num_elements() == 1 ? l.as_double(0) : l.as_double(i);
+}
+
+Literal eval_unary(const HloInstruction& in, const Literal& a) {
+  Literal out(in.shape, in.dtype);
+  const std::int64_t n = out.num_elements();
+  switch (in.opcode) {
+    case Opcode::kNeg:
+      if (in.dtype == DType::kF64) {
+        for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = -getf(a, i);
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) out.i64()[i] = -geti(a, i);
+      }
+      break;
+    case Opcode::kAbs:
+      if (in.dtype == DType::kF64) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.f64()[i] = std::abs(getf(a, i));
+      } else {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.i64()[i] = std::abs(geti(a, i));
+      }
+      break;
+    case Opcode::kSqrt:
+      for (std::int64_t i = 0; i < n; ++i)
+        out.f64()[i] = std::sqrt(getf(a, i));
+      break;
+    case Opcode::kSin:
+      for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = std::sin(getf(a, i));
+      break;
+    case Opcode::kCos:
+      for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = std::cos(getf(a, i));
+      break;
+    case Opcode::kExp:
+      for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = std::exp(getf(a, i));
+      break;
+    case Opcode::kLog:
+      for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = std::log(getf(a, i));
+      break;
+    case Opcode::kFloor:
+      for (std::int64_t i = 0; i < n; ++i)
+        out.f64()[i] = std::floor(getf(a, i));
+      break;
+    case Opcode::kTanh:
+      for (std::int64_t i = 0; i < n; ++i)
+        out.f64()[i] = std::tanh(getf(a, i));
+      break;
+    case Opcode::kSign:
+      if (in.dtype == DType::kF64) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double v = getf(a, i);
+          out.f64()[i] = (v > 0.0) - (v < 0.0);
+        }
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) {
+          const std::int64_t v = geti(a, i);
+          out.i64()[i] = (v > 0) - (v < 0);
+        }
+      }
+      break;
+    case Opcode::kNot:
+      for (std::int64_t i = 0; i < n; ++i)
+        out.pred()[i] = getp(a, i) ? 0 : 1;
+      break;
+    case Opcode::kCastF64:
+      for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = getd(a, i);
+      break;
+    case Opcode::kCastI64:
+      if (a.dtype() == DType::kF64) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.i64()[i] = static_cast<std::int64_t>(getf(a, i));
+      } else if (a.dtype() == DType::kPred) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.i64()[i] = static_cast<std::int64_t>(getp(a, i));
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) out.i64()[i] = geti(a, i);
+      }
+      break;
+    default:
+      throw std::logic_error("eval: unexpected unary opcode");
+  }
+  return out;
+}
+
+Literal eval_binary(const HloInstruction& in, const Literal& a,
+                    const Literal& b) {
+  Literal out(in.shape, in.dtype);
+  const std::int64_t n = out.num_elements();
+
+  auto for_f64 = [&](auto fn) {
+    for (std::int64_t i = 0; i < n; ++i) out.f64()[i] = fn(getf(a, i), getf(b, i));
+  };
+  auto for_i64 = [&](auto fn) {
+    for (std::int64_t i = 0; i < n; ++i) out.i64()[i] = fn(geti(a, i), geti(b, i));
+  };
+  auto for_cmp = [&](auto fn) {
+    if (a.dtype() == DType::kI64) {
+      for (std::int64_t i = 0; i < n; ++i)
+        out.pred()[i] = fn(geti(a, i), geti(b, i)) ? 1 : 0;
+    } else {
+      for (std::int64_t i = 0; i < n; ++i)
+        out.pred()[i] = fn(getf(a, i), getf(b, i)) ? 1 : 0;
+    }
+  };
+
+  switch (in.opcode) {
+    case Opcode::kAdd:
+      if (in.dtype == DType::kF64) for_f64(std::plus<double>());
+      else for_i64(std::plus<std::int64_t>());
+      break;
+    case Opcode::kSub:
+      if (in.dtype == DType::kF64) for_f64(std::minus<double>());
+      else for_i64(std::minus<std::int64_t>());
+      break;
+    case Opcode::kMul:
+      if (in.dtype == DType::kF64) for_f64(std::multiplies<double>());
+      else for_i64(std::multiplies<std::int64_t>());
+      break;
+    case Opcode::kDiv:
+      if (in.dtype == DType::kF64) for_f64(std::divides<double>());
+      else for_i64([](std::int64_t x, std::int64_t y) { return x / y; });
+      break;
+    case Opcode::kMin:
+      if (in.dtype == DType::kF64)
+        for_f64([](double x, double y) { return std::min(x, y); });
+      else
+        for_i64([](std::int64_t x, std::int64_t y) { return std::min(x, y); });
+      break;
+    case Opcode::kMax:
+      if (in.dtype == DType::kF64)
+        for_f64([](double x, double y) { return std::max(x, y); });
+      else
+        for_i64([](std::int64_t x, std::int64_t y) { return std::max(x, y); });
+      break;
+    case Opcode::kAtan2:
+      for_f64([](double y, double x) { return std::atan2(y, x); });
+      break;
+    case Opcode::kMod:
+      if (in.dtype == DType::kF64)
+        for_f64([](double x, double y) { return std::fmod(x, y); });
+      else
+        for_i64([](std::int64_t x, std::int64_t y) { return x % y; });
+      break;
+    case Opcode::kAnd:
+      if (in.dtype == DType::kPred) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.pred()[i] = (getp(a, i) && getp(b, i)) ? 1 : 0;
+      } else {
+        for_i64([](std::int64_t x, std::int64_t y) { return x & y; });
+      }
+      break;
+    case Opcode::kOr:
+      if (in.dtype == DType::kPred) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.pred()[i] = (getp(a, i) || getp(b, i)) ? 1 : 0;
+      } else {
+        for_i64([](std::int64_t x, std::int64_t y) { return x | y; });
+      }
+      break;
+    case Opcode::kXor:
+      if (in.dtype == DType::kPred) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.pred()[i] = (getp(a, i) != getp(b, i)) ? 1 : 0;
+      } else {
+        for_i64([](std::int64_t x, std::int64_t y) { return x ^ y; });
+      }
+      break;
+    case Opcode::kShl:
+      for_i64([](std::int64_t x, std::int64_t y) {
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) << y);
+      });
+      break;
+    case Opcode::kShr:
+      for_i64([](std::int64_t x, std::int64_t y) {
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) >> y);
+      });
+      break;
+    case Opcode::kLt:
+      for_cmp([](auto x, auto y) { return x < y; });
+      break;
+    case Opcode::kLe:
+      for_cmp([](auto x, auto y) { return x <= y; });
+      break;
+    case Opcode::kGt:
+      for_cmp([](auto x, auto y) { return x > y; });
+      break;
+    case Opcode::kGe:
+      for_cmp([](auto x, auto y) { return x >= y; });
+      break;
+    case Opcode::kEq:
+      for_cmp([](auto x, auto y) { return x == y; });
+      break;
+    case Opcode::kNe:
+      for_cmp([](auto x, auto y) { return x != y; });
+      break;
+    default:
+      throw std::logic_error("eval: unexpected binary opcode");
+  }
+  return out;
+}
+
+}  // namespace
+
+Literal evaluate_instruction(const HloInstruction& in,
+                             const std::vector<const Literal*>& ops) {
+  switch (in.opcode) {
+    case Opcode::kParam:
+      throw std::logic_error("eval: params are substituted by the executor");
+    case Opcode::kConstant:
+      return *in.literal;
+    case Opcode::kIota: {
+      Literal out(in.shape, DType::kI64);
+      for (std::int64_t i = 0; i < in.i0; ++i) out.i64()[i] = i;
+      return out;
+    }
+    case Opcode::kSelect: {
+      const Literal& p = *ops[0];
+      const Literal& t = *ops[1];
+      const Literal& f = *ops[2];
+      Literal out(in.shape, in.dtype);
+      const std::int64_t n = out.num_elements();
+      if (in.dtype == DType::kF64) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.f64()[i] = getp(p, i) ? getf(t, i) : getf(f, i);
+      } else if (in.dtype == DType::kI64) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.i64()[i] = getp(p, i) ? geti(t, i) : geti(f, i);
+      } else {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.pred()[i] = getp(p, i) ? getp(t, i) : getp(f, i);
+      }
+      return out;
+    }
+    case Opcode::kClamp: {
+      const Literal& v = *ops[0];
+      const Literal& lo = *ops[1];
+      const Literal& hi = *ops[2];
+      Literal out(in.shape, in.dtype);
+      const std::int64_t n = out.num_elements();
+      if (in.dtype == DType::kF64) {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.f64()[i] = std::clamp(getf(v, i), getf(lo, i), getf(hi, i));
+      } else {
+        for (std::int64_t i = 0; i < n; ++i)
+          out.i64()[i] = std::clamp(geti(v, i), geti(lo, i), geti(hi, i));
+      }
+      return out;
+    }
+    case Opcode::kReshape: {
+      Literal out(in.shape, in.dtype);
+      if (in.dtype == DType::kF64) {
+        std::copy(ops[0]->f64().begin(), ops[0]->f64().end(),
+                  out.f64().begin());
+      } else if (in.dtype == DType::kI64) {
+        std::copy(ops[0]->i64().begin(), ops[0]->i64().end(),
+                  out.i64().begin());
+      } else {
+        std::copy(ops[0]->pred().begin(), ops[0]->pred().end(),
+                  out.pred().begin());
+      }
+      return out;
+    }
+    case Opcode::kBroadcastCol: {
+      const Literal& a = *ops[0];
+      const std::int64_t rows = in.shape.dim(0);
+      const std::int64_t cols = in.shape.dim(1);
+      Literal out(in.shape, in.dtype);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const std::int64_t o = r * cols + c;
+          if (in.dtype == DType::kF64) out.f64()[o] = a.f64()[r];
+          else if (in.dtype == DType::kI64) out.i64()[o] = a.i64()[r];
+          else out.pred()[o] = a.pred()[r];
+        }
+      }
+      return out;
+    }
+    case Opcode::kBroadcastRow: {
+      const Literal& a = *ops[0];
+      const std::int64_t rows = in.shape.dim(0);
+      const std::int64_t cols = in.shape.dim(1);
+      Literal out(in.shape, in.dtype);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const std::int64_t o = r * cols + c;
+          if (in.dtype == DType::kF64) out.f64()[o] = a.f64()[c];
+          else if (in.dtype == DType::kI64) out.i64()[o] = a.i64()[c];
+          else out.pred()[o] = a.pred()[c];
+        }
+      }
+      return out;
+    }
+    case Opcode::kSliceCol: {
+      const Literal& a = *ops[0];
+      const std::int64_t rows = in.shape.dim(0);
+      const std::int64_t cols = a.shape().dim(1);
+      Literal out(in.shape, in.dtype);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const std::int64_t o = r * cols + in.i0;
+        if (in.dtype == DType::kF64) out.f64()[r] = a.f64()[o];
+        else if (in.dtype == DType::kI64) out.i64()[r] = a.i64()[o];
+        else out.pred()[r] = a.pred()[o];
+      }
+      return out;
+    }
+    case Opcode::kGather: {
+      const Literal& table = *ops[0];
+      const Literal& idx = *ops[1];
+      Literal out(in.shape, in.dtype);
+      const std::int64_t n = out.num_elements();
+      const std::int64_t t = table.num_elements();
+      for (std::int64_t i = 0; i < n; ++i) {
+        // JAX clamps out-of-range gather indices.
+        const std::int64_t j =
+            std::clamp<std::int64_t>(idx.i64()[i], 0, t - 1);
+        if (in.dtype == DType::kF64) out.f64()[i] = table.f64()[j];
+        else if (in.dtype == DType::kI64) out.i64()[i] = table.i64()[j];
+        else out.pred()[i] = table.pred()[j];
+      }
+      return out;
+    }
+    case Opcode::kScatterAdd:
+    case Opcode::kScatterSet: {
+      Literal out = *ops[0];
+      const Literal& idx = *ops[1];
+      const Literal& upd = *ops[2];
+      const std::int64_t n = idx.num_elements();
+      const std::int64_t t = out.num_elements();
+      const bool set = in.opcode == Opcode::kScatterSet;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t j = idx.i64()[i];
+        if (j < 0 || j >= t) continue;  // JAX drops out-of-range scatters
+        if (in.dtype == DType::kF64) {
+          if (set) out.f64()[j] = upd.f64()[i];
+          else out.f64()[j] += upd.f64()[i];
+        } else {
+          if (set) out.i64()[j] = upd.i64()[i];
+          else out.i64()[j] += upd.i64()[i];
+        }
+      }
+      return out;
+    }
+    case Opcode::kReduceSum: {
+      const Literal& a = *ops[0];
+      if (in.i0 == -1) {
+        Literal out(Shape{}, in.dtype);
+        if (in.dtype == DType::kF64) {
+          double s = 0.0;
+          for (const double v : a.f64()) s += v;
+          out.f64()[0] = s;
+        } else {
+          std::int64_t s = 0;
+          for (const auto v : a.i64()) s += v;
+          out.i64()[0] = s;
+        }
+        return out;
+      }
+      // axis = 1 on rank 2.
+      const std::int64_t rows = a.shape().dim(0);
+      const std::int64_t cols = a.shape().dim(1);
+      Literal out(in.shape, in.dtype);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        if (in.dtype == DType::kF64) {
+          double s = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) s += a.f64()[r * cols + c];
+          out.f64()[r] = s;
+        } else {
+          std::int64_t s = 0;
+          for (std::int64_t c = 0; c < cols; ++c) s += a.i64()[r * cols + c];
+          out.i64()[r] = s;
+        }
+      }
+      return out;
+    }
+    case Opcode::kReduceMax: {
+      const Literal& a = *ops[0];
+      Literal out(Shape{}, in.dtype);
+      if (in.dtype == DType::kF64) {
+        double m = -std::numeric_limits<double>::infinity();
+        for (const double v : a.f64()) m = std::max(m, v);
+        out.f64()[0] = m;
+      } else {
+        std::int64_t m = std::numeric_limits<std::int64_t>::min();
+        for (const auto v : a.i64()) m = std::max(m, v);
+        out.i64()[0] = m;
+      }
+      return out;
+    }
+    case Opcode::kDot: {
+      const Literal& a = *ops[0];
+      const Literal& b = *ops[1];
+      Literal out(Shape{}, DType::kF64);
+      double s = 0.0;
+      const std::int64_t n = a.num_elements();
+      for (std::int64_t i = 0; i < n; ++i) s += a.f64()[i] * b.f64()[i];
+      out.f64()[0] = s;
+      return out;
+    }
+    default:
+      break;
+  }
+  if (in.operands.size() == 1) {
+    return eval_unary(in, *ops[0]);
+  }
+  if (in.operands.size() == 2) {
+    return eval_binary(in, *ops[0], *ops[1]);
+  }
+  throw std::logic_error("eval: unhandled instruction");
+}
+
+}  // namespace toast::xla

@@ -1,0 +1,19 @@
+#pragma once
+
+// Reference evaluation of single HLO instructions on Literals.  Used by the
+// executor (functional semantics of fused groups) and by the constant-
+// folding pass.
+
+#include <vector>
+
+#include "xla/hlo.hpp"
+#include "xla/types.hpp"
+
+namespace toast::xla {
+
+/// Evaluate one instruction given its operand values.  kParam is not
+/// handled here (the executor substitutes arguments).
+Literal evaluate_instruction(const HloInstruction& instr,
+                             const std::vector<const Literal*>& operands);
+
+}  // namespace toast::xla

@@ -1,0 +1,260 @@
+#include "xla/executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <limits>
+#include <unordered_set>
+
+#include "xla/eval.hpp"
+
+namespace toast::xla {
+
+namespace {
+
+constexpr double kCompileBaseSeconds = 0.04;
+constexpr double kCompilePerInstructionSeconds = 3.5e-4;
+
+double literal_bytes(const HloInstruction& in) {
+  return static_cast<double>(in.shape.num_elements()) *
+         static_cast<double>(dtype_size(in.dtype));
+}
+
+}  // namespace
+
+Compiled compile(HloModule module) {
+  {
+    const auto problems = verify(module);
+    if (!problems.empty()) {
+      throw std::logic_error("xla: invalid module: " + problems.front());
+    }
+  }
+  Compiled c;
+  c.module = optimize(std::move(module), &c.pass_stats);
+  c.group_of = assign_fusion_groups(c.module);
+  int max_group = -1;
+  for (const auto g : c.group_of) {
+    max_group = std::max(max_group, g);
+  }
+  c.n_groups = max_group + 1;
+  c.compile_seconds =
+      kCompileBaseSeconds +
+      kCompilePerInstructionSeconds * static_cast<double>(c.module.size());
+  return c;
+}
+
+std::vector<Literal> execute(const Compiled& compiled,
+                             std::span<const Literal> args,
+                             ExecutionReport* report) {
+  const HloModule& m = compiled.module;
+  if (args.size() != m.params.size()) {
+    throw std::invalid_argument("xla: argument count mismatch");
+  }
+  // Verify argument shapes against the traced signature.
+  for (std::size_t p = 0; p < m.params.size(); ++p) {
+    const auto& param = m.at(m.params[p]);
+    if (args[p].shape() != param.shape || args[p].dtype() != param.dtype) {
+      throw std::invalid_argument("xla: argument " + std::to_string(p) +
+                                  " shape/dtype mismatch");
+    }
+  }
+
+  ExecutionReport local;
+  local.group_work.assign(static_cast<std::size_t>(compiled.n_groups), {});
+  local.group_heavy.assign(static_cast<std::size_t>(compiled.n_groups),
+                           false);
+  for (auto& w : local.group_work) {
+    w.launches = 0.0;  // set to 1 when the group turns out non-empty
+  }
+
+  // Consumer map: which groups read instruction i, and is it a root.
+  const std::size_t n = m.size();
+  std::vector<std::set<int>> consumer_groups(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int g = compiled.group_of[i];
+    for (const auto op : m.instructions[i].operands) {
+      const int og = compiled.group_of[static_cast<std::size_t>(op)];
+      if (og != g) {
+        consumer_groups[static_cast<std::size_t>(op)].insert(g);
+      }
+    }
+  }
+  std::unordered_set<InstrId> root_set(m.roots.begin(), m.roots.end());
+
+  std::vector<Literal> values(n);
+  std::vector<int> group_instr_count(
+      static_cast<std::size_t>(compiled.n_groups), 0);
+  std::size_t temp_bytes = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const HloInstruction& in = m.instructions[i];
+    const int g = compiled.group_of[i];
+
+    if (in.opcode == Opcode::kParam) {
+      values[i] = args[static_cast<std::size_t>(in.i0)];
+      continue;
+    }
+    std::vector<const Literal*> ops;
+    ops.reserve(in.operands.size());
+    for (const auto op : in.operands) {
+      ops.push_back(&values[static_cast<std::size_t>(op)]);
+    }
+    values[i] = (in.opcode == Opcode::kConstant)
+                    ? *in.literal
+                    : evaluate_instruction(in, ops);
+    temp_bytes += values[i].byte_size();
+    local.peak_temp_bytes = std::max(local.peak_temp_bytes, temp_bytes);
+    if (g < 0) {
+      continue;
+    }
+
+    auto& work = local.group_work[static_cast<std::size_t>(g)];
+    work.launches = 1.0;
+    ++group_instr_count[static_cast<std::size_t>(g)];
+    if (is_heavy(in.opcode)) {
+      local.group_heavy[static_cast<std::size_t>(g)] = true;
+    }
+    const double elems = static_cast<double>(in.shape.num_elements());
+    work.parallel_items = std::max(work.parallel_items, elems);
+
+    // Flop accounting.
+    switch (in.opcode) {
+      case Opcode::kReduceSum:
+        work.flops += static_cast<double>(
+            m.at(in.operands[0]).shape.num_elements());
+        break;
+      case Opcode::kDot:
+        work.flops += 2.0 * static_cast<double>(
+                                m.at(in.operands[0]).shape.num_elements());
+        work.parallel_items = std::max(
+            work.parallel_items,
+            static_cast<double>(m.at(in.operands[0]).shape.num_elements()));
+        break;
+      case Opcode::kScatterAdd:
+      case Opcode::kScatterSet: {
+        const Literal& idx = *ops[1];
+        const double updates = static_cast<double>(idx.num_elements());
+        work.flops += 2.0 * updates;
+        work.parallel_items = std::max(work.parallel_items, updates);
+        // Lowering decision from the data, scatter-add only: sorted valid
+        // indices -> segmented reduction (no atomics); unsorted ->
+        // atomics with the measured conflict rate.  scatter-set never
+        // needs atomics (plain stores).
+        const auto span = idx.i64();
+        const std::int64_t scatter_base_n = ops[0]->num_elements();
+        bool sorted = true;
+        double unique_targets = 0.0;
+        std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+        for (const auto j : span) {
+          if (j < 0 || j >= scatter_base_n) continue;  // dropped lanes
+          if (j < prev) {
+            sorted = false;
+            break;
+          }
+          if (j != prev) unique_targets += 1.0;
+          prev = j;
+        }
+        bool segment_reduce = false;
+        if (in.opcode == Opcode::kScatterSet) {
+          // Plain stores; covered by the write-traffic accounting below.
+        } else if (sorted && span.size() > 1) {
+          local.segment_lowering_used = true;
+          segment_reduce = true;
+        } else {
+          // Conflict probability measured over warp-sized windows of the
+          // actual update stream.
+          constexpr std::size_t kWarp = 32;
+          std::map<std::int64_t, int> hist;
+          const std::int64_t base_n = ops[0]->num_elements();
+          double valid = 0.0;
+          double conflicts = 0.0;
+          for (std::size_t w0 = 0; w0 < span.size(); w0 += kWarp) {
+            hist.clear();
+            const std::size_t w1 = std::min(span.size(), w0 + kWarp);
+            for (std::size_t k = w0; k < w1; ++k) {
+              const auto j = span[k];
+              if (j < 0 || j >= base_n) continue;
+              valid += 1.0;
+              if (++hist[j] > 1) conflicts += 1.0;
+            }
+          }
+          const double prior_atomics = work.atomic_ops;
+          const double rate = valid > 0.0 ? conflicts / valid : 0.0;
+          work.atomic_conflict_rate =
+              (work.atomic_conflict_rate * prior_atomics + rate * valid) /
+              std::max(1.0, prior_atomics + valid);
+          work.atomic_ops += valid;
+        }
+        // XLA buffer assignment updates the base in place (the operand is
+        // dead after this op in our kernels): only the touched elements
+        // are stored, not the whole buffer.  A segmented reduction stores
+        // one value per *unique* target (the linear-algebra lowering of
+        // the paper's offset_project anomaly); plain scatters store one
+        // per update.
+        work.bytes_written +=
+            (segment_reduce ? unique_targets : updates) *
+            static_cast<double>(dtype_size(in.dtype));
+        break;
+      }
+      case Opcode::kGather:
+        // A gather loads one table element per *output* element: padded
+        // lanes really do read (dummy) data.
+        work.flops += elems;
+        work.bytes_read +=
+            elems * static_cast<double>(dtype_size(in.dtype));
+        break;
+      default:
+        work.flops += flops_per_element(in.opcode) * elems;
+        break;
+    }
+
+    // Memory traffic: operands read from outside the group.  The gather
+    // table is accounted above (per gathered element).
+    for (std::size_t k = 0; k < in.operands.size(); ++k) {
+      if (in.opcode == Opcode::kGather && k == 0) {
+        continue;
+      }
+      const auto op = in.operands[k];
+      const int og = compiled.group_of[static_cast<std::size_t>(op)];
+      if (og != g) {
+        work.bytes_read += literal_bytes(m.at(op));
+      }
+    }
+    // Output traffic: values consumed by other groups or returned.
+    if (!consumer_groups[i].empty() || root_set.count(static_cast<InstrId>(i))) {
+      work.bytes_written += literal_bytes(in);
+    }
+  }
+
+  // Register pressure: very large fused kernels (predicated branchy code
+  // materializes every path, e.g. the HEALPix projection) spill registers
+  // and lose occupancy.  Modelled as a compute-time multiplier that grows
+  // once a fusion group exceeds what fits in the register file.
+  constexpr double kRegisterComfortInstrs = 48.0;
+  constexpr double kMaxRegisterPenalty = 3.0;
+  for (std::size_t g = 0; g < local.group_work.size(); ++g) {
+    const double pressure =
+        static_cast<double>(group_instr_count[g]) / kRegisterComfortInstrs;
+    if (pressure > 1.0) {
+      local.group_work[g].divergence *=
+          std::min(kMaxRegisterPenalty, pressure);
+    }
+  }
+
+  for (const auto& w : local.group_work) {
+    local.total += w;
+  }
+
+  std::vector<Literal> outputs;
+  outputs.reserve(m.roots.size());
+  for (const auto r : m.roots) {
+    outputs.push_back(values[static_cast<std::size_t>(r)]);
+  }
+  if (report != nullptr) {
+    *report = std::move(local);
+  }
+  return outputs;
+}
+
+}  // namespace toast::xla

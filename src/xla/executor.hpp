@@ -1,0 +1,50 @@
+#pragma once
+
+// Compilation (pass pipeline + fusion grouping) and execution of HLO
+// modules.  Execution computes real values on the host and, per fusion
+// group, a WorkEstimate describing what an XLA GPU executable would have
+// done: one launch per group, memory traffic only across group boundaries,
+// flops for every element actually computed (including padding and both
+// sides of every select - predication is how XLA handles branches).
+//
+// Scatter lowering is decided from the data, as XLA:GPU does: sorted
+// (segment) scatters become a conflict-free segmented reduction; unsorted
+// scatters pay atomics with the measured conflict rate.
+
+#include <span>
+#include <vector>
+
+#include "accel/work.hpp"
+#include "xla/hlo.hpp"
+#include "xla/passes.hpp"
+
+namespace toast::xla {
+
+struct Compiled {
+  HloModule module;
+  std::vector<int> group_of;  // fusion group per instruction, -1 = memory
+  int n_groups = 0;
+  PassStats pass_stats;
+  /// Modelled XLA compile time (charged once per cache entry).
+  double compile_seconds = 0.0;
+};
+
+Compiled compile(HloModule module);
+
+struct ExecutionReport {
+  std::vector<accel::WorkEstimate> group_work;
+  /// Whether each group contains a heavy op (reduce/dot/gather/scatter);
+  /// XLA's CPU backend parallelizes only these (paper §4.2).
+  std::vector<bool> group_heavy;
+  accel::WorkEstimate total;
+  bool segment_lowering_used = false;
+  /// Bytes of intermediate buffers held at the peak of execution.
+  std::size_t peak_temp_bytes = 0;
+};
+
+/// Evaluate the compiled module.  `args` must match module params.
+std::vector<Literal> execute(const Compiled& compiled,
+                             std::span<const Literal> args,
+                             ExecutionReport* report = nullptr);
+
+}  // namespace toast::xla

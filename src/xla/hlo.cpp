@@ -1,0 +1,200 @@
+#include "xla/hlo.hpp"
+
+#include <sstream>
+
+namespace toast::xla {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kParam: return "param";
+    case Opcode::kConstant: return "constant";
+    case Opcode::kIota: return "iota";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kAbs: return "abs";
+    case Opcode::kSign: return "sign";
+    case Opcode::kTanh: return "tanh";
+    case Opcode::kSqrt: return "sqrt";
+    case Opcode::kSin: return "sin";
+    case Opcode::kCos: return "cos";
+    case Opcode::kExp: return "exp";
+    case Opcode::kLog: return "log";
+    case Opcode::kFloor: return "floor";
+    case Opcode::kNot: return "not";
+    case Opcode::kCastF64: return "convert.f64";
+    case Opcode::kCastI64: return "convert.i64";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kAtan2: return "atan2";
+    case Opcode::kMod: return "mod";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kLt: return "lt";
+    case Opcode::kLe: return "le";
+    case Opcode::kGt: return "gt";
+    case Opcode::kGe: return "ge";
+    case Opcode::kEq: return "eq";
+    case Opcode::kNe: return "ne";
+    case Opcode::kSelect: return "select";
+    case Opcode::kClamp: return "clamp";
+    case Opcode::kReshape: return "reshape";
+    case Opcode::kBroadcastCol: return "broadcast_col";
+    case Opcode::kBroadcastRow: return "broadcast_row";
+    case Opcode::kSliceCol: return "slice_col";
+    case Opcode::kGather: return "gather";
+    case Opcode::kScatterAdd: return "scatter_add";
+    case Opcode::kScatterSet: return "scatter_set";
+    case Opcode::kReduceSum: return "reduce_sum";
+    case Opcode::kReduceMax: return "reduce_max";
+    case Opcode::kDot: return "dot";
+  }
+  return "?";
+}
+
+bool is_elementwise(Opcode op) {
+  switch (op) {
+    case Opcode::kNeg:
+    case Opcode::kAbs:
+    case Opcode::kSign:
+    case Opcode::kSqrt:
+    case Opcode::kTanh:
+    case Opcode::kSin:
+    case Opcode::kCos:
+    case Opcode::kExp:
+    case Opcode::kLog:
+    case Opcode::kFloor:
+    case Opcode::kNot:
+    case Opcode::kCastF64:
+    case Opcode::kCastI64:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kAtan2:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kLt:
+    case Opcode::kLe:
+    case Opcode::kGt:
+    case Opcode::kGe:
+    case Opcode::kEq:
+    case Opcode::kNe:
+    case Opcode::kSelect:
+    case Opcode::kClamp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_heavy(Opcode op) {
+  // Gathers are NOT fusion boundaries: XLA input-fuses gathers into their
+  // consumers, which matters for the segment-scatter kernels.
+  switch (op) {
+    case Opcode::kScatterAdd:
+    case Opcode::kScatterSet:
+    case Opcode::kReduceSum:
+    case Opcode::kReduceMax:
+    case Opcode::kDot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double flops_per_element(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kNeg:
+    case Opcode::kAbs:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kFloor:
+    case Opcode::kSign:
+    case Opcode::kSelect:
+    case Opcode::kLt:
+    case Opcode::kLe:
+    case Opcode::kGt:
+    case Opcode::kGe:
+    case Opcode::kEq:
+    case Opcode::kNe:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kNot:
+    case Opcode::kCastF64:
+    case Opcode::kCastI64:
+      return 1.0;
+    case Opcode::kClamp:
+      return 2.0;
+    case Opcode::kDiv:
+    case Opcode::kMod:
+      return 4.0;
+    case Opcode::kSqrt:
+      return 4.0;
+    case Opcode::kSin:
+    case Opcode::kCos:
+    case Opcode::kExp:
+    case Opcode::kLog:
+    case Opcode::kTanh:
+      return 15.0;
+    case Opcode::kAtan2:
+      return 25.0;
+    case Opcode::kGather:
+      return 1.0;
+    case Opcode::kScatterAdd:
+      return 2.0;
+    case Opcode::kScatterSet:
+      return 1.0;
+    case Opcode::kReduceSum:
+    case Opcode::kReduceMax:
+    case Opcode::kDot:
+      return 1.0;
+    default:
+      return 0.0;  // param/constant/iota/structural
+  }
+}
+
+std::string HloModule::to_string() const {
+  std::ostringstream out;
+  out << "HloModule " << name << " {\n";
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    const auto& in = instructions[i];
+    out << "  %" << i << " = " << xla::to_string(in.opcode)
+        << in.shape.to_string() << ":" << xla::to_string(in.dtype) << "(";
+    for (std::size_t k = 0; k < in.operands.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << "%" << in.operands[k];
+    }
+    out << ")";
+    if (in.opcode == Opcode::kParam || in.opcode == Opcode::kIota ||
+        in.opcode == Opcode::kBroadcastCol ||
+        in.opcode == Opcode::kBroadcastRow ||
+        in.opcode == Opcode::kSliceCol || in.opcode == Opcode::kReduceSum) {
+      out << " i0=" << in.i0;
+    }
+    out << "\n";
+  }
+  out << "  roots:";
+  for (const auto r : roots) out << " %" << r;
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace toast::xla

@@ -1,0 +1,110 @@
+#pragma once
+
+// HLO-like intermediate representation: a static SSA graph of array
+// operations.  Tracing a kernel (xla/array.hpp) produces an HloModule;
+// optimization passes (xla/passes.hpp) rewrite it; the executor
+// (xla/executor.hpp) evaluates it and meters the work.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xla/types.hpp"
+
+namespace toast::xla {
+
+enum class Opcode : std::uint8_t {
+  // Leaves.
+  kParam,
+  kConstant,
+  kIota,
+  // Elementwise unary.
+  kNeg,
+  kAbs,
+  kSign,
+  kSqrt,
+  kTanh,
+  kSin,
+  kCos,
+  kExp,
+  kLog,
+  kFloor,
+  kNot,
+  kCastF64,
+  kCastI64,
+  // Elementwise binary.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMin,
+  kMax,
+  kAtan2,
+  kMod,   // floating fmod / integer remainder
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  // Elementwise ternary.
+  kSelect,
+  kClamp,
+  // Shape manipulation (free at execution, they move/replicate data).
+  kReshape,
+  kBroadcastCol,  // [n] -> [n, m]: replicate values across columns
+  kBroadcastRow,  // [m] -> [n, m]: replicate the row n times
+  kSliceCol,      // [n, m] -> [n]: extract column i0
+  // Data-movement / reduction ("heavy": fusion group boundaries).
+  kGather,      // (table[t], indices) -> indices.shape of table values
+  kScatterAdd,  // (base[t], indices, updates) -> base with updates added
+  kScatterSet,  // (base[t], indices, updates) -> base with updates stored
+  kReduceSum,   // rank2 + axis=1 -> [n]; any rank + axis=-1 -> scalar
+  kReduceMax,   // full reduction -> scalar
+  kDot,         // ([n],[n]) -> scalar
+};
+
+const char* to_string(Opcode op);
+bool is_elementwise(Opcode op);
+bool is_heavy(Opcode op);
+/// Floating-point cost per produced element (0 for structural ops).
+double flops_per_element(Opcode op);
+
+using InstrId = std::int32_t;
+
+struct HloInstruction {
+  Opcode opcode = Opcode::kParam;
+  DType dtype = DType::kF64;
+  Shape shape;
+  std::vector<InstrId> operands;
+  // Attributes (meaning depends on opcode): parameter index, iota length,
+  // broadcast extent, slice column, reduce axis...
+  std::int64_t i0 = 0;
+  // Constant payload.
+  std::optional<Literal> literal;
+};
+
+struct HloModule {
+  std::string name;
+  std::vector<HloInstruction> instructions;  // SSA order
+  std::vector<InstrId> params;               // instruction ids of parameters
+  std::vector<InstrId> roots;                // outputs
+
+  const HloInstruction& at(InstrId id) const {
+    return instructions[static_cast<std::size_t>(id)];
+  }
+  HloInstruction& at(InstrId id) {
+    return instructions[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const { return instructions.size(); }
+
+  std::string to_string() const;
+};
+
+}  // namespace toast::xla

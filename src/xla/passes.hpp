@@ -1,0 +1,53 @@
+#pragma once
+
+// XLA-style optimization passes over HloModules:
+//   - constant folding (small results only)
+//   - recognition of dot / segment-reduction patterns
+//     (reduce_sum(mul(a,b)) -> dot), the mechanism behind the paper's
+//     observation that XLA expressed offset_project_signal "in terms of
+//     linear algebra" (§4.2)
+//   - common-subexpression elimination
+//   - dead-code elimination
+//   - fusion grouping: partitioning the graph into launchable kernels,
+//     with heavy ops (gather/scatter/reduce/dot) terminating groups
+
+#include <string>
+#include <vector>
+
+#include "xla/hlo.hpp"
+
+namespace toast::xla {
+
+struct PassStats {
+  int folded = 0;
+  int simplified = 0;
+  int dot_rewrites = 0;
+  int cse_removed = 0;
+  int dce_removed = 0;
+};
+
+/// Run the full pipeline; returns the optimized module.
+HloModule optimize(HloModule module, PassStats* stats = nullptr);
+
+/// Individual passes (exposed for tests and the ablation benchmark).
+HloModule fold_constants(HloModule module, int* folded = nullptr);
+/// Algebraic identities: x*1 -> x, x+0 -> x, x-0 -> x, x/1 -> x,
+/// neg(neg(x)) -> x, select(p, x, x) -> x.
+HloModule simplify_algebra(HloModule module, int* simplified = nullptr);
+HloModule rewrite_dots(HloModule module, int* rewrites = nullptr);
+HloModule eliminate_common_subexpressions(HloModule module,
+                                          int* removed = nullptr);
+HloModule eliminate_dead_code(HloModule module, int* removed = nullptr);
+
+/// Structural validation: SSA ordering (operands precede users), operand
+/// ids in range, parameter indices unique and dense, roots valid.
+/// Returns a list of human-readable problems (empty = valid).
+std::vector<std::string> verify(const HloModule& module);
+
+/// Assign a fusion group id to every instruction.  Group ids are dense and
+/// increase with instruction order; params and constants get group -1
+/// (they live in memory, not in a kernel).  Every heavy op closes its
+/// group, so the number of distinct non-negative ids is the launch count.
+std::vector<int> assign_fusion_groups(const HloModule& module);
+
+}  // namespace toast::xla

@@ -1,0 +1,126 @@
+#include "xla/types.hpp"
+
+#include <sstream>
+
+namespace toast::xla {
+
+const char* to_string(DType d) {
+  switch (d) {
+    case DType::kF64:
+      return "f64";
+    case DType::kI64:
+      return "i64";
+    case DType::kPred:
+      return "pred";
+  }
+  return "?";
+}
+
+std::size_t dtype_size(DType d) {
+  switch (d) {
+    case DType::kF64:
+      return 8;
+    case DType::kI64:
+      return 8;
+    case DType::kPred:
+      return 1;
+  }
+  return 0;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Literal::Literal(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype) {
+  const auto n = static_cast<std::size_t>(shape_.num_elements());
+  switch (dtype_) {
+    case DType::kF64:
+      data_ = std::vector<double>(n, 0.0);
+      break;
+    case DType::kI64:
+      data_ = std::vector<std::int64_t>(n, 0);
+      break;
+    case DType::kPred:
+      data_ = std::vector<std::uint8_t>(n, 0);
+      break;
+  }
+}
+
+Literal Literal::scalar_f64(double v) {
+  Literal l(Shape{}, DType::kF64);
+  l.f64()[0] = v;
+  return l;
+}
+
+Literal Literal::scalar_i64(std::int64_t v) {
+  Literal l(Shape{}, DType::kI64);
+  l.i64()[0] = v;
+  return l;
+}
+
+Literal Literal::scalar_pred(bool v) {
+  Literal l(Shape{}, DType::kPred);
+  l.pred()[0] = v ? 1 : 0;
+  return l;
+}
+
+Literal Literal::from_f64(Shape shape, std::span<const double> data) {
+  Literal l(std::move(shape), DType::kF64);
+  if (static_cast<std::int64_t>(data.size()) != l.num_elements()) {
+    throw std::invalid_argument("Literal::from_f64: size mismatch");
+  }
+  std::copy(data.begin(), data.end(), l.f64().begin());
+  return l;
+}
+
+Literal Literal::from_i64(Shape shape, std::span<const std::int64_t> data) {
+  Literal l(std::move(shape), DType::kI64);
+  if (static_cast<std::int64_t>(data.size()) != l.num_elements()) {
+    throw std::invalid_argument("Literal::from_i64: size mismatch");
+  }
+  std::copy(data.begin(), data.end(), l.i64().begin());
+  return l;
+}
+
+std::span<double> Literal::f64() {
+  return std::get<std::vector<double>>(data_);
+}
+std::span<const double> Literal::f64() const {
+  return std::get<std::vector<double>>(data_);
+}
+std::span<std::int64_t> Literal::i64() {
+  return std::get<std::vector<std::int64_t>>(data_);
+}
+std::span<const std::int64_t> Literal::i64() const {
+  return std::get<std::vector<std::int64_t>>(data_);
+}
+std::span<std::uint8_t> Literal::pred() {
+  return std::get<std::vector<std::uint8_t>>(data_);
+}
+std::span<const std::uint8_t> Literal::pred() const {
+  return std::get<std::vector<std::uint8_t>>(data_);
+}
+
+double Literal::as_double(std::int64_t i) const {
+  const auto idx = static_cast<std::size_t>(i);
+  switch (dtype_) {
+    case DType::kF64:
+      return f64()[idx];
+    case DType::kI64:
+      return static_cast<double>(i64()[idx]);
+    case DType::kPred:
+      return static_cast<double>(pred()[idx]);
+  }
+  return 0.0;
+}
+
+}  // namespace toast::xla

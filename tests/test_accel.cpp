@@ -1,0 +1,250 @@
+// Tests for the simulated-device performance model and problem sizing.
+
+#include "accel/host_model.hpp"
+#include "accel/sim_device.hpp"
+#include "bench_model/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace accel = toast::accel;
+using accel::Sharing;
+using accel::SimDevice;
+using accel::WorkEstimate;
+
+namespace {
+
+WorkEstimate streaming_kernel(double n) {
+  WorkEstimate w;
+  w.flops = 4.0 * n;
+  w.bytes_read = 16.0 * n;
+  w.bytes_written = 8.0 * n;
+  w.launches = 1.0;
+  w.parallel_items = n;
+  return w;
+}
+
+WorkEstimate compute_kernel(double n) {
+  WorkEstimate w;
+  w.flops = 500.0 * n;
+  w.bytes_read = 16.0 * n;
+  w.bytes_written = 8.0 * n;
+  w.launches = 1.0;
+  w.parallel_items = n;
+  return w;
+}
+
+}  // namespace
+
+TEST(SimDevice, ZeroWorkCostsNothing) {
+  SimDevice dev;
+  WorkEstimate w;
+  w.launches = 0.0;
+  EXPECT_DOUBLE_EQ(dev.kernel_time(w), 0.0);
+  EXPECT_DOUBLE_EQ(dev.exec_time(w), 0.0);
+}
+
+TEST(SimDevice, TimeIsMonotonicInWork) {
+  SimDevice dev;
+  const double t1 = dev.kernel_time(streaming_kernel(1e6));
+  const double t2 = dev.kernel_time(streaming_kernel(2e6));
+  const double t4 = dev.kernel_time(streaming_kernel(4e6));
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t4);
+}
+
+TEST(SimDevice, LargeKernelsScaleLinearly) {
+  SimDevice dev;
+  // Past saturation, doubling the work should roughly double the time.
+  const double t1 = dev.kernel_time(streaming_kernel(1e9));
+  const double t2 = dev.kernel_time(streaming_kernel(2e9));
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(SimDevice, SmallKernelsAreLaunchBound) {
+  SimDevice dev;
+  const WorkEstimate w = streaming_kernel(100.0);
+  EXPECT_GT(dev.exec_time(w), dev.spec().launch_latency);
+  EXPECT_LT(dev.kernel_time(w), dev.spec().launch_latency);
+}
+
+TEST(SimDevice, MemoryBoundVsComputeBound) {
+  SimDevice dev;
+  // The streaming kernel has arithmetic intensity 4/24 flop/byte, far below
+  // the A100 roofline ridge, so it must be memory-bound; the compute kernel
+  // at ~20 flop/byte must be compute-bound.
+  const double n = 1e9;
+  const WorkEstimate ws = streaming_kernel(n);
+  const double t_mem_only =
+      ws.total_bytes() / (dev.spec().hbm_bandwidth * dev.spec().hbm_efficiency);
+  EXPECT_NEAR(dev.kernel_time(ws), t_mem_only, 0.05 * t_mem_only);
+
+  const WorkEstimate wc = compute_kernel(n);
+  const double t_cmp_only = wc.flops / (dev.spec().fp64_flops *
+                                        dev.spec().compute_efficiency);
+  EXPECT_NEAR(dev.kernel_time(wc), t_cmp_only, 0.05 * t_cmp_only);
+}
+
+TEST(SimDevice, DivergenceSlowsComputeBoundKernels) {
+  SimDevice dev;
+  WorkEstimate w = compute_kernel(1e9);
+  const double base = dev.kernel_time(w);
+  w.divergence = 3.0;
+  EXPECT_NEAR(dev.kernel_time(w) / base, 3.0, 0.01);
+}
+
+TEST(SimDevice, ConflictingAtomicsAddTime) {
+  SimDevice dev;
+  WorkEstimate w = streaming_kernel(1e8);
+  const double base = dev.kernel_time(w);
+  w.atomic_ops = 1e8;
+  w.atomic_conflict_rate = 0.5;
+  EXPECT_GT(dev.kernel_time(w), base);
+  // Conflict-free atomics are free in the model (covered by write traffic).
+  w.atomic_conflict_rate = 0.0;
+  EXPECT_DOUBLE_EQ(dev.kernel_time(w), base);
+}
+
+TEST(SimDevice, MpsSharingDividesThroughput) {
+  SimDevice solo;
+  SimDevice shared;
+  shared.set_sharing(Sharing::kMps, 4);
+  const WorkEstimate w = streaming_kernel(1e9);
+  const double t_solo = solo.exec_time(w);
+  const double t_shared = shared.exec_time(w);
+  EXPECT_NEAR(t_shared / t_solo, 4.0, 0.1);
+}
+
+TEST(SimDevice, TimeSlicingPaysContextSwitches) {
+  SimDevice mps;
+  mps.set_sharing(Sharing::kMps, 4);
+  SimDevice sliced;
+  sliced.set_sharing(Sharing::kTimeSliced, 4);
+  // Many small launches: the no-MPS path must be much slower, which is the
+  // paper's observation that MPS is required for oversubscription (§3.1.2).
+  WorkEstimate w = streaming_kernel(1e5);
+  w.launches = 100.0;
+  EXPECT_GT(sliced.exec_time(w), 3.0 * mps.exec_time(w));
+}
+
+TEST(SimDevice, SharingWithOneProcessIsExclusive) {
+  SimDevice dev;
+  dev.set_sharing(Sharing::kMps, 1);
+  EXPECT_EQ(dev.sharing(), Sharing::kExclusive);
+}
+
+TEST(SimDevice, TransfersShareLink) {
+  SimDevice solo;
+  SimDevice shared;
+  shared.set_sharing(Sharing::kMps, 2);
+  const double bytes = 1e9;
+  EXPECT_GT(shared.transfer_time(bytes), 1.9 * solo.transfer_time(bytes) -
+                                             solo.spec().pcie_latency);
+  EXPECT_DOUBLE_EQ(solo.transfer_time(0.0), 0.0);
+}
+
+TEST(SimDevice, AllocationTrackingAndOom) {
+  SimDevice dev;
+  const std::size_t cap = dev.capacity_bytes();
+  dev.allocate(cap / 2);
+  EXPECT_EQ(dev.allocated_bytes(), cap / 2);
+  dev.allocate(cap / 4);
+  EXPECT_THROW(dev.allocate(cap / 2), accel::DeviceOomError);
+  dev.deallocate(cap / 2);
+  EXPECT_NO_THROW(dev.allocate(cap / 2));
+  dev.deallocate(2 * cap);  // over-free clamps to zero
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(HostModel, ThreadScalingComputeBound) {
+  accel::HostModel host;
+  const WorkEstimate w = compute_kernel(1e8);
+  const double t1 = host.exec_time(w, 1, 1);
+  const double t16 = host.exec_time(w, 16, 16);
+  // Sub-linear: 16 threads deliver 16x work through a documented
+  // thread-scaling efficiency of 1/(1 + 0.025 (t-1)).
+  const double eff = 1.0 / (1.0 + 0.025 * 15.0);
+  EXPECT_NEAR(t1 / t16, 16.0 * eff, 0.5);
+  EXPECT_GT(t1 / t16, 8.0);
+}
+
+TEST(HostModel, MemoryBoundKernelsDontScalePastBandwidth) {
+  accel::HostModel host;
+  const WorkEstimate w = streaming_kernel(2e9);
+  // All 64 threads active on the socket: using 16 vs 64 threads of a fully
+  // busy socket changes only this kernel's *share*.
+  const double t_full = host.exec_time(w, 64, 64);
+  const double t_quarter = host.exec_time(w, 16, 64);
+  EXPECT_NEAR(t_quarter / t_full, 4.0, 0.2);
+}
+
+TEST(HostModel, DivergenceCostsVectorizationOnly) {
+  accel::HostModel host;
+  WorkEstimate w = compute_kernel(1e8);
+  const double base = host.exec_time(w, 8, 8);
+  w.divergence = 2.0;
+  const double slowed = host.exec_time(w, 8, 8);
+  // CPU penalty for divergence is bounded (no lockstep execution).
+  EXPECT_GT(slowed, base);
+  EXPECT_LT(slowed, 2.5 * base);
+}
+
+TEST(HostModel, SerialIsSlowerThanThreaded) {
+  accel::HostModel host;
+  const WorkEstimate w = compute_kernel(1e8);
+  EXPECT_GT(host.exec_time_serial(w), host.exec_time(w, 32, 32));
+}
+
+TEST(Problem, SizesMatchPaper) {
+  const auto medium = toast::bench_model::medium_problem();
+  EXPECT_DOUBLE_EQ(medium.paper_total_samples, 5.0e9);
+  EXPECT_EQ(medium.nodes, 1);
+  // ~1 TB of data as the paper states.
+  EXPECT_NEAR(medium.paper_total_bytes(), 1.0e12, 2e11);
+
+  const auto large = toast::bench_model::large_problem();
+  EXPECT_DOUBLE_EQ(large.paper_total_samples, 5.0e10);
+  EXPECT_EQ(large.nodes, 8);
+  EXPECT_NEAR(large.paper_total_bytes(), 1.0e13, 2e12);
+}
+
+TEST(Problem, ThreadSplit) {
+  auto p = toast::bench_model::medium_problem();
+  p.procs_per_node = 16;
+  EXPECT_EQ(p.threads_per_proc(), 4);
+  p.procs_per_node = 64;
+  EXPECT_EQ(p.threads_per_proc(), 1);
+  p.procs_per_node = 1;
+  EXPECT_EQ(p.threads_per_proc(), 64);
+}
+
+TEST(Problem, ScaleFactorIsConsistent) {
+  const auto p = toast::bench_model::medium_problem();
+  const double actual = static_cast<double>(p.actual_n_detectors) *
+                        static_cast<double>(p.actual_n_samples) *
+                        static_cast<double>(p.observations_per_proc);
+  EXPECT_NEAR(p.sample_scale() * actual * p.total_procs(),
+              p.paper_total_samples, 1.0);
+}
+
+TEST(WorkEstimateTest, ScalingLeavesStructureAlone) {
+  WorkEstimate w = compute_kernel(1e3);
+  w.divergence = 2.5;
+  w.launches = 7.0;
+  const WorkEstimate s = w.scaled(100.0);
+  EXPECT_DOUBLE_EQ(s.flops, w.flops * 100.0);
+  EXPECT_DOUBLE_EQ(s.bytes_read, w.bytes_read * 100.0);
+  EXPECT_DOUBLE_EQ(s.divergence, 2.5);
+  EXPECT_DOUBLE_EQ(s.launches, 7.0);
+}
+
+TEST(WorkEstimateTest, AccumulationWeightsStructure) {
+  WorkEstimate a = compute_kernel(1e6);
+  a.divergence = 1.0;
+  WorkEstimate b = compute_kernel(1e6);
+  b.divergence = 3.0;
+  WorkEstimate sum = a;
+  sum += b;
+  EXPECT_DOUBLE_EQ(sum.divergence, 2.0);
+  EXPECT_DOUBLE_EQ(sum.flops, a.flops + b.flops);
+  EXPECT_DOUBLE_EQ(sum.launches, 2.0);
+}

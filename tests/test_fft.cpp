@@ -1,0 +1,174 @@
+// Unit and property tests for the FFT substrate.
+
+#include "fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+#include <vector>
+
+namespace fft = toast::fft;
+using cd = std::complex<double>;
+
+namespace {
+
+// O(n^2) reference DFT.
+std::vector<cd> naive_dft(const std::vector<cd>& x) {
+  const std::size_t n = x.size();
+  std::vector<cd> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cd acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      acc += x[j] * cd(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<cd> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<cd> x(n);
+  for (auto& v : x) v = cd(dist(gen), dist(gen));
+  return x;
+}
+
+}  // namespace
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(fft::next_pow2(1), 1u);
+  EXPECT_EQ(fft::next_pow2(2), 2u);
+  EXPECT_EQ(fft::next_pow2(3), 4u);
+  EXPECT_EQ(fft::next_pow2(1000), 1024u);
+  EXPECT_EQ(fft::next_pow2(1024), 1024u);
+  EXPECT_EQ(fft::next_pow2(1025), 2048u);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(fft::is_pow2(1));
+  EXPECT_TRUE(fft::is_pow2(64));
+  EXPECT_FALSE(fft::is_pow2(0));
+  EXPECT_FALSE(fft::is_pow2(12));
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<cd> x(12);
+  EXPECT_THROW(fft::fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cd> x(8, cd(0.0, 0.0));
+  x[0] = cd(1.0, 0.0);
+  fft::fft_inplace(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-14);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k0 = 5;
+  std::vector<cd> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k0 * i) /
+                       static_cast<double>(n);
+    x[i] = cd(std::cos(ang), std::sin(ang));
+  }
+  fft::fft_inplace(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expected, 1e-10) << "bin " << k;
+  }
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, static_cast<unsigned>(n));
+  const auto ref = naive_dft(x);
+  fft::fft_inplace(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k] - ref[k]), 0.0, 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  const auto orig = random_signal(n, static_cast<unsigned>(n) + 100);
+  auto x = orig;
+  fft::fft_inplace(x);
+  fft::ifft_inplace(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-12 * static_cast<double>(n));
+  }
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, static_cast<unsigned>(n) + 200);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft::fft_inplace(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  freq_energy /= static_cast<double>(n);
+  EXPECT_NEAR(time_energy, freq_energy, 1e-9 * time_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+TEST(Fft, LinearityProperty) {
+  const std::size_t n = 128;
+  auto x = random_signal(n, 1);
+  auto y = random_signal(n, 2);
+  const cd alpha(0.7, -0.2), beta(-1.3, 0.4);
+  std::vector<cd> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = alpha * x[i] + beta * y[i];
+  fft::fft_inplace(combo);
+  fft::fft_inplace(x);
+  fft::fft_inplace(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(combo[i] - (alpha * x[i] + beta * y[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RealRoundTrip) {
+  const std::size_t n = 256;
+  std::mt19937 gen(33);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> x(n);
+  for (auto& v : x) v = dist(gen);
+  const auto spec = fft::rfft(x);
+  EXPECT_EQ(spec.size(), n / 2 + 1);
+  const auto back = fft::irfft(spec, n);
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-12);
+  }
+}
+
+TEST(Fft, RealSpectrumDcAndNyquistAreReal) {
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(0.1 * i) + 2.0;
+  const auto spec = fft::rfft(x);
+  EXPECT_NEAR(spec.front().imag(), 0.0, 1e-12);
+  EXPECT_NEAR(spec.back().imag(), 0.0, 1e-12);
+}
+
+TEST(Fft, IrfftValidatesSizes) {
+  std::vector<cd> spec(9);
+  EXPECT_THROW(fft::irfft(spec, 12), std::invalid_argument);
+  EXPECT_THROW(fft::irfft(spec, 32), std::invalid_argument);
+  EXPECT_NO_THROW(fft::irfft(spec, 16));
+}

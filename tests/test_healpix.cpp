@@ -1,0 +1,260 @@
+// Unit, property and consistency tests for the HEALPix substrate.
+
+#include "healpix/healpix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+using toast::healpix::Healpix;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+struct Dir {
+  double theta;
+  double phi;
+};
+
+std::vector<Dir> random_directions(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> uz(-1.0, 1.0);
+  std::uniform_real_distribution<double> uphi(-2.0 * kPi, 2.0 * kPi);
+  std::vector<Dir> dirs(n);
+  for (auto& d : dirs) {
+    d.theta = std::acos(uz(gen));
+    d.phi = uphi(gen);
+  }
+  return dirs;
+}
+
+}  // namespace
+
+TEST(HealpixBits, InterleaveRoundTrip) {
+  std::mt19937 gen(1);
+  std::uniform_int_distribution<std::uint32_t> dist;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint32_t x = dist(gen);
+    const std::uint32_t y = dist(gen);
+    std::uint32_t x2 = 0, y2 = 0;
+    toast::healpix::deinterleave_bits(toast::healpix::interleave_bits(x, y),
+                                      x2, y2);
+    EXPECT_EQ(x, x2);
+    EXPECT_EQ(y, y2);
+  }
+}
+
+TEST(HealpixBits, InterleaveKnownValues) {
+  EXPECT_EQ(toast::healpix::interleave_bits(0, 0), 0u);
+  EXPECT_EQ(toast::healpix::interleave_bits(1, 0), 1u);
+  EXPECT_EQ(toast::healpix::interleave_bits(0, 1), 2u);
+  EXPECT_EQ(toast::healpix::interleave_bits(1, 1), 3u);
+  EXPECT_EQ(toast::healpix::interleave_bits(2, 3), 0b1110u);
+}
+
+TEST(Healpix, ConstructionValidatesNside) {
+  EXPECT_THROW(Healpix(0), std::invalid_argument);
+  EXPECT_THROW(Healpix(3), std::invalid_argument);
+  EXPECT_THROW(Healpix(-8), std::invalid_argument);
+  EXPECT_NO_THROW(Healpix(1));
+  EXPECT_NO_THROW(Healpix(1024));
+}
+
+TEST(Healpix, GeometryCounts) {
+  const Healpix hp(16);
+  EXPECT_EQ(hp.npix(), 12 * 16 * 16);
+  EXPECT_EQ(hp.ncap(), 2 * 16 * 15);
+  EXPECT_EQ(hp.nrings(), 63);
+  EXPECT_NEAR(hp.pixarea() * static_cast<double>(hp.npix()), 4.0 * kPi,
+              1e-12);
+}
+
+TEST(Healpix, Nside1FaceCenters) {
+  // At nside=1 the 12 pixels are the base faces; NESTED face 4 is on the
+  // equator at phi=0 (Gorski et al. 2005, Fig. 4).
+  const Healpix hp(1);
+  double theta = 0.0, phi = 0.0;
+  hp.pix2ang_nest(4, theta, phi);
+  EXPECT_NEAR(theta, kPi / 2.0, 1e-12);
+  EXPECT_NEAR(phi, 0.0, 1e-12);
+  // Faces 0-3 are in the northern cap, 8-11 in the southern.
+  for (int f = 0; f < 4; ++f) {
+    hp.pix2ang_nest(f, theta, phi);
+    EXPECT_LT(theta, kPi / 2.0);
+  }
+  for (int f = 8; f < 12; ++f) {
+    hp.pix2ang_nest(f, theta, phi);
+    EXPECT_GT(theta, kPi / 2.0);
+  }
+}
+
+TEST(Healpix, PolesMapToValidPixels) {
+  for (const std::int64_t nside : {1, 2, 16, 256}) {
+    const Healpix hp(nside);
+    // Exactly at the poles.
+    const auto n_ring = hp.ang2pix_ring(0.0, 0.3);
+    const auto s_ring = hp.ang2pix_ring(kPi, 0.3);
+    EXPECT_GE(n_ring, 0);
+    EXPECT_LT(n_ring, 4);  // first ring has 4 pixels
+    EXPECT_GE(s_ring, hp.npix() - 4);
+    EXPECT_LT(s_ring, hp.npix());
+    const auto n_nest = hp.ang2pix_nest(0.0, 0.3);
+    const auto s_nest = hp.ang2pix_nest(kPi, 0.3);
+    EXPECT_GE(n_nest, 0);
+    EXPECT_LT(n_nest, hp.npix());
+    EXPECT_GE(s_nest, 0);
+    EXPECT_LT(s_nest, hp.npix());
+  }
+}
+
+class HealpixNsides : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HealpixNsides, RingNestSchemesAgree) {
+  const Healpix hp(GetParam());
+  for (const auto& d : random_directions(2000, 7)) {
+    const auto ring = hp.ang2pix_ring(d.theta, d.phi);
+    const auto nest = hp.ang2pix_nest(d.theta, d.phi);
+    EXPECT_EQ(hp.ring2nest(ring), nest)
+        << "theta=" << d.theta << " phi=" << d.phi;
+    EXPECT_EQ(hp.nest2ring(nest), ring);
+  }
+}
+
+TEST_P(HealpixNsides, SchemeConversionIsBijective) {
+  const Healpix hp(GetParam());
+  if (hp.npix() > 12288) {
+    GTEST_SKIP() << "full-sphere sweep limited to small nside";
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(hp.npix()), false);
+  for (std::int64_t p = 0; p < hp.npix(); ++p) {
+    const auto n = hp.ring2nest(p);
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, hp.npix());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(n)]);
+    seen[static_cast<std::size_t>(n)] = true;
+    EXPECT_EQ(hp.nest2ring(n), p);
+  }
+}
+
+TEST_P(HealpixNsides, PixelCenterRoundTrip) {
+  const Healpix hp(GetParam());
+  const std::int64_t stride = std::max<std::int64_t>(1, hp.npix() / 4096);
+  for (std::int64_t p = 0; p < hp.npix(); p += stride) {
+    double theta = 0.0, phi = 0.0;
+    hp.pix2ang_ring(p, theta, phi);
+    EXPECT_EQ(hp.ang2pix_ring(theta, phi), p) << "ring pixel " << p;
+    hp.pix2ang_nest(p, theta, phi);
+    EXPECT_EQ(hp.ang2pix_nest(theta, phi), p) << "nest pixel " << p;
+  }
+}
+
+TEST_P(HealpixNsides, VecAndAngAgree) {
+  const Healpix hp(GetParam());
+  for (const auto& d : random_directions(500, 11)) {
+    const double x = std::sin(d.theta) * std::cos(d.phi);
+    const double y = std::sin(d.theta) * std::sin(d.phi);
+    const double z = std::cos(d.theta);
+    EXPECT_EQ(hp.vec2pix_ring(x, y, z), hp.ang2pix_ring(d.theta, d.phi));
+    EXPECT_EQ(hp.vec2pix_nest(x, y, z), hp.ang2pix_nest(d.theta, d.phi));
+    // Scaling the vector must not change the pixel.
+    EXPECT_EQ(hp.vec2pix_nest(3.0 * x, 3.0 * y, 3.0 * z),
+              hp.vec2pix_nest(x, y, z));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nsides, HealpixNsides,
+                         ::testing::Values<std::int64_t>(1, 2, 4, 8, 16, 64,
+                                                         256, 1024));
+
+TEST(Healpix, EqualAreaOccupancy) {
+  // Uniform random directions should hit pixels nearly uniformly: all
+  // HEALPix pixels have equal area.
+  const Healpix hp(4);
+  const std::size_t n_dirs = 192000;
+  std::vector<int> counts(static_cast<std::size_t>(hp.npix()), 0);
+  for (const auto& d : random_directions(n_dirs, 21)) {
+    counts[static_cast<std::size_t>(hp.ang2pix_ring(d.theta, d.phi))]++;
+  }
+  const double expected =
+      static_cast<double>(n_dirs) / static_cast<double>(hp.npix());
+  for (std::int64_t p = 0; p < hp.npix(); ++p) {
+    // 5-sigma Poisson window.
+    EXPECT_NEAR(counts[static_cast<std::size_t>(p)], expected,
+                5.0 * std::sqrt(expected))
+        << "pixel " << p;
+  }
+}
+
+TEST(Healpix, PhiWrapsConsistently) {
+  const Healpix hp(32);
+  for (const auto& d : random_directions(300, 31)) {
+    const auto base = hp.ang2pix_nest(d.theta, d.phi);
+    EXPECT_EQ(hp.ang2pix_nest(d.theta, d.phi + 2.0 * kPi), base);
+    EXPECT_EQ(hp.ang2pix_nest(d.theta, d.phi - 2.0 * kPi), base);
+    EXPECT_EQ(hp.ang2pix_ring(d.theta, d.phi + 4.0 * kPi),
+              hp.ang2pix_ring(d.theta, d.phi));
+  }
+}
+
+TEST(Healpix, NestXyfRoundTrip) {
+  const Healpix hp(64);
+  std::mt19937 gen(5);
+  std::uniform_int_distribution<std::int64_t> dist(0, hp.npix() - 1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t p = dist(gen);
+    std::uint32_t x = 0, y = 0;
+    int face = 0;
+    hp.nest2xyf(p, x, y, face);
+    EXPECT_GE(face, 0);
+    EXPECT_LT(face, 12);
+    EXPECT_LT(x, 64u);
+    EXPECT_LT(y, 64u);
+    EXPECT_EQ(hp.xyf2nest(x, y, face), p);
+  }
+}
+
+TEST(Healpix, Npix2Nside) {
+  using toast::healpix::npix2nside;
+  EXPECT_EQ(npix2nside(12), 1);
+  EXPECT_EQ(npix2nside(12 * 64 * 64), 64);
+  EXPECT_EQ(npix2nside(0), 0);
+  EXPECT_EQ(npix2nside(11), 0);
+  EXPECT_EQ(npix2nside(12 * 3 * 3), 0);  // nside 3 not a power of two
+  EXPECT_EQ(npix2nside(13), 0);
+}
+
+TEST(Healpix, Pix2VecRoundTrip) {
+  const Healpix hp(32);
+  for (std::int64_t p = 0; p < hp.npix(); p += 37) {
+    double x = 0.0, y = 0.0, z = 0.0;
+    hp.pix2vec_ring(p, x, y, z);
+    EXPECT_NEAR(x * x + y * y + z * z, 1.0, 1e-12);
+    EXPECT_EQ(hp.vec2pix_ring(x, y, z), p);
+    hp.pix2vec_nest(p, x, y, z);
+    EXPECT_EQ(hp.vec2pix_nest(x, y, z), p);
+  }
+}
+
+TEST(Healpix, NeighbouringDirectionsLandNearby) {
+  // Two directions separated by much less than the pixel size are usually
+  // in the same pixel; they must never be further apart than ~2 pixels in
+  // angle.  This guards against gross indexing errors.
+  const Healpix hp(128);
+  const double pixscale = std::sqrt(hp.pixarea());
+  for (const auto& d : random_directions(200, 13)) {
+    const auto p1 = hp.ang2pix_ring(d.theta, d.phi);
+    double th1 = 0.0, ph1 = 0.0;
+    hp.pix2ang_ring(p1, th1, ph1);
+    // Angular distance between the input direction and its pixel center
+    // must be within a couple of pixel scales.
+    const double cosd =
+        std::cos(th1) * std::cos(d.theta) +
+        std::sin(th1) * std::sin(d.theta) * std::cos(ph1 - d.phi);
+    const double dist = std::acos(std::clamp(cosd, -1.0, 1.0));
+    EXPECT_LT(dist, 2.0 * pixscale);
+  }
+}

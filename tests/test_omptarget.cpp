@@ -1,0 +1,287 @@
+// Tests for the mini OpenMP-target-offload runtime: memory pool, data
+// environment (shadow-copy semantics), and the collapse(3) launch model.
+
+#include "omptarget/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace accel = toast::accel;
+namespace omp = toast::omptarget;
+
+namespace {
+
+struct Fixture {
+  accel::SimDevice device;
+  accel::VirtualClock clock;
+  accel::TimeLog log;
+  omp::Runtime rt{device, clock, log};
+};
+
+}  // namespace
+
+TEST(DevicePool, SizeClasses) {
+  EXPECT_EQ(omp::DevicePool::size_class(1), 64u);
+  EXPECT_EQ(omp::DevicePool::size_class(64), 64u);
+  EXPECT_EQ(omp::DevicePool::size_class(65), 128u);
+  EXPECT_EQ(omp::DevicePool::size_class(1000), 1024u);
+}
+
+TEST(DevicePool, ReusesReleasedBlocks) {
+  accel::SimDevice dev;
+  omp::DevicePool pool(dev);
+  double cost = 0.0;
+  const auto a = pool.allocate(1000, cost);
+  EXPECT_GT(cost, 0.0);  // first allocation is a raw omp_target_alloc
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.release(a);
+  const auto b = pool.allocate(900, cost);  // same 1024-byte class
+  EXPECT_DOUBLE_EQ(cost, 0.0);              // pool hit
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(b.id, a.id);
+}
+
+TEST(DevicePool, TracksDeviceMemory) {
+  accel::SimDevice dev;
+  {
+    omp::DevicePool pool(dev);
+    double cost = 0.0;
+    const auto a = pool.allocate(1 << 20, cost);
+    EXPECT_EQ(dev.allocated_bytes(), std::size_t{1} << 20);
+    pool.release(a);
+    // Pool keeps the block (device memory still claimed).
+    EXPECT_EQ(dev.allocated_bytes(), std::size_t{1} << 20);
+    pool.release_all();
+    EXPECT_EQ(dev.allocated_bytes(), 0u);
+  }
+}
+
+TEST(DevicePool, DoubleReleaseIsHarmless) {
+  accel::SimDevice dev;
+  omp::DevicePool pool(dev);
+  double cost = 0.0;
+  const auto a = pool.allocate(128, cost);
+  pool.release(a);
+  pool.release(a);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+}
+
+TEST(DevicePool, HighWaterMark) {
+  accel::SimDevice dev;
+  omp::DevicePool pool(dev);
+  double cost = 0.0;
+  const auto a = pool.allocate(1024, cost);
+  const auto b = pool.allocate(2048, cost);
+  EXPECT_EQ(pool.high_water_bytes(), 3072u);
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.high_water_bytes(), 3072u);
+}
+
+TEST(OmpTargetData, CreateUpdateDeleteRoundTrip) {
+  Fixture f;
+  std::vector<double> host(128, 1.5);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  EXPECT_TRUE(f.rt.data_present(host.data()));
+  f.rt.data_update_device(host.data());
+
+  double* dev = f.rt.device_ptr(host.data());
+  ASSERT_NE(dev, nullptr);
+  EXPECT_DOUBLE_EQ(dev[0], 1.5);
+  dev[0] = 9.0;
+
+  // Host copy untouched until update_host.
+  EXPECT_DOUBLE_EQ(host[0], 1.5);
+  f.rt.data_update_host(host.data());
+  EXPECT_DOUBLE_EQ(host[0], 9.0);
+
+  f.rt.data_delete(host.data());
+  EXPECT_FALSE(f.rt.data_present(host.data()));
+}
+
+TEST(OmpTargetData, StaleShadowWithoutUpdate) {
+  // Forgetting update_device leaves stale data on the device, like a real
+  // offload bug.
+  Fixture f;
+  std::vector<double> host(8, 1.0);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  f.rt.data_update_device(host.data());
+  host[0] = 42.0;  // modified on host only
+  EXPECT_DOUBLE_EQ(f.rt.device_ptr(host.data())[0], 1.0);
+}
+
+TEST(OmpTargetData, UnmappedAccessThrows) {
+  Fixture f;
+  double x = 0.0;
+  EXPECT_THROW(f.rt.device_ptr(&x), std::logic_error);
+  EXPECT_THROW(f.rt.data_update_device(&x), std::logic_error);
+  EXPECT_THROW(f.rt.data_update_host(&x), std::logic_error);
+  EXPECT_THROW(f.rt.data_reset(&x), std::logic_error);
+}
+
+TEST(OmpTargetData, DoubleCreateThrows) {
+  Fixture f;
+  std::vector<double> host(8);
+  f.rt.data_create(host.data(), 64);
+  EXPECT_THROW(f.rt.data_create(host.data(), 64), std::logic_error);
+}
+
+TEST(OmpTargetData, ResetZeroesDeviceCopy) {
+  Fixture f;
+  std::vector<double> host(16, 3.0);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  f.rt.data_update_device(host.data());
+  f.rt.data_reset(host.data());
+  EXPECT_DOUBLE_EQ(f.rt.device_ptr(host.data())[5], 0.0);
+  EXPECT_DOUBLE_EQ(host[5], 3.0);
+  EXPECT_GT(f.log.seconds("accel_data_reset"), 0.0);
+}
+
+TEST(OmpTargetData, TransfersAdvanceClockAndLog) {
+  Fixture f;
+  std::vector<double> host(1 << 16, 1.0);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  const double t0 = f.clock.now();
+  f.rt.data_update_device(host.data());
+  EXPECT_GT(f.clock.now(), t0);
+  EXPECT_GT(f.log.seconds("accel_data_update_device"), 0.0);
+  EXPECT_EQ(f.log.calls("accel_data_update_device"), 1);
+}
+
+TEST(OmpTargetData, WorkScaleScalesTransfers) {
+  Fixture a;
+  Fixture b;
+  b.rt.set_work_scale(1000.0);
+  std::vector<double> host(1 << 14, 0.0);
+  a.rt.data_create(host.data(), host.size() * sizeof(double));
+  b.rt.data_create(host.data(), host.size() * sizeof(double));
+  a.rt.data_update_device(host.data());
+  b.rt.data_update_device(host.data());
+  EXPECT_GT(b.log.seconds("accel_data_update_device"),
+            100.0 * a.log.seconds("accel_data_update_device"));
+}
+
+TEST(OmpTargetAsync, TransfersHideBehindKernels) {
+  // An async upload followed by enough kernel work costs nothing extra at
+  // the synchronization point.
+  Fixture f;
+  f.rt.set_work_scale(1e6);
+  std::vector<double> host(1 << 10, 1.0);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  f.rt.data_update_device_async(host.data());
+  // Long kernel while the transfer is in flight (kernel time must exceed
+  // the modelled transfer time for full overlap).
+  omp::IterCost cost;
+  cost.flops = 2000.0;
+  cost.bytes_read = 64.0;
+  f.rt.target_for("busy", 1 << 13, cost, [](std::int64_t) { return true; });
+  const double before = f.clock.now();
+  f.rt.wait_transfers();
+  EXPECT_NEAR(f.clock.now(), before, 1e-12);
+  // The device copy is nevertheless up to date.
+  EXPECT_DOUBLE_EQ(f.rt.device_ptr(host.data())[0], 1.0);
+}
+
+TEST(OmpTargetAsync, ImmediateWaitPaysFullTransfer) {
+  Fixture f;
+  f.rt.set_work_scale(1e6);
+  std::vector<double> host(1 << 12, 2.0);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  const double t_sync_ref = f.device.transfer_time(
+      static_cast<double>(host.size() * sizeof(double)) * 1e6);
+  f.rt.data_update_device_async(host.data());
+  const double before = f.clock.now();
+  f.rt.wait_transfers();
+  EXPECT_NEAR(f.clock.now() - before, t_sync_ref, 1e-9);
+  // A second wait is free.
+  const double after = f.clock.now();
+  f.rt.wait_transfers();
+  EXPECT_DOUBLE_EQ(f.clock.now(), after);
+}
+
+TEST(OmpTargetAsync, TransfersSerializeOnTheLink) {
+  Fixture f;
+  f.rt.set_work_scale(1e6);
+  std::vector<double> a(1 << 12, 1.0), b(1 << 12, 2.0);
+  f.rt.data_create(a.data(), a.size() * sizeof(double));
+  f.rt.data_create(b.data(), b.size() * sizeof(double));
+  const double t_one = f.device.transfer_time(
+      static_cast<double>(a.size() * sizeof(double)) * 1e6);
+  f.rt.data_update_device_async(a.data());
+  f.rt.data_update_device_async(b.data());
+  const double before = f.clock.now();
+  f.rt.wait_transfers();
+  EXPECT_NEAR(f.clock.now() - before, 2.0 * t_one, 1e-6);
+}
+
+TEST(OmpTargetAsync, UnmappedAsyncThrows) {
+  Fixture f;
+  double x = 0.0;
+  EXPECT_THROW(f.rt.data_update_device_async(&x), std::logic_error);
+}
+
+TEST(OmpTargetLaunch, ExecutesFullIndexSpace) {
+  Fixture f;
+  const std::int64_t na = 3, nb = 4, nc = 5;
+  std::vector<int> hits(static_cast<std::size_t>(na * nb * nc), 0);
+  omp::IterCost cost;
+  cost.flops = 1.0;
+  f.rt.target_for_collapse3("k", na, nb, nc, cost,
+                            [&](std::int64_t a, std::int64_t b,
+                                std::int64_t c) {
+                              hits[static_cast<std::size_t>(
+                                  (a * nb + b) * nc + c)]++;
+                              return true;
+                            });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(OmpTargetLaunch, GuardCutIterationsChargeOnlyGuard) {
+  Fixture f;
+  omp::IterCost cost;
+  cost.flops = 100.0;
+  cost.guard_flops = 2.0;
+  // Half the iterations are cut by the guard.
+  const auto w = f.rt.target_for(
+      "k", 1000, cost, [](std::int64_t i) { return i < 500; });
+  EXPECT_DOUBLE_EQ(w.flops, 500.0 * 100.0 + 500.0 * 2.0);
+  EXPECT_DOUBLE_EQ(w.parallel_items, 1000.0);
+}
+
+TEST(OmpTargetLaunch, OneLaunchPerTargetRegion) {
+  Fixture f;
+  omp::IterCost cost;
+  cost.flops = 1.0;
+  f.rt.target_for("a", 10, cost, [](std::int64_t) { return true; });
+  f.rt.target_for("a", 10, cost, [](std::int64_t) { return true; });
+  f.rt.target_for("b", 10, cost, [](std::int64_t) { return true; });
+  EXPECT_EQ(f.device.total_launches(), 3u);
+  EXPECT_EQ(f.log.calls("a"), 2);
+  EXPECT_EQ(f.log.calls("b"), 1);
+}
+
+TEST(OmpTargetLaunch, DispatchOverheadBoundsSmallKernels) {
+  Fixture f;
+  omp::IterCost cost;
+  cost.flops = 1.0;
+  const double t0 = f.clock.now();
+  f.rt.target_for("k", 1, cost, [](std::int64_t) { return true; });
+  EXPECT_GE(f.clock.now() - t0, f.rt.dispatch_overhead());
+}
+
+TEST(OmpTargetLaunch, WorkScaleMultipliesWork) {
+  Fixture f;
+  f.rt.set_work_scale(1e6);
+  omp::IterCost cost;
+  cost.flops = 10.0;
+  cost.bytes_read = 8.0;
+  const auto w = f.rt.target_for("k", 100, cost,
+                                 [](std::int64_t) { return true; });
+  EXPECT_DOUBLE_EQ(w.flops, 10.0 * 100.0 * 1e6);
+  EXPECT_DOUBLE_EQ(w.bytes_read, 8.0 * 100.0 * 1e6);
+  EXPECT_DOUBLE_EQ(w.launches, 1.0);
+}

@@ -1,0 +1,272 @@
+// Unit tests for the quaternion array substrate.
+
+#include "qarray/qarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <vector>
+
+namespace qa = toast::qarray;
+using qa::Quat;
+using qa::Vec3;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+Quat random_unit_quat(std::mt19937& gen) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Quat q{dist(gen), dist(gen), dist(gen), dist(gen)};
+  return qa::normalize(q);
+}
+
+double vec_dist(const Vec3& a, const Vec3& b) {
+  return std::sqrt((a[0] - b[0]) * (a[0] - b[0]) +
+                   (a[1] - b[1]) * (a[1] - b[1]) +
+                   (a[2] - b[2]) * (a[2] - b[2]));
+}
+
+}  // namespace
+
+TEST(QArray, IdentityLeavesVectorsUnchanged) {
+  const Quat id{0.0, 0.0, 0.0, 1.0};
+  const Vec3 v{0.3, -1.2, 2.5};
+  const Vec3 r = qa::rotate(id, v);
+  EXPECT_NEAR(vec_dist(r, v), 0.0, 1e-15);
+}
+
+TEST(QArray, NormalizeZeroGivesIdentity) {
+  const Quat z{0.0, 0.0, 0.0, 0.0};
+  const Quat n = qa::normalize(z);
+  EXPECT_DOUBLE_EQ(n[3], 1.0);
+  EXPECT_DOUBLE_EQ(qa::norm(n), 1.0);
+}
+
+TEST(QArray, MultMatchesComposedRotation) {
+  std::mt19937 gen(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Quat p = random_unit_quat(gen);
+    const Quat q = random_unit_quat(gen);
+    const Vec3 v{1.0, 0.5, -0.25};
+    const Vec3 via_product = qa::rotate(qa::mult(p, q), v);
+    const Vec3 via_steps = qa::rotate(p, qa::rotate(q, v));
+    EXPECT_NEAR(vec_dist(via_product, via_steps), 0.0, 1e-12);
+  }
+}
+
+TEST(QArray, ConjugateInvertsRotation) {
+  std::mt19937 gen(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Quat q = random_unit_quat(gen);
+    const Vec3 v{-0.4, 1.1, 0.9};
+    const Vec3 back = qa::rotate(qa::conj(q), qa::rotate(q, v));
+    EXPECT_NEAR(vec_dist(back, v), 0.0, 1e-12);
+  }
+}
+
+TEST(QArray, AxisAngleRotatesByExpectedAngle) {
+  // 90 degrees about z takes x to y.
+  const Quat q = qa::from_axisangle(Vec3{0.0, 0.0, 1.0}, kPi / 2.0);
+  const Vec3 r = qa::rotate(q, Vec3{1.0, 0.0, 0.0});
+  EXPECT_NEAR(r[0], 0.0, 1e-15);
+  EXPECT_NEAR(r[1], 1.0, 1e-15);
+  EXPECT_NEAR(r[2], 0.0, 1e-15);
+}
+
+TEST(QArray, RotationPreservesNorm) {
+  std::mt19937 gen(3);
+  std::normal_distribution<double> dist(0.0, 2.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Quat q = random_unit_quat(gen);
+    const Vec3 v{dist(gen), dist(gen), dist(gen)};
+    const Vec3 r = qa::rotate(q, v);
+    const double n0 = std::sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+    const double n1 = std::sqrt(r[0] * r[0] + r[1] * r[1] + r[2] * r[2]);
+    EXPECT_NEAR(n0, n1, 1e-12);
+  }
+}
+
+TEST(QArray, IsoAnglesRoundTrip) {
+  std::mt19937 gen(11);
+  std::uniform_real_distribution<double> uth(0.05, kPi - 0.05);
+  std::uniform_real_distribution<double> uph(-kPi, kPi);
+  std::uniform_real_distribution<double> ups(-kPi, kPi);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double theta = uth(gen);
+    const double phi = uph(gen);
+    const double psi = ups(gen);
+    const Quat q = qa::from_iso_angles(theta, phi, psi);
+    double th2 = 0.0, ph2 = 0.0, ps2 = 0.0;
+    qa::to_iso_angles(q, th2, ph2, ps2);
+    EXPECT_NEAR(theta, th2, 1e-9);
+    EXPECT_NEAR(std::remainder(phi - ph2, 2.0 * kPi), 0.0, 1e-9);
+    EXPECT_NEAR(std::remainder(psi - ps2, 2.0 * kPi), 0.0, 1e-9);
+  }
+}
+
+TEST(QArray, IsoAnglesDirectionMatchesSpherical) {
+  const double theta = 1.1, phi = -2.0;
+  const Quat q = qa::from_iso_angles(theta, phi, 0.33);
+  const Vec3 dir = qa::rotate(q, Vec3{0.0, 0.0, 1.0});
+  EXPECT_NEAR(dir[0], std::sin(theta) * std::cos(phi), 1e-12);
+  EXPECT_NEAR(dir[1], std::sin(theta) * std::sin(phi), 1e-12);
+  EXPECT_NEAR(dir[2], std::cos(theta), 1e-12);
+}
+
+TEST(QArray, SlerpEndpointsAndMidpoint) {
+  std::mt19937 gen(5);
+  const Quat a = random_unit_quat(gen);
+  const Quat b = random_unit_quat(gen);
+  const Quat s0 = qa::slerp(a, b, 0.0);
+  const Quat s1 = qa::slerp(a, b, 1.0);
+  // Endpoints up to sign (q and -q are the same rotation).
+  const Vec3 v{0.2, -0.7, 1.3};
+  EXPECT_NEAR(vec_dist(qa::rotate(s0, v), qa::rotate(a, v)), 0.0, 1e-10);
+  EXPECT_NEAR(vec_dist(qa::rotate(s1, v), qa::rotate(b, v)), 0.0, 1e-10);
+  // Midpoint is unit norm.
+  EXPECT_NEAR(qa::norm(qa::slerp(a, b, 0.5)), 1.0, 1e-12);
+}
+
+TEST(QArray, SlerpConstantAngularVelocity) {
+  const Quat a{0.0, 0.0, 0.0, 1.0};
+  const Quat b = qa::from_axisangle(Vec3{0.0, 0.0, 1.0}, 1.0);
+  // slerp(t) should equal a rotation of t radians about z.
+  for (double t : {0.25, 0.5, 0.75}) {
+    const Quat s = qa::slerp(a, b, t);
+    const Quat expect = qa::from_axisangle(Vec3{0.0, 0.0, 1.0}, t);
+    const Vec3 v{1.0, 0.0, 0.0};
+    EXPECT_NEAR(vec_dist(qa::rotate(s, v), qa::rotate(expect, v)), 0.0,
+                1e-12);
+  }
+}
+
+TEST(QArray, MultManyMatchesScalar) {
+  std::mt19937 gen(17);
+  const std::size_t n = 33;
+  std::vector<double> p(4 * n), q(4 * n), out(4 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat pi = random_unit_quat(gen);
+    const Quat qi = random_unit_quat(gen);
+    for (int k = 0; k < 4; ++k) {
+      p[4 * i + k] = pi[k];
+      q[4 * i + k] = qi[k];
+    }
+  }
+  qa::mult_many(p, q, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat pi{p[4 * i], p[4 * i + 1], p[4 * i + 2], p[4 * i + 3]};
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Quat r = qa::mult(pi, qi);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_DOUBLE_EQ(out[4 * i + k], r[k]);
+    }
+  }
+}
+
+TEST(QArray, MultOneManyAndManyOne) {
+  std::mt19937 gen(19);
+  const std::size_t n = 16;
+  const Quat fixed = random_unit_quat(gen);
+  std::vector<double> q(4 * n), left(4 * n), right(4 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi = random_unit_quat(gen);
+    for (int k = 0; k < 4; ++k) q[4 * i + k] = qi[k];
+  }
+  qa::mult_one_many(fixed, q, left);
+  qa::mult_many_one(q, fixed, right);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Quat l = qa::mult(fixed, qi);
+    const Quat r = qa::mult(qi, fixed);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_DOUBLE_EQ(left[4 * i + k], l[k]);
+      EXPECT_DOUBLE_EQ(right[4 * i + k], r[k]);
+    }
+  }
+}
+
+TEST(QArray, RotateManyOneMatchesScalar) {
+  std::mt19937 gen(23);
+  const std::size_t n = 20;
+  std::vector<double> q(4 * n), out(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi = random_unit_quat(gen);
+    for (int k = 0; k < 4; ++k) q[4 * i + k] = qi[k];
+  }
+  const Vec3 z{0.0, 0.0, 1.0};
+  qa::rotate_many_one(q, z, out);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Quat qi{q[4 * i], q[4 * i + 1], q[4 * i + 2], q[4 * i + 3]};
+    const Vec3 r = qa::rotate(qi, z);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(out[3 * i + k], r[k]);
+    }
+  }
+}
+
+TEST(QArray, FromVectorsShortestArc) {
+  std::mt19937 gen(29);
+  std::normal_distribution<double> nd(0.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec3 a{nd(gen), nd(gen), nd(gen)};
+    Vec3 b{nd(gen), nd(gen), nd(gen)};
+    const double na = std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]);
+    const double nb = std::sqrt(b[0] * b[0] + b[1] * b[1] + b[2] * b[2]);
+    for (int i = 0; i < 3; ++i) {
+      a[static_cast<std::size_t>(i)] /= na;
+      b[static_cast<std::size_t>(i)] /= nb;
+    }
+    const Quat q = qa::from_vectors(a, b);
+    EXPECT_NEAR(qa::norm(q), 1.0, 1e-12);
+    EXPECT_NEAR(vec_dist(qa::rotate(q, a), b), 0.0, 1e-12);
+  }
+}
+
+TEST(QArray, FromVectorsDegenerateCases) {
+  // Identity for parallel vectors.
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Quat qid = qa::from_vectors(x, x);
+  EXPECT_NEAR(vec_dist(qa::rotate(qid, x), x), 0.0, 1e-14);
+  // A half-turn for antiparallel vectors.
+  const Vec3 mx{-1.0, 0.0, 0.0};
+  const Quat qpi = qa::from_vectors(x, mx);
+  EXPECT_NEAR(qa::norm(qpi), 1.0, 1e-12);
+  EXPECT_NEAR(vec_dist(qa::rotate(qpi, x), mx), 0.0, 1e-12);
+  const Vec3 z{0.0, 0.0, 1.0};
+  const Vec3 mz{0.0, 0.0, -1.0};
+  EXPECT_NEAR(vec_dist(qa::rotate(qa::from_vectors(z, mz), z), mz), 0.0,
+              1e-12);
+}
+
+TEST(QArray, RotationMatrixMatchesQuaternion) {
+  std::mt19937 gen(37);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Quat q = random_unit_quat(gen);
+    const auto m = qa::to_rotmat(q);
+    std::normal_distribution<double> nd(0.0, 1.0);
+    const Vec3 v{nd(gen), nd(gen), nd(gen)};
+    const Vec3 rq = qa::rotate(q, v);
+    const Vec3 rm{m[0] * v[0] + m[1] * v[1] + m[2] * v[2],
+                  m[3] * v[0] + m[4] * v[1] + m[5] * v[2],
+                  m[6] * v[0] + m[7] * v[1] + m[8] * v[2]};
+    EXPECT_NEAR(vec_dist(rq, rm), 0.0, 1e-12);
+    // Orthonormality: M M^T = I (spot-check the diagonal).
+    for (int r = 0; r < 3; ++r) {
+      const double row = m[static_cast<std::size_t>(3 * r)] * m[static_cast<std::size_t>(3 * r)] +
+                         m[static_cast<std::size_t>(3 * r + 1)] * m[static_cast<std::size_t>(3 * r + 1)] +
+                         m[static_cast<std::size_t>(3 * r + 2)] * m[static_cast<std::size_t>(3 * r + 2)];
+      EXPECT_NEAR(row, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(QArray, NormalizeInplace) {
+  std::vector<double> q = {2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0};
+  qa::normalize_inplace(q);
+  EXPECT_DOUBLE_EQ(q[0], 1.0);
+  EXPECT_NEAR(q[5], 0.6, 1e-15);
+  EXPECT_NEAR(q[7], 0.8, 1e-15);
+}

@@ -1,0 +1,175 @@
+// Unit and statistical tests for the Threefry counter-based RNG.
+
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+using toast::rng::RngStream;
+using toast::rng::threefry2x64;
+
+TEST(Rng, Deterministic) {
+  const auto a = threefry2x64({1, 2}, {3, 4});
+  const auto b = threefry2x64({1, 2}, {3, 4});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, KeySensitivity) {
+  const auto a = threefry2x64({1, 2}, {3, 4});
+  const auto b = threefry2x64({1, 3}, {3, 4});
+  const auto c = threefry2x64({2, 2}, {3, 4});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(Rng, CounterSensitivity) {
+  const auto a = threefry2x64({1, 2}, {3, 4});
+  const auto b = threefry2x64({1, 2}, {3, 5});
+  const auto c = threefry2x64({1, 2}, {4, 4});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rng, AvalancheSingleBitFlip) {
+  // Flipping one counter bit should change roughly half the output bits.
+  const auto a = threefry2x64({11, 22}, {33, 44});
+  const auto b = threefry2x64({11, 22}, {33, 44 ^ 1});
+  int flipped = 0;
+  flipped += std::popcount(a[0] ^ b[0]);
+  flipped += std::popcount(a[1] ^ b[1]);
+  EXPECT_GT(flipped, 40);
+  EXPECT_LT(flipped, 88);
+}
+
+TEST(Rng, UniformRange) {
+  RngStream stream({5, 6}, {7, 0});
+  std::vector<double> out(10001);
+  stream.uniform_01(out);
+  for (const double v : out) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  RngStream stream({9, 10}, {0, 0});
+  std::vector<double> out(200000);
+  stream.uniform_01(out);
+  double mean = 0.0;
+  for (const double v : out) mean += v;
+  mean /= static_cast<double>(out.size());
+  double var = 0.0;
+  for (const double v : out) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(out.size());
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, GaussianMoments) {
+  RngStream stream({1, 1}, {0, 0});
+  std::vector<double> out(200000);
+  stream.gaussian(out);
+  double mean = 0.0;
+  for (const double v : out) mean += v;
+  mean /= static_cast<double>(out.size());
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (const double v : out) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(out.size());
+  m3 /= static_cast<double>(out.size());
+  m4 /= static_cast<double>(out.size());
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(m2, 1.0, 0.02);
+  EXPECT_NEAR(m3 / std::pow(m2, 1.5), 0.0, 0.03);  // skewness
+  EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.1);           // kurtosis
+}
+
+TEST(Rng, StreamsAreIndependentOfChunking) {
+  // Drawing 100 values at once must equal drawing 50 + 50 (streams are
+  // seekable by whole blocks; fills always consume whole blocks).
+  RngStream one({3, 4}, {5, 0});
+  std::vector<double> all(100);
+  one.uniform_01(all);
+
+  RngStream two({3, 4}, {5, 0});
+  std::vector<double> first(50), second(50);
+  two.uniform_01(first);
+  two.uniform_01(second);
+
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(all[i], first[i]);
+    EXPECT_DOUBLE_EQ(all[50 + i], second[i]);
+  }
+}
+
+TEST(Rng, SkipMatchesConsumption) {
+  RngStream a({8, 8}, {0, 0});
+  std::vector<double> burn(20);  // consumes 10 blocks
+  a.uniform_01(burn);
+
+  RngStream b({8, 8}, {0, 0});
+  b.skip(10);
+  std::vector<double> va(20), vb(20);
+  a.uniform_01(va);
+  b.uniform_01(vb);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(va[i], vb[i]);
+  }
+}
+
+TEST(Rng, OddLengthFills) {
+  RngStream a({2, 3}, {0, 0});
+  std::vector<double> odd(7);
+  a.uniform_01(odd);
+  for (const double v : odd) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BitsUnbiased) {
+  RngStream stream({42, 43}, {0, 0});
+  std::vector<std::uint64_t> words(10000);
+  stream.bits(words);
+  // Count ones across all words; expect ~50%.
+  std::uint64_t ones = 0;
+  for (const auto w : words) ones += std::popcount(w);
+  const double frac =
+      static_cast<double>(ones) / (64.0 * static_cast<double>(words.size()));
+  EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+TEST(Rng, SerialCorrelationLow) {
+  RngStream stream({12, 13}, {0, 0});
+  std::vector<double> v(100000);
+  stream.uniform_01(v);
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    num += (v[i] - mean) * (v[i + 1] - mean);
+    den += (v[i] - mean) * (v[i] - mean);
+  }
+  EXPECT_LT(std::abs(num / den), 0.01);
+}
+
+TEST(Rng, FunctionalApiMatchesStream) {
+  std::vector<double> a(16), b(16);
+  toast::rng::random_gaussian(1, 2, 3, 0, a);
+  RngStream stream({1, 2}, {3, 0});
+  stream.gaussian(b);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}

@@ -1,0 +1,200 @@
+// Tests of the satellite simulation workload generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/context.hpp"
+#include "sim/satellite.hpp"
+#include "sim/workflow.hpp"
+
+namespace core = toast::core;
+namespace sim = toast::sim;
+
+TEST(Focalplane, HexLayoutProperties) {
+  const auto fp = sim::hex_focalplane(64, 37.0);
+  EXPECT_EQ(fp.n_detectors(), 64);
+  EXPECT_EQ(fp.names.size(), 64u);
+  EXPECT_EQ(fp.net.size(), 64u);
+  // All detector offsets are unit quaternions.
+  for (const auto& q : fp.quats) {
+    EXPECT_NEAR(toast::qarray::norm(q), 1.0, 1e-12);
+  }
+  // Detectors come in pairs with orthogonal polarization.
+  for (int d = 0; d + 1 < 64; d += 2) {
+    const double delta = std::abs(fp.pol_angles[static_cast<std::size_t>(d + 1)] -
+                                  fp.pol_angles[static_cast<std::size_t>(d)]);
+    EXPECT_NEAR(delta, M_PI / 2.0, 1e-12);
+  }
+}
+
+TEST(Focalplane, OddCountsWork) {
+  EXPECT_EQ(sim::hex_focalplane(1, 37.0).n_detectors(), 1);
+  EXPECT_EQ(sim::hex_focalplane(7, 37.0).n_detectors(), 7);
+  EXPECT_EQ(sim::hex_focalplane(2048, 37.0).n_detectors(), 2048);
+}
+
+TEST(Satellite, ObservationStructure) {
+  const auto fp = sim::hex_focalplane(4, 37.0);
+  const auto ob = sim::simulate_satellite("test", fp, 4096, {}, 1);
+  EXPECT_EQ(ob.n_samples(), 4096);
+  EXPECT_EQ(ob.n_detectors(), 4);
+  EXPECT_TRUE(ob.has_field(core::fields::kBoresight));
+  EXPECT_TRUE(ob.has_field(core::fields::kHwpAngle));
+  EXPECT_TRUE(ob.has_field(core::fields::kTimes));
+  EXPECT_TRUE(ob.has_field(core::fields::kSharedFlags));
+  EXPECT_FALSE(ob.intervals().empty());
+}
+
+TEST(Satellite, BoresightQuaternionsAreUnit) {
+  const auto fp = sim::hex_focalplane(2, 37.0);
+  const auto ob = sim::simulate_satellite("test", fp, 2048, {}, 2);
+  const auto bore = ob.field(core::fields::kBoresight).f64();
+  for (std::int64_t s = 0; s < ob.n_samples(); s += 17) {
+    const std::size_t off = static_cast<std::size_t>(4 * s);
+    const double n = std::sqrt(bore[off] * bore[off] +
+                               bore[off + 1] * bore[off + 1] +
+                               bore[off + 2] * bore[off + 2] +
+                               bore[off + 3] * bore[off + 3]);
+    EXPECT_NEAR(n, 1.0, 1e-12);
+  }
+}
+
+TEST(Satellite, ScanCoversSkyBand) {
+  // The precession+spin motion must sweep a wide band of the sphere, not
+  // stare at one spot.
+  const auto fp = sim::hex_focalplane(1, 37.0);
+  sim::ScanParams params;
+  params.spin_period = 60.0;
+  params.prec_period = 600.0;
+  const auto ob = sim::simulate_satellite("test", fp, 16384, params, 3);
+  const auto bore = ob.field(core::fields::kBoresight).f64();
+  double zmin = 1.0, zmax = -1.0;
+  for (std::int64_t s = 0; s < ob.n_samples(); ++s) {
+    const toast::qarray::Quat q{
+        bore[static_cast<std::size_t>(4 * s)],
+        bore[static_cast<std::size_t>(4 * s + 1)],
+        bore[static_cast<std::size_t>(4 * s + 2)],
+        bore[static_cast<std::size_t>(4 * s + 3)]};
+    const auto dir = toast::qarray::rotate(q, {0.0, 0.0, 1.0});
+    zmin = std::min(zmin, dir[2]);
+    zmax = std::max(zmax, dir[2]);
+  }
+  EXPECT_LT(zmin, -0.3);
+  EXPECT_GT(zmax, 0.3);
+}
+
+TEST(Satellite, IntervalsVaryTileAndStayInRange) {
+  const auto fp = sim::hex_focalplane(2, 37.0);
+  sim::ScanParams params;
+  params.spin_period = 20.0;  // many intervals
+  const auto ob = sim::simulate_satellite("test", fp, 8192, params, 4);
+  const auto& ivals = ob.intervals();
+  ASSERT_GT(ivals.size(), 4u);
+  std::set<std::int64_t> lengths;
+  std::int64_t prev_stop = 0;
+  for (const auto& v : ivals) {
+    EXPECT_GE(v.start, prev_stop);
+    EXPECT_GT(v.stop, v.start);
+    EXPECT_LE(v.stop, ob.n_samples());
+    lengths.insert(v.length());
+    prev_stop = v.stop;
+  }
+  // Jitter produces genuinely varying lengths (the padding stressor).
+  EXPECT_GT(lengths.size(), 2u);
+}
+
+TEST(Satellite, DeterministicPerSeed) {
+  const auto fp = sim::hex_focalplane(2, 37.0);
+  const auto a = sim::simulate_satellite("a", fp, 1024, {}, 42);
+  const auto b = sim::simulate_satellite("b", fp, 1024, {}, 42);
+  const auto c = sim::simulate_satellite("c", fp, 1024, {}, 43);
+  EXPECT_EQ(a.intervals().size(), b.intervals().size());
+  const auto fa = a.field(core::fields::kSharedFlags).u8();
+  const auto fb = b.field(core::fields::kSharedFlags).u8();
+  const auto fc = c.field(core::fields::kSharedFlags).u8();
+  EXPECT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin()));
+  EXPECT_FALSE(std::equal(fa.begin(), fa.end(), fc.begin()));
+}
+
+TEST(SyntheticSky, SmoothAndFinite) {
+  const auto map = sim::synthetic_sky(16, 3);
+  ASSERT_EQ(map.size(), 12u * 16 * 16 * 3);
+  double power = 0.0;
+  for (const double v : map) {
+    ASSERT_TRUE(std::isfinite(v));
+    power += v * v;
+  }
+  EXPECT_GT(power, 0.0);
+  // Reproducible for the same seed.
+  EXPECT_EQ(map, sim::synthetic_sky(16, 3));
+  EXPECT_NE(map, sim::synthetic_sky(16, 3, 99));
+}
+
+TEST(SimNoise, NoiseHasOneOverFCharacter) {
+  // Strong 1/f: knee well inside the sampled band.
+  const auto fp = sim::hex_focalplane(2, 37.0, 10.0, 50.0e-6, 2.0, 1.5);
+  auto ob = sim::simulate_satellite("test", fp, 16384, {}, 5);
+  core::ExecConfig cfg;
+  core::ExecContext ctx(cfg);
+  sim::SimNoiseOp noise(777);
+  noise.ensure_fields(ob);
+  noise.exec(ob, ctx, nullptr, core::Backend::kCpu);
+
+  const auto signal = ob.det_f64(core::fields::kSignal, 0);
+  // Nonzero and finite.
+  double var = 0.0, mean = 0.0;
+  for (const double v : signal) {
+    ASSERT_TRUE(std::isfinite(v));
+    mean += v;
+  }
+  mean /= static_cast<double>(signal.size());
+  for (const double v : signal) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(signal.size());
+  EXPECT_GT(var, 0.0);
+
+  // 1/f character: power in long-timescale differences exceeds white
+  // expectation.  Compare lag-1 and lag-1024 structure functions: for
+  // white noise they are equal; 1/f noise has more large-scale power.
+  double d1 = 0.0, dlong = 0.0;
+  const std::size_t n = signal.size();
+  for (std::size_t i = 0; i + 1024 < n; ++i) {
+    d1 += (signal[i + 1] - signal[i]) * (signal[i + 1] - signal[i]);
+    dlong += (signal[i + 1024] - signal[i]) * (signal[i + 1024] - signal[i]);
+  }
+  EXPECT_GT(dlong, 1.5 * d1);
+}
+
+TEST(SimNoise, DetectorsAreIndependent) {
+  const auto fp = sim::hex_focalplane(2, 37.0);
+  auto ob = sim::simulate_satellite("test", fp, 4096, {}, 6);
+  core::ExecConfig cfg;
+  core::ExecContext ctx(cfg);
+  sim::SimNoiseOp noise(888);
+  noise.ensure_fields(ob);
+  noise.exec(ob, ctx, nullptr, core::Backend::kCpu);
+  const auto s0 = ob.det_f64(core::fields::kSignal, 0);
+  const auto s1 = ob.det_f64(core::fields::kSignal, 1);
+  double dot = 0.0, n0 = 0.0, n1 = 0.0;
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    dot += s0[i] * s1[i];
+    n0 += s0[i] * s0[i];
+    n1 += s1[i] * s1[i];
+  }
+  EXPECT_LT(std::abs(dot) / std::sqrt(n0 * n1), 0.2);
+}
+
+TEST(Workflow, BenchmarkPipelineComposition) {
+  sim::WorkflowConfig cfg;
+  cfg.map_iterations = 3;
+  const auto pipeline = sim::make_benchmark_pipeline(cfg);
+  // 2 sim + 4 pointing/scan + 2 unported + 3*4 mapmaking + 2 unported.
+  EXPECT_EQ(pipeline.operators().size(), 2u + 4u + 2u + 12u + 2u);
+  cfg.include_unported = false;
+  EXPECT_EQ(sim::make_benchmark_pipeline(cfg).operators().size(),
+            2u + 4u + 12u);
+  EXPECT_EQ(sim::make_pointing_pipeline(cfg).operators().size(), 3u);
+  EXPECT_EQ(sim::make_mapmaking_pipeline(cfg).operators().size(), 5u);
+}

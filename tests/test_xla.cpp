@@ -1,0 +1,387 @@
+// Tests for the mini-XLA: tracing, op semantics through jit, optimization
+// passes, fusion grouping and the execution cost model.
+
+#include "xla/jit.hpp"
+#include "xla/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace xla = toast::xla;
+namespace accel = toast::accel;
+using xla::Array;
+using xla::DType;
+using xla::Literal;
+using xla::Shape;
+
+namespace {
+
+struct Fixture {
+  accel::SimDevice device;
+  accel::VirtualClock clock;
+  accel::TimeLog log;
+  xla::Runtime rt{device, clock, log};
+};
+
+Literal vec(std::initializer_list<double> values) {
+  std::vector<double> v(values);
+  return Literal::from_f64(Shape{static_cast<std::int64_t>(v.size())}, v);
+}
+
+Literal ivec(std::initializer_list<std::int64_t> values) {
+  std::vector<std::int64_t> v(values);
+  return Literal::from_i64(Shape{static_cast<std::int64_t>(v.size())}, v);
+}
+
+}  // namespace
+
+TEST(XlaTrace, OpsOutsideJitThrow) {
+  EXPECT_THROW(xla::constant(1.0), std::logic_error);
+}
+
+TEST(XlaJit, BasicArithmetic) {
+  Fixture f;
+  xla::Jit fn("axpy", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] * 2.0 + in[1]};
+  });
+  const auto out = fn.call(f.rt, {vec({1.0, 2.0, 3.0}), vec({10.0, 20.0, 30.0})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 12.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[1], 24.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[2], 36.0);
+}
+
+TEST(XlaJit, TranscendentalOps) {
+  Fixture f;
+  xla::Jit fn("trig", [](const std::vector<Array>& in) {
+    const Array s = xla::sin(in[0]);
+    const Array c = xla::cos(in[0]);
+    return std::vector<Array>{s * s + c * c, xla::atan2(s, c)};
+  });
+  const auto out = fn.call(f.rt, {vec({0.3, 1.2, -2.0})});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(out[0].f64()[i], 1.0, 1e-15);
+  }
+  EXPECT_NEAR(out[1].f64()[0], 0.3, 1e-12);
+  EXPECT_NEAR(out[1].f64()[2], -2.0, 1e-12);
+}
+
+TEST(XlaJit, SelectComparison) {
+  Fixture f;
+  xla::Jit fn("relu", [](const std::vector<Array>& in) {
+    return std::vector<Array>{
+        xla::select(xla::gt(in[0], xla::constant(0.0)), in[0],
+                    xla::constant(0.0))};
+  });
+  const auto out = fn.call(f.rt, {vec({-1.0, 2.0, -3.0, 4.0})});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[3], 4.0);
+}
+
+TEST(XlaJit, IntegerBitOps) {
+  Fixture f;
+  xla::Jit fn("bits", [](const std::vector<Array>& in) {
+    const Array two = xla::constant_i64(2);
+    return std::vector<Array>{
+        xla::bitwise_or(xla::shift_left(in[0], two), xla::constant_i64(1)),
+        xla::bitwise_and(in[0], xla::constant_i64(3))};
+  });
+  const auto out = fn.call(f.rt, {ivec({1, 2, 7})});
+  EXPECT_EQ(out[0].i64()[0], 5);
+  EXPECT_EQ(out[0].i64()[2], 29);
+  EXPECT_EQ(out[1].i64()[2], 3);
+}
+
+TEST(XlaJit, CastAndFloor) {
+  Fixture f;
+  xla::Jit fn("cast", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::to_i64(xla::floor(in[0])),
+                              xla::to_f64(xla::to_i64(xla::floor(in[0])))};
+  });
+  const auto out = fn.call(f.rt, {vec({1.7, -0.2, 3.0})});
+  EXPECT_EQ(out[0].i64()[0], 1);
+  EXPECT_EQ(out[0].i64()[1], -1);
+  EXPECT_EQ(out[0].i64()[2], 3);
+  EXPECT_DOUBLE_EQ(out[1].f64()[1], -1.0);
+}
+
+TEST(XlaJit, BroadcastAndSlice) {
+  Fixture f;
+  xla::Jit fn("bc", [](const std::vector<Array>& in) {
+    const Array m = xla::broadcast_col(in[0], 3);   // [2,3]
+    const Array r = xla::broadcast_row(in[1], 2);   // [2,3]
+    const Array sum = m + r;
+    return std::vector<Array>{xla::slice_col(sum, 0),
+                              xla::reduce_sum(sum, 1)};
+  });
+  const auto out =
+      fn.call(f.rt, {vec({10.0, 20.0}), vec({1.0, 2.0, 3.0})});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 11.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[1], 21.0);
+  EXPECT_DOUBLE_EQ(out[1].f64()[0], 36.0);  // 11+12+13
+  EXPECT_DOUBLE_EQ(out[1].f64()[1], 66.0);  // 21+22+23
+}
+
+TEST(XlaJit, GatherClampsOutOfRange) {
+  Fixture f;
+  xla::Jit fn("g", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::gather(in[0], in[1])};
+  });
+  const auto out =
+      fn.call(f.rt, {vec({10.0, 20.0, 30.0}), ivec({0, 2, 5, -3})});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[1], 30.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[2], 30.0);  // clamped high
+  EXPECT_DOUBLE_EQ(out[0].f64()[3], 10.0);  // clamped low
+}
+
+TEST(XlaJit, ScatterAddDropsOutOfRange) {
+  Fixture f;
+  xla::Jit fn("s", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::scatter_add(in[0], in[1], in[2])};
+  });
+  const auto out = fn.call(
+      f.rt, {vec({0.0, 0.0, 0.0}), ivec({0, 1, 1, 7}), vec({1.0, 2.0, 3.0, 99.0})});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[1], 5.0);
+  EXPECT_DOUBLE_EQ(out[0].f64()[2], 0.0);
+}
+
+TEST(XlaJit, IotaAndReduce) {
+  Fixture f;
+  xla::Jit fn("i", [](const std::vector<Array>&) {
+    const Array idx = xla::iota(10);
+    return std::vector<Array>{xla::reduce_sum(xla::to_f64(idx))};
+  });
+  const auto out = fn.call(f.rt, {});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 45.0);
+}
+
+TEST(XlaJit, DotMatchesManualSum) {
+  Fixture f;
+  xla::Jit fn("d", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::dot(in[0], in[1])};
+  });
+  const auto out =
+      fn.call(f.rt, {vec({1.0, 2.0, 3.0}), vec({4.0, 5.0, 6.0})});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 32.0);
+}
+
+TEST(XlaJit, CacheHitsPerSignature) {
+  Fixture f;
+  xla::Jit fn("c", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] + 1.0};
+  });
+  fn.call(f.rt, {vec({1.0, 2.0})});
+  EXPECT_EQ(fn.cache_size(), 1u);
+  fn.call(f.rt, {vec({3.0, 4.0})});  // same shape: cache hit
+  EXPECT_EQ(fn.cache_size(), 1u);
+  fn.call(f.rt, {vec({1.0, 2.0, 3.0})});  // new shape: retrace
+  EXPECT_EQ(fn.cache_size(), 2u);
+  fn.call(f.rt, {vec({1.0, 2.0})}, "pad=7");  // static arg: retrace
+  EXPECT_EQ(fn.cache_size(), 3u);
+}
+
+TEST(XlaJit, CompileChargedOncePerSignature) {
+  Fixture f;
+  xla::Jit fn("c", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] * 3.0};
+  });
+  fn.call(f.rt, {vec({1.0})});
+  const double t_compile = f.log.seconds("jit_compile");
+  EXPECT_GT(t_compile, 0.0);
+  fn.call(f.rt, {vec({2.0})});
+  EXPECT_DOUBLE_EQ(f.log.seconds("jit_compile"), t_compile);
+  EXPECT_EQ(f.log.calls("c"), 2);
+}
+
+TEST(XlaJit, ArgumentValidation) {
+  Fixture f;
+  // Too few arguments: the traced body touches a parameter that does not
+  // exist, which surfaces as a trace-time error (like JAX's arity errors).
+  xla::Jit fn("v", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] + in.at(1)};
+  });
+  EXPECT_THROW(fn.call(f.rt, {vec({1.0})}), std::exception);
+  // Wrong shape on a later call against a cached signature is fine (it
+  // retraces); wrong shape against the *module* is caught by execute().
+  xla::Jit ok("ok", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] + 1.0};
+  });
+  const auto out = ok.call(f.rt, {vec({1.0, 2.0})});
+  EXPECT_EQ(out[0].num_elements(), 2);
+}
+
+TEST(XlaPasses, ConstantFolding) {
+  Fixture f;
+  xla::Jit fn("fold", [](const std::vector<Array>& in) {
+    // 2*3+4 should fold to a single constant.
+    const Array c = xla::constant(2.0) * xla::constant(3.0) + xla::constant(4.0);
+    return std::vector<Array>{in[0] + c};
+  });
+  fn.call(f.rt, {vec({1.0})});
+  const auto* compiled = fn.lookup({vec({1.0})});
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_GE(compiled->pass_stats.folded, 2);
+}
+
+TEST(XlaPasses, CseMergesDuplicates) {
+  Fixture f;
+  xla::Jit fn("cse", [](const std::vector<Array>& in) {
+    const Array a = xla::sin(in[0]);
+    const Array b = xla::sin(in[0]);  // duplicate
+    return std::vector<Array>{a + b};
+  });
+  fn.call(f.rt, {vec({0.5})});
+  const auto* compiled = fn.lookup({vec({0.5})});
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_GE(compiled->pass_stats.cse_removed, 1);
+}
+
+TEST(XlaPasses, DceRemovesUnusedWork) {
+  Fixture f;
+  xla::Jit fn("dce", [](const std::vector<Array>& in) {
+    [[maybe_unused]] const Array dead = xla::exp(in[0]) * 7.0;
+    return std::vector<Array>{in[0] + 1.0};
+  });
+  fn.call(f.rt, {vec({0.5})});
+  const auto* compiled = fn.lookup({vec({0.5})});
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_GE(compiled->pass_stats.dce_removed, 2);
+}
+
+TEST(XlaPasses, DotPatternRecognized) {
+  Fixture f;
+  xla::Jit fn("proj", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::reduce_sum(in[0] * in[1])};
+  });
+  const auto out =
+      fn.call(f.rt, {vec({1.0, 2.0}), vec({3.0, 4.0})});
+  EXPECT_DOUBLE_EQ(out[0].f64()[0], 11.0);
+  const auto* compiled = fn.lookup({vec({1.0, 2.0}), vec({3.0, 4.0})});
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(compiled->pass_stats.dot_rewrites, 1);
+}
+
+TEST(XlaFusion, ElementwiseChainIsOneLaunch) {
+  Fixture f;
+  xla::Jit fn("chain", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::sqrt(xla::abs(in[0] * 2.0 + 1.0))};
+  });
+  xla::ExecutionReport report;
+  fn.call_reported(f.rt, {vec({1.0, 2.0, 3.0, 4.0})}, "", report);
+  int launches = 0;
+  for (const auto& w : report.group_work) {
+    if (w.launches > 0.0) ++launches;
+  }
+  EXPECT_EQ(launches, 1);
+}
+
+TEST(XlaFusion, HeavyOpsSplitLaunches) {
+  Fixture f;
+  // Gathers input-fuse; reduce/scatter close groups.
+  xla::Jit fn("split", [](const std::vector<Array>& in) {
+    const Array g = xla::gather(in[0], in[1]);      // fuses with consumers
+    const Array e = g * 2.0 + 1.0;
+    const Array r = xla::reduce_sum(e);             // closes launch 1
+    return std::vector<Array>{r + 1.0};             // launch 2
+  });
+  xla::ExecutionReport report;
+  fn.call_reported(f.rt, {vec({1.0, 2.0, 3.0}), ivec({0, 1, 2, 1})}, "",
+                   report);
+  int launches = 0;
+  for (const auto& w : report.group_work) {
+    if (w.launches > 0.0) ++launches;
+  }
+  EXPECT_EQ(launches, 2);
+}
+
+TEST(XlaFusion, FusionElidesIntermediateTraffic) {
+  Fixture f;
+  // One fused chain writes only the final output; the same chain split by
+  // a reduce in the middle writes the intermediate too.
+  xla::Jit fused("fused", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] * 2.0 + 3.0};
+  });
+  xla::ExecutionReport report;
+  fused.call_reported(f.rt, {vec({1.0, 2.0, 3.0, 4.0})}, "", report);
+  // Read one input vector (4 doubles = 32 B, constants are scalars),
+  // write one output vector.
+  EXPECT_DOUBLE_EQ(report.total.bytes_written, 32.0);
+  EXPECT_LE(report.total.bytes_read, 32.0 + 16.0);
+}
+
+TEST(XlaScatter, SortedIndicesUseSegmentLowering) {
+  Fixture f;
+  xla::Jit fn("seg", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::scatter_add(in[0], in[1], in[2])};
+  });
+  xla::ExecutionReport report;
+  fn.call_reported(
+      f.rt,
+      {vec({0.0, 0.0}), ivec({0, 0, 1, 1}), vec({1.0, 1.0, 1.0, 1.0})}, "",
+      report);
+  EXPECT_TRUE(report.segment_lowering_used);
+  EXPECT_DOUBLE_EQ(report.total.atomic_ops, 0.0);
+}
+
+TEST(XlaScatter, UnsortedIndicesPayAtomics) {
+  Fixture f;
+  xla::Jit fn("atom", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::scatter_add(in[0], in[1], in[2])};
+  });
+  xla::ExecutionReport report;
+  fn.call_reported(
+      f.rt,
+      {vec({0.0, 0.0}), ivec({1, 0, 1, 0}), vec({1.0, 1.0, 1.0, 1.0})}, "",
+      report);
+  EXPECT_FALSE(report.segment_lowering_used);
+  EXPECT_DOUBLE_EQ(report.total.atomic_ops, 4.0);
+  EXPECT_NEAR(report.total.atomic_conflict_rate, 0.5, 1e-12);
+}
+
+TEST(XlaRuntime, PreallocationClaimsDeviceMemory) {
+  Fixture f;
+  EXPECT_EQ(f.device.allocated_bytes(), 0u);
+  f.rt.enable_preallocation(0.5);
+  EXPECT_GT(f.device.allocated_bytes(),
+            static_cast<std::size_t>(0.4 * f.device.spec().memory_bytes));
+  f.rt.disable_preallocation();
+  EXPECT_EQ(f.device.allocated_bytes(), 0u);
+}
+
+TEST(XlaRuntime, DispatchOverheadCharged) {
+  Fixture f;
+  xla::Jit fn("o", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] + 1.0};
+  });
+  fn.call(f.rt, {vec({1.0})});
+  const double after_compile = f.log.seconds("o");
+  EXPECT_GE(after_compile, f.rt.dispatch_overhead());
+}
+
+TEST(XlaRuntime, WorkScaleScalesKernelTime) {
+  Fixture a;
+  Fixture b;
+  b.rt.set_work_scale(1e6);
+  xla::Jit fn("w", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::sqrt(in[0]) * 2.0};
+  });
+  std::vector<double> big(4096, 2.0);
+  const Literal arg = Literal::from_f64(Shape{4096}, big);
+  fn.call(a.rt, {arg});
+  fn.call(b.rt, {arg});
+  EXPECT_GT(b.log.seconds("w"), a.log.seconds("w"));
+}
+
+TEST(XlaLiteral, TypedAccessAndValidation) {
+  const Literal l = vec({1.0, 2.0});
+  EXPECT_EQ(l.byte_size(), 16u);
+  EXPECT_DOUBLE_EQ(l.as_double(1), 2.0);
+  EXPECT_THROW(Literal::from_f64(Shape{3}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Shape({1, 2, 3}), std::invalid_argument);
+}
