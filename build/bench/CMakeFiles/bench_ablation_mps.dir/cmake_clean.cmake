@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mps.dir/bench_ablation_mps.cpp.o"
+  "CMakeFiles/bench_ablation_mps.dir/bench_ablation_mps.cpp.o.d"
+  "bench_ablation_mps"
+  "bench_ablation_mps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

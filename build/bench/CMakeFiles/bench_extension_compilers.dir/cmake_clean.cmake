@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_compilers.dir/bench_extension_compilers.cpp.o"
+  "CMakeFiles/bench_extension_compilers.dir/bench_extension_compilers.cpp.o.d"
+  "bench_extension_compilers"
+  "bench_extension_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

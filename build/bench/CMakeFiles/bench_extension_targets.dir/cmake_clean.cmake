@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_targets.dir/bench_extension_targets.cpp.o"
+  "CMakeFiles/bench_extension_targets.dir/bench_extension_targets.cpp.o.d"
+  "bench_extension_targets"
+  "bench_extension_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_full_benchmark.dir/bench_fig5_full_benchmark.cpp.o"
+  "CMakeFiles/bench_fig5_full_benchmark.dir/bench_fig5_full_benchmark.cpp.o.d"
+  "bench_fig5_full_benchmark"
+  "bench_fig5_full_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_full_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/destripe.dir/destripe.cpp.o"
+  "CMakeFiles/destripe.dir/destripe.cpp.o.d"
+  "destripe"
+  "destripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/destripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

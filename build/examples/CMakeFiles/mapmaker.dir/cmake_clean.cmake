@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapmaker.dir/mapmaker.cpp.o"
+  "CMakeFiles/mapmaker.dir/mapmaker.cpp.o.d"
+  "mapmaker"
+  "mapmaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapmaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_benchmark.dir/satellite_benchmark.cpp.o"
+  "CMakeFiles/satellite_benchmark.dir/satellite_benchmark.cpp.o.d"
+  "satellite_benchmark"
+  "satellite_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

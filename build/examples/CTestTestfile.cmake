@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_cpu "/root/repo/build/examples/quickstart" "cpu")
+set_tests_properties(example_quickstart_cpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_jax "/root/repo/build/examples/quickstart" "jax")
+set_tests_properties(example_quickstart_jax PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_omptarget "/root/repo/build/examples/quickstart" "omptarget")
+set_tests_properties(example_quickstart_omptarget PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kernel_playground_stokes "/root/repo/build/examples/kernel_playground" "stokes")
+set_tests_properties(example_kernel_playground_stokes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kernel_playground_pixels "/root/repo/build/examples/kernel_playground" "pixels")
+set_tests_properties(example_kernel_playground_pixels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kernel_playground_project "/root/repo/build/examples/kernel_playground" "project")
+set_tests_properties(example_kernel_playground_project PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_satellite_benchmark "/root/repo/build/examples/satellite_benchmark" "medium" "omptarget" "16")
+set_tests_properties(example_satellite_benchmark PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mapmaker "/root/repo/build/examples/mapmaker" "omptarget" "2")
+set_tests_properties(example_mapmaker PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_destripe "/root/repo/build/examples/destripe" "cpu")
+set_tests_properties(example_destripe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

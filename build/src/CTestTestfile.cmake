@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("qarray")
+subdirs("rng")
+subdirs("fft")
+subdirs("healpix")
+subdirs("bench_model")
+subdirs("accel")
+subdirs("omptarget")
+subdirs("xla")
+subdirs("core")
+subdirs("kernels")
+subdirs("solver")
+subdirs("sim")
+subdirs("mpisim")
+subdirs("tools")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_accel.dir/host_model.cpp.o"
+  "CMakeFiles/toast_accel.dir/host_model.cpp.o.d"
+  "CMakeFiles/toast_accel.dir/sim_device.cpp.o"
+  "CMakeFiles/toast_accel.dir/sim_device.cpp.o.d"
+  "libtoast_accel.a"
+  "libtoast_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_bench_model.dir/problem.cpp.o"
+  "CMakeFiles/toast_bench_model.dir/problem.cpp.o.d"
+  "libtoast_bench_model.a"
+  "libtoast_bench_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_bench_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accel_store.cpp" "src/core/CMakeFiles/toast_core.dir/accel_store.cpp.o" "gcc" "src/core/CMakeFiles/toast_core.dir/accel_store.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/toast_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/toast_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/observation.cpp" "src/core/CMakeFiles/toast_core.dir/observation.cpp.o" "gcc" "src/core/CMakeFiles/toast_core.dir/observation.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/toast_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/toast_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/timing.cpp" "src/core/CMakeFiles/toast_core.dir/timing.cpp.o" "gcc" "src/core/CMakeFiles/toast_core.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/toast_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/omptarget/CMakeFiles/toast_omptarget.dir/DependInfo.cmake"
+  "/root/repo/build/src/xla/CMakeFiles/toast_xla.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarray/CMakeFiles/toast_qarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_core.dir/accel_store.cpp.o"
+  "CMakeFiles/toast_core.dir/accel_store.cpp.o.d"
+  "CMakeFiles/toast_core.dir/context.cpp.o"
+  "CMakeFiles/toast_core.dir/context.cpp.o.d"
+  "CMakeFiles/toast_core.dir/observation.cpp.o"
+  "CMakeFiles/toast_core.dir/observation.cpp.o.d"
+  "CMakeFiles/toast_core.dir/pipeline.cpp.o"
+  "CMakeFiles/toast_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/toast_core.dir/timing.cpp.o"
+  "CMakeFiles/toast_core.dir/timing.cpp.o.d"
+  "libtoast_core.a"
+  "libtoast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

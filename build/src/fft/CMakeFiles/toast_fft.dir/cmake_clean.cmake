@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_fft.dir/fft.cpp.o"
+  "CMakeFiles/toast_fft.dir/fft.cpp.o.d"
+  "libtoast_fft.a"
+  "libtoast_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_healpix.dir/healpix.cpp.o"
+  "CMakeFiles/toast_healpix.dir/healpix.cpp.o.d"
+  "libtoast_healpix.a"
+  "libtoast_healpix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_healpix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

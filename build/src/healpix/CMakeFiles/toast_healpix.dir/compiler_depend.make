@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for toast_healpix.
+# This may be replaced when dependencies are built.

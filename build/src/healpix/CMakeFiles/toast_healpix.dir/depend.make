@@ -1,0 +1,2 @@
+# Empty dependencies file for toast_healpix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/common.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/common.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/kernels/cpu/build_noise_weighted.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/build_noise_weighted.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/build_noise_weighted.cpp.o.d"
+  "/root/repo/src/kernels/cpu/noise_weight.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/noise_weight.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/noise_weight.cpp.o.d"
+  "/root/repo/src/kernels/cpu/pixels_healpix.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/pixels_healpix.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/pixels_healpix.cpp.o.d"
+  "/root/repo/src/kernels/cpu/pointing_detector.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/pointing_detector.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/pointing_detector.cpp.o.d"
+  "/root/repo/src/kernels/cpu/scan_map.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/scan_map.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/scan_map.cpp.o.d"
+  "/root/repo/src/kernels/cpu/stokes_weights.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/stokes_weights.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/stokes_weights.cpp.o.d"
+  "/root/repo/src/kernels/cpu/template_offset.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/template_offset.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/cpu/template_offset.cpp.o.d"
+  "/root/repo/src/kernels/jax/build_noise_weighted.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/build_noise_weighted.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/build_noise_weighted.cpp.o.d"
+  "/root/repo/src/kernels/jax/noise_weight.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/noise_weight.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/noise_weight.cpp.o.d"
+  "/root/repo/src/kernels/jax/pixels_healpix.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/pixels_healpix.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/pixels_healpix.cpp.o.d"
+  "/root/repo/src/kernels/jax/pointing_detector.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/pointing_detector.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/pointing_detector.cpp.o.d"
+  "/root/repo/src/kernels/jax/scan_map.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/scan_map.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/scan_map.cpp.o.d"
+  "/root/repo/src/kernels/jax/stokes_weights.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/stokes_weights.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/stokes_weights.cpp.o.d"
+  "/root/repo/src/kernels/jax/support.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/support.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/support.cpp.o.d"
+  "/root/repo/src/kernels/jax/template_offset.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/jax/template_offset.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/jax/template_offset.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/build_noise_weighted.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/build_noise_weighted.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/build_noise_weighted.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/noise_weight.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/noise_weight.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/noise_weight.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/pixels_healpix.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/pixels_healpix.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/pixels_healpix.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/pointing_detector.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/pointing_detector.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/pointing_detector.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/scan_map.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/scan_map.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/scan_map.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/stokes_weights.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/stokes_weights.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/stokes_weights.cpp.o.d"
+  "/root/repo/src/kernels/omptarget/template_offset.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/template_offset.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/omptarget/template_offset.cpp.o.d"
+  "/root/repo/src/kernels/ops_common.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/ops_common.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/ops_common.cpp.o.d"
+  "/root/repo/src/kernels/ops_mapmaking.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/ops_mapmaking.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/ops_mapmaking.cpp.o.d"
+  "/root/repo/src/kernels/ops_pointing.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/ops_pointing.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/ops_pointing.cpp.o.d"
+  "/root/repo/src/kernels/ops_template.cpp" "src/kernels/CMakeFiles/toast_kernels.dir/ops_template.cpp.o" "gcc" "src/kernels/CMakeFiles/toast_kernels.dir/ops_template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/toast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/healpix/CMakeFiles/toast_healpix.dir/DependInfo.cmake"
+  "/root/repo/build/src/omptarget/CMakeFiles/toast_omptarget.dir/DependInfo.cmake"
+  "/root/repo/build/src/xla/CMakeFiles/toast_xla.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/toast_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarray/CMakeFiles/toast_qarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/comm.cpp" "src/mpisim/CMakeFiles/toast_mpisim.dir/comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/toast_mpisim.dir/comm.cpp.o.d"
+  "/root/repo/src/mpisim/job.cpp" "src/mpisim/CMakeFiles/toast_mpisim.dir/job.cpp.o" "gcc" "src/mpisim/CMakeFiles/toast_mpisim.dir/job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/toast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_model/CMakeFiles/toast_bench_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/toast_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/toast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omptarget/CMakeFiles/toast_omptarget.dir/DependInfo.cmake"
+  "/root/repo/build/src/xla/CMakeFiles/toast_xla.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/toast_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/toast_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/toast_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/healpix/CMakeFiles/toast_healpix.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarray/CMakeFiles/toast_qarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/toast_mpisim.dir/comm.cpp.o.d"
+  "CMakeFiles/toast_mpisim.dir/job.cpp.o"
+  "CMakeFiles/toast_mpisim.dir/job.cpp.o.d"
+  "libtoast_mpisim.a"
+  "libtoast_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

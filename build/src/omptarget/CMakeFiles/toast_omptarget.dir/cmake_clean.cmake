@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_omptarget.dir/pool.cpp.o"
+  "CMakeFiles/toast_omptarget.dir/pool.cpp.o.d"
+  "CMakeFiles/toast_omptarget.dir/runtime.cpp.o"
+  "CMakeFiles/toast_omptarget.dir/runtime.cpp.o.d"
+  "libtoast_omptarget.a"
+  "libtoast_omptarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_omptarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtoast_omptarget.a"
+)

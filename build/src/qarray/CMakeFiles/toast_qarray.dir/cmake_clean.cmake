@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_qarray.dir/qarray.cpp.o"
+  "CMakeFiles/toast_qarray.dir/qarray.cpp.o.d"
+  "libtoast_qarray.a"
+  "libtoast_qarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_qarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

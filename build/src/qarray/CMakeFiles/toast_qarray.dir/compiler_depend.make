@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for toast_qarray.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for toast_qarray.
+# This may be replaced when dependencies are built.

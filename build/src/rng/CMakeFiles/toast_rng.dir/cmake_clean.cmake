@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_rng.dir/rng.cpp.o"
+  "CMakeFiles/toast_rng.dir/rng.cpp.o.d"
+  "libtoast_rng.a"
+  "libtoast_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

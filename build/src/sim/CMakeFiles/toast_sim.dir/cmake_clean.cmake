@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_sim.dir/ground.cpp.o"
+  "CMakeFiles/toast_sim.dir/ground.cpp.o.d"
+  "CMakeFiles/toast_sim.dir/satellite.cpp.o"
+  "CMakeFiles/toast_sim.dir/satellite.cpp.o.d"
+  "CMakeFiles/toast_sim.dir/workflow.cpp.o"
+  "CMakeFiles/toast_sim.dir/workflow.cpp.o.d"
+  "libtoast_sim.a"
+  "libtoast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

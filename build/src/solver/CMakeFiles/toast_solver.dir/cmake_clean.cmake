@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_solver.dir/destriper.cpp.o"
+  "CMakeFiles/toast_solver.dir/destriper.cpp.o.d"
+  "libtoast_solver.a"
+  "libtoast_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

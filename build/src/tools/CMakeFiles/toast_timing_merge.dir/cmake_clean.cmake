@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_timing_merge.dir/timing_merge_main.cpp.o"
+  "CMakeFiles/toast_timing_merge.dir/timing_merge_main.cpp.o.d"
+  "toast_timing_merge"
+  "toast_timing_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_timing_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_tools.dir/loc.cpp.o"
+  "CMakeFiles/toast_tools.dir/loc.cpp.o.d"
+  "libtoast_tools.a"
+  "libtoast_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xla/array.cpp" "src/xla/CMakeFiles/toast_xla.dir/array.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/array.cpp.o.d"
+  "/root/repo/src/xla/eval.cpp" "src/xla/CMakeFiles/toast_xla.dir/eval.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/eval.cpp.o.d"
+  "/root/repo/src/xla/executor.cpp" "src/xla/CMakeFiles/toast_xla.dir/executor.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/executor.cpp.o.d"
+  "/root/repo/src/xla/hlo.cpp" "src/xla/CMakeFiles/toast_xla.dir/hlo.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/hlo.cpp.o.d"
+  "/root/repo/src/xla/jit.cpp" "src/xla/CMakeFiles/toast_xla.dir/jit.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/jit.cpp.o.d"
+  "/root/repo/src/xla/passes.cpp" "src/xla/CMakeFiles/toast_xla.dir/passes.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/passes.cpp.o.d"
+  "/root/repo/src/xla/types.cpp" "src/xla/CMakeFiles/toast_xla.dir/types.cpp.o" "gcc" "src/xla/CMakeFiles/toast_xla.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/toast_accel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

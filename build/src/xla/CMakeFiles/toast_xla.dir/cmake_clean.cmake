@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toast_xla.dir/array.cpp.o"
+  "CMakeFiles/toast_xla.dir/array.cpp.o.d"
+  "CMakeFiles/toast_xla.dir/eval.cpp.o"
+  "CMakeFiles/toast_xla.dir/eval.cpp.o.d"
+  "CMakeFiles/toast_xla.dir/executor.cpp.o"
+  "CMakeFiles/toast_xla.dir/executor.cpp.o.d"
+  "CMakeFiles/toast_xla.dir/hlo.cpp.o"
+  "CMakeFiles/toast_xla.dir/hlo.cpp.o.d"
+  "CMakeFiles/toast_xla.dir/jit.cpp.o"
+  "CMakeFiles/toast_xla.dir/jit.cpp.o.d"
+  "CMakeFiles/toast_xla.dir/passes.cpp.o"
+  "CMakeFiles/toast_xla.dir/passes.cpp.o.d"
+  "CMakeFiles/toast_xla.dir/types.cpp.o"
+  "CMakeFiles/toast_xla.dir/types.cpp.o.d"
+  "libtoast_xla.a"
+  "libtoast_xla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toast_xla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_consistency.dir/test_cost_consistency.cpp.o"
+  "CMakeFiles/test_cost_consistency.dir/test_cost_consistency.cpp.o.d"
+  "test_cost_consistency"
+  "test_cost_consistency.pdb"
+  "test_cost_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ground.dir/test_ground.cpp.o"
+  "CMakeFiles/test_ground.dir/test_ground.cpp.o.d"
+  "test_ground"
+  "test_ground.pdb"
+  "test_ground[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

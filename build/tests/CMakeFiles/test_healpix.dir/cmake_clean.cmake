@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_healpix.dir/test_healpix.cpp.o"
+  "CMakeFiles/test_healpix.dir/test_healpix.cpp.o.d"
+  "test_healpix"
+  "test_healpix.pdb"
+  "test_healpix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_healpix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_edge.dir/test_kernels_edge.cpp.o"
+  "CMakeFiles/test_kernels_edge.dir/test_kernels_edge.cpp.o.d"
+  "test_kernels_edge"
+  "test_kernels_edge.pdb"
+  "test_kernels_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omptarget.dir/test_omptarget.cpp.o"
+  "CMakeFiles/test_omptarget.dir/test_omptarget.cpp.o.d"
+  "test_omptarget"
+  "test_omptarget.pdb"
+  "test_omptarget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omptarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

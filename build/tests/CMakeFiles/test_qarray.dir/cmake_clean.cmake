@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qarray.dir/test_qarray.cpp.o"
+  "CMakeFiles/test_qarray.dir/test_qarray.cpp.o.d"
+  "test_qarray"
+  "test_qarray.pdb"
+  "test_qarray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/test_tools.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/test_tools.dir/test_tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/toast_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/toast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omptarget/CMakeFiles/toast_omptarget.dir/DependInfo.cmake"
+  "/root/repo/build/src/xla/CMakeFiles/toast_xla.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/toast_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/qarray/CMakeFiles/toast_qarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

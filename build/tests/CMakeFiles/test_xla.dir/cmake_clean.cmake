@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xla.dir/test_xla.cpp.o"
+  "CMakeFiles/test_xla.dir/test_xla.cpp.o.d"
+  "test_xla"
+  "test_xla.pdb"
+  "test_xla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

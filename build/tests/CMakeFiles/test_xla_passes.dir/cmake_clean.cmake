@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xla_passes.dir/test_xla_passes.cpp.o"
+  "CMakeFiles/test_xla_passes.dir/test_xla_passes.cpp.o.d"
+  "test_xla_passes"
+  "test_xla_passes.pdb"
+  "test_xla_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xla_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_qarray[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_healpix[1]_include.cmake")
+include("/root/repo/build/tests/test_accel[1]_include.cmake")
+include("/root/repo/build/tests/test_omptarget[1]_include.cmake")
+include("/root/repo/build/tests/test_xla[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_xla_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_ground[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_consistency[1]_include.cmake")
