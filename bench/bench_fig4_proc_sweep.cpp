@@ -10,19 +10,80 @@
 //   - both GPU ports peak at 8 processes (2 per GPU: oversubscription),
 //     JAX at ~2.4x and OpenMP-target ~20% faster, ~2.9x;
 //   - speedups decline at 16 and 32 processes.
+//
+// --json <path>: machine-readable sweep (schema toastcase-bench-fig4-v1)
+// for scripts/check_bench.py.  --trace <path>: Chrome trace of the
+// 8-process representative ranks (path suffixed per backend).
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "mpisim/job.hpp"
+#include "obs/export.hpp"
 
 using toast::bench_model::medium_problem;
 using toast::core::Backend;
 using toast::mpisim::JobConfig;
+using toast::mpisim::JobResult;
 using toast::mpisim::run_benchmark_job;
 
-int main() {
+namespace {
+
+struct SweepPoint {
+  int procs = 0;
+  int threads = 0;
+  JobResult cpu;
+  JobResult jax;
+  JobResult omp;
+};
+
+void write_json(const std::string& path,
+                const std::vector<SweepPoint>& sweep) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  toast::bench::JsonWriter w(out);
+  w.obj_open();
+  w.kv("schema", "toastcase-bench-fig4-v1");
+  w.kv("benchmark", "fig4_proc_sweep");
+  w.arr_open("points");
+  for (const auto& pt : sweep) {
+    w.obj_open();
+    w.kv("procs", pt.procs);
+    w.kv("threads", pt.threads);
+    auto backend = [&](const char* name, const JobResult& r) {
+      w.obj_open(name);
+      w.kv("oom", r.oom);
+      if (r.oom) {
+        w.kv("oom_reason", r.oom_reason);
+      } else {
+        w.kv("runtime_s", r.runtime);
+        w.kv("host_s", r.host_seconds);
+        w.kv("device_s", r.device_seconds);
+        w.kv("transfer_s", r.transfer_seconds);
+        w.kv("comm_s", r.comm_seconds);
+      }
+      w.obj_close();
+    };
+    backend("cpu", pt.cpu);
+    backend("jax", pt.jax);
+    backend("omp", pt.omp);
+    w.obj_close();
+  }
+  w.arr_close();
+  w.obj_close();
+  out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = toast::bench::parse_options(argc, argv);
   toast::bench::print_header(
       "Figure 4: runtime vs number of processes (medium, 1 node)");
   std::printf("%6s %8s | %14s | %14s %8s | %14s %8s\n", "procs", "threads",
@@ -30,35 +91,41 @@ int main() {
   std::printf("---------------------------------------------------------------"
               "---------\n");
 
+  std::vector<SweepPoint> sweep;
   for (const int procs : {1, 2, 4, 8, 16, 32, 64}) {
     auto problem = medium_problem();
     problem.procs_per_node = procs;
 
+    SweepPoint pt;
+    pt.procs = procs;
+    pt.threads = problem.threads_per_proc();
+
     JobConfig cpu_cfg{problem, Backend::kCpu};
-    const auto cpu = run_benchmark_job(cpu_cfg);
+    pt.cpu = run_benchmark_job(cpu_cfg);
 
     JobConfig jax_cfg{problem, Backend::kJax};
-    const auto jax = run_benchmark_job(jax_cfg);
+    pt.jax = run_benchmark_job(jax_cfg);
 
     JobConfig omp_cfg{problem, Backend::kOmpTarget};
-    const auto omp = run_benchmark_job(omp_cfg);
+    pt.omp = run_benchmark_job(omp_cfg);
 
-    auto cell = [&](const toast::mpisim::JobResult& r) {
+    auto cell = [&](const JobResult& r) {
       return r.oom ? std::string("OOM") : toast::bench::fmt_seconds(r.runtime);
     };
-    auto speedup = [&](const toast::mpisim::JobResult& r) {
+    auto speedup = [&](const JobResult& r) {
       return r.oom ? std::string("-")
                    : [&] {
                        char buf[32];
                        std::snprintf(buf, sizeof(buf), "%.2fx",
-                                     cpu.runtime / r.runtime);
+                                     pt.cpu.runtime / r.runtime);
                        return std::string(buf);
                      }();
     };
-    std::printf("%6d %8d | %14s | %14s %8s | %14s %8s\n", procs,
-                problem.threads_per_proc(), cell(cpu).c_str(),
-                cell(jax).c_str(), speedup(jax).c_str(), cell(omp).c_str(),
-                speedup(omp).c_str());
+    std::printf("%6d %8d | %14s | %14s %8s | %14s %8s\n", procs, pt.threads,
+                cell(pt.cpu).c_str(), cell(pt.jax).c_str(),
+                speedup(pt.jax).c_str(), cell(pt.omp).c_str(),
+                speedup(pt.omp).c_str());
+    sweep.push_back(std::move(pt));
   }
 
   std::printf(
@@ -67,5 +134,29 @@ int main() {
       "       omp-target ~20%% faster than jax: 2.9x @8, 2.7x @16, 2.3x "
       "@32,\n"
       "       fits @1 process, OOM @64; cpu falls with process count.\n");
+
+  if (!opt.json_path.empty()) {
+    write_json(opt.json_path, sweep);
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    for (const auto& pt : sweep) {
+      if (pt.procs != 8) {
+        continue;
+      }
+      const std::pair<const char*, const JobResult*> runs[] = {
+          {"cpu", &pt.cpu}, {"jax", &pt.jax}, {"omp", &pt.omp}};
+      for (const auto& [tag, r] : runs) {
+        if (r->oom) {
+          continue;
+        }
+        const std::string path =
+            toast::bench::suffixed_path(opt.trace_path, tag);
+        toast::obs::write_chrome_trace_file(r->rank_spans, path,
+                                            std::string("fig4-rank-") + tag);
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+  }
   return 0;
 }

@@ -5,8 +5,14 @@
 // OpenMP Target Offload 2.58x faster; forcing JAX onto its *CPU* backend
 // is 7.4x SLOWER than the threaded baseline (§4.2, excluded from the
 // paper's plot because it would dwarf the other bars).
+//
+// --json <path>: machine-readable results (schema toastcase-bench-fig5-v1).
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "mpisim/job.hpp"
@@ -14,9 +20,50 @@
 using toast::bench_model::large_problem;
 using toast::core::Backend;
 using toast::mpisim::JobConfig;
+using toast::mpisim::JobResult;
 using toast::mpisim::run_benchmark_job;
 
-int main() {
+namespace {
+
+struct Row {
+  std::string label;
+  JobResult result;
+};
+
+void write_json(const std::string& path, const JobResult& cpu,
+                const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  toast::bench::JsonWriter w(out);
+  w.obj_open();
+  w.kv("schema", "toastcase-bench-fig5-v1");
+  w.kv("benchmark", "fig5_full_benchmark");
+  w.arr_open("implementations");
+  auto emit = [&](const std::string& label, const JobResult& r) {
+    w.obj_open();
+    w.kv("name", label);
+    w.kv("oom", r.oom);
+    if (!r.oom) {
+      w.kv("runtime_s", r.runtime);
+      w.kv("speedup_vs_cpu", cpu.runtime / r.runtime);
+    }
+    w.obj_close();
+  };
+  emit("cpu", cpu);
+  for (const auto& row : rows) {
+    emit(row.label, row.result);
+  }
+  w.arr_close();
+  w.obj_close();
+  out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = toast::bench::parse_options(argc, argv);
   toast::bench::print_header(
       "Figure 5: full benchmark, large problem (8 nodes x 16 procs x 4 "
       "threads)");
@@ -29,29 +76,36 @@ int main() {
   std::printf("%-22s %14s %10s\n", "cpu (OpenMP)",
               toast::bench::fmt_seconds(cpu.runtime).c_str(), "1.00x");
 
-  for (const auto& [label, backend] :
-       {std::pair{"jax", Backend::kJax},
-        std::pair{"omp-target", Backend::kOmpTarget},
-        std::pair{"jax (CPU backend)", Backend::kJaxCpu}}) {
+  std::vector<Row> rows;
+  for (const auto& [label, json_label, backend] :
+       {std::tuple{"jax", "jax", Backend::kJax},
+        std::tuple{"omp-target", "omp", Backend::kOmpTarget},
+        std::tuple{"jax (CPU backend)", "jax_cpu", Backend::kJaxCpu}}) {
     const auto r = run_benchmark_job({problem, backend});
     char speed[32];
     if (r.oom) {
       std::snprintf(speed, sizeof(speed), "OOM");
       std::printf("%-22s %14s %10s\n", label, "OOM", speed);
-      continue;
-    }
-    const double s = cpu.runtime / r.runtime;
-    if (s >= 1.0) {
-      std::snprintf(speed, sizeof(speed), "%.2fx", s);
     } else {
-      std::snprintf(speed, sizeof(speed), "%.1fx slower", 1.0 / s);
+      const double s = cpu.runtime / r.runtime;
+      if (s >= 1.0) {
+        std::snprintf(speed, sizeof(speed), "%.2fx", s);
+      } else {
+        std::snprintf(speed, sizeof(speed), "%.1fx slower", 1.0 / s);
+      }
+      std::printf("%-22s %14s %10s\n", label,
+                  toast::bench::fmt_seconds(r.runtime).c_str(), speed);
     }
-    std::printf("%-22s %14s %10s\n", label,
-                toast::bench::fmt_seconds(r.runtime).c_str(), speed);
+    rows.push_back(Row{json_label, r});
   }
 
   std::printf(
       "\npaper: jax 2.28x, omp-target 2.58x faster than cpu;\n"
       "       jax CPU backend 7.4x slower than the threaded baseline.\n");
+
+  if (!opt.json_path.empty()) {
+    write_json(opt.json_path, cpu, rows);
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
   return 0;
 }

@@ -8,8 +8,14 @@
 // project_signal strongly favours JAX (45x vs 19x, XLA's linear-algebra
 // lowering); data movement barely registers, with JAX cheaper on
 // update_device and reset.
+//
+// --json <path>: machine-readable results (schema
+// toastcase-bench-fig6-v1); per-kernel totals are exactly the TimeLog
+// figures printed by the table.  --trace <path>: Chrome trace of each
+// backend's modelled rank (path suffixed per backend).
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +23,7 @@
 #include "bench_model/problem.hpp"
 #include "core/context.hpp"
 #include "kernels/jax.hpp"
+#include "obs/export.hpp"
 #include "sim/satellite.hpp"
 #include "sim/workflow.hpp"
 
@@ -24,7 +31,12 @@ using namespace toast;
 
 namespace {
 
-accel::TimeLog run_backend(core::Backend backend) {
+struct BackendRun {
+  accel::TimeLog log;
+  std::vector<obs::Span> spans;
+};
+
+BackendRun run_backend(core::Backend backend) {
   const auto p = bench_model::medium_problem();  // 16 procs default
   core::ExecConfig ec;
   ec.backend = backend;
@@ -54,12 +66,66 @@ accel::TimeLog run_backend(core::Backend backend) {
   wf.nside = p.nside;
   auto pipeline = sim::make_benchmark_pipeline(wf);
   pipeline.exec(data, ctx);
-  return ctx.log();
+  return BackendRun{ctx.log(), ctx.tracer().spans()};
+}
+
+const std::vector<std::string> kKernels = {
+    "pointing_detector",
+    "pixels_healpix",
+    "stokes_weights_IQU",
+    "scan_map",
+    "noise_weight",
+    "build_noise_weighted",
+    "template_offset_add_to_signal",
+    "template_offset_project_signal",
+};
+
+const std::vector<std::string> kDataMovement = {
+    "accel_data_update_device", "accel_data_update_host", "accel_data_reset",
+    "accel_data_create", "jit_compile"};
+
+void write_json(const std::string& path, double procs,
+                const accel::TimeLog& cpu, const accel::TimeLog& jax,
+                const accel::TimeLog& omp, double mean_ratio) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  toast::bench::JsonWriter w(out);
+  w.obj_open();
+  w.kv("schema", "toastcase-bench-fig6-v1");
+  w.kv("benchmark", "fig6_per_kernel");
+  w.kv("procs", procs);
+  w.arr_open("kernels");
+  for (const auto& k : kKernels) {
+    w.obj_open();
+    w.kv("name", k);
+    w.kv("cpu_s", cpu.seconds(k) * procs);
+    w.kv("jax_s", jax.seconds(k) * procs);
+    w.kv("omp_s", omp.seconds(k) * procs);
+    w.kv("jax_calls", jax.calls(k));
+    w.kv("omp_calls", omp.calls(k));
+    w.obj_close();
+  }
+  w.arr_close();
+  w.arr_open("data_movement");
+  for (const auto& k : kDataMovement) {
+    w.obj_open();
+    w.kv("name", k);
+    w.kv("jax_s", jax.seconds(k) * procs);
+    w.kv("omp_s", omp.seconds(k) * procs);
+    w.obj_close();
+  }
+  w.arr_close();
+  w.kv("mean_jax_over_omp", mean_ratio);
+  w.obj_close();
+  out << "\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = toast::bench::parse_options(argc, argv);
   toast::bench::print_header(
       "Figure 6: per-kernel total runtime (medium, 16 procs, 4 threads)");
 
@@ -68,51 +134,56 @@ int main() {
   const auto omp = run_backend(core::Backend::kOmpTarget);
 
   const double procs = 16.0;  // totals across the job
-  const std::vector<std::string> kernels = {
-      "pointing_detector",
-      "pixels_healpix",
-      "stokes_weights_IQU",
-      "scan_map",
-      "noise_weight",
-      "build_noise_weighted",
-      "template_offset_add_to_signal",
-      "template_offset_project_signal",
-  };
 
   std::printf("%-34s %10s %10s %8s %10s %8s\n", "kernel", "cpu", "jax",
               "x cpu", "omp", "x cpu");
   std::printf("-------------------------------------------------------------"
               "----------------------\n");
-  for (const auto& k : kernels) {
-    const double tc = cpu.seconds(k) * procs;
-    const double tj = jax.seconds(k) * procs;
-    const double to = omp.seconds(k) * procs;
+  for (const auto& k : kKernels) {
+    const double tc = cpu.log.seconds(k) * procs;
+    const double tj = jax.log.seconds(k) * procs;
+    const double to = omp.log.seconds(k) * procs;
     std::printf("%-34s %9.2fs %9.2fs %7.1fx %9.2fs %7.1fx\n", k.c_str(), tc,
                 tj, tj > 0 ? tc / tj : 0.0, to, to > 0 ? tc / to : 0.0);
   }
   std::printf("\ndata movement (accel_data_*):\n");
-  for (const auto& k :
-       {"accel_data_update_device", "accel_data_update_host",
-        "accel_data_reset", "accel_data_create", "jit_compile"}) {
-    std::printf("%-34s %10s %9.2fs %8s %9.2fs\n", k, "-",
-                jax.seconds(k) * procs, "", omp.seconds(k) * procs);
+  for (const auto& k : kDataMovement) {
+    std::printf("%-34s %10s %9.2fs %8s %9.2fs\n", k.c_str(), "-",
+                jax.log.seconds(k) * procs, "", omp.log.seconds(k) * procs);
   }
 
   // Average GPU-port advantage across kernels (paper: OMP ~2.4x faster
   // than JAX on average per kernel).
   double ratio = 0.0;
   int n = 0;
-  for (const auto& k : kernels) {
-    if (omp.seconds(k) > 0.0 && jax.seconds(k) > 0.0) {
-      ratio += jax.seconds(k) / omp.seconds(k);
+  for (const auto& k : kKernels) {
+    if (omp.log.seconds(k) > 0.0 && jax.log.seconds(k) > 0.0) {
+      ratio += jax.log.seconds(k) / omp.log.seconds(k);
       ++n;
     }
   }
+  const double mean_ratio = n > 0 ? ratio / n : 0.0;
   std::printf("\nmean jax/omp per-kernel time ratio: %.2fx (paper ~2.4x)\n",
-              ratio / n);
+              mean_ratio);
   std::printf(
       "paper: jax 1.5x (offset_add) to 45x (offset_project); omp 5x to 61x\n"
       "       (stokes_IQU); pixels_healpix omp 41x vs jax 11x;\n"
       "       offset_project jax 45x vs omp 19x.\n");
+
+  if (!opt.json_path.empty()) {
+    write_json(opt.json_path, procs, cpu.log, jax.log, omp.log, mean_ratio);
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    const std::pair<const char*, const BackendRun*> runs[] = {
+        {"cpu", &cpu}, {"jax", &jax}, {"omp", &omp}};
+    for (const auto& [tag, run] : runs) {
+      const std::string path =
+          toast::bench::suffixed_path(opt.trace_path, tag);
+      obs::write_chrome_trace_file(run->spans, path,
+                                   std::string("fig6-") + tag);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
   return 0;
 }

@@ -80,8 +80,8 @@ BENCHMARK(BM_RngGaussian)->Range(1 << 10, 1 << 16);
 static void BM_XlaJitCached(benchmark::State& state) {
   accel::SimDevice device;
   accel::VirtualClock clock;
-  accel::TimeLog log;
-  xla::Runtime rt(device, clock, log);
+  toast::obs::Tracer tracer(&clock);
+  xla::Runtime rt(device, clock, tracer);
   xla::Jit fn("bench", [](const std::vector<xla::Array>& in) {
     return std::vector<xla::Array>{
         xla::sqrt(xla::abs(in[0] * 2.0 + 1.0)) - 0.5};
@@ -101,8 +101,8 @@ BENCHMARK(BM_XlaJitCached)->Range(1 << 10, 1 << 14);
 static void BM_XlaCompile(benchmark::State& state) {
   accel::SimDevice device;
   accel::VirtualClock clock;
-  accel::TimeLog log;
-  xla::Runtime rt(device, clock, log);
+  toast::obs::Tracer tracer(&clock);
+  xla::Runtime rt(device, clock, tracer);
   std::vector<double> data(1024, 1.5);
   const xla::Literal arg = xla::Literal::from_f64(xla::Shape{1024}, data);
   for (auto _ : state) {

@@ -1,9 +1,22 @@
 #pragma once
 
-// Small table-printing helpers shared by the figure benchmarks.
+// Shared helpers for the figure benchmarks: table printing, command-line
+// options, and a small JSON writer for the machine-readable output mode.
+//
+// Every figure benchmark accepts:
+//   --json <path>    write results as JSON (the CI smoke mode;
+//                    scripts/check_bench.py threshold-checks the file)
+//   --trace <path>   write Chrome trace-event JSON of the modelled runs
+//                    (one file per backend, suffixed before the extension)
+//
+// The writer is self-contained (no dependency on toast_obs) so the
+// LoC-counting benchmarks that only link toast_tools can use it too.
 
 #include <cstdio>
+#include <ostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace toast::bench {
 
@@ -24,5 +37,184 @@ inline std::string fmt_seconds(double s) {
   }
   return buf;
 }
+
+// --- command line -----------------------------------------------------------
+
+struct BenchOptions {
+  std::string json_path;   // empty = human output only
+  std::string trace_path;  // empty = no trace export
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a path\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = need_value("--json");
+    } else if (arg == "--trace") {
+      opt.trace_path = need_value("--trace");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--json <path>] [--trace <path>]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown option '%s' (try --help)\n", argv[0],
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// "out.json" + "jax" -> "out.jax.json" (per-backend trace files).
+inline std::string suffixed_path(const std::string& path,
+                                 const std::string& tag) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+// --- JSON writing -----------------------------------------------------------
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming JSON writer with automatic comma placement.  Usage:
+///   JsonWriter w(out);
+///   w.obj_open(); w.kv("schema", "..."); w.arr_open("rows");
+///   w.obj_open(); w.kv("x", 1.0); w.obj_close(); w.arr_close();
+///   w.obj_close();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void obj_open(const std::string& key = {}) {
+    comma();
+    write_key(key);
+    out_ << "{";
+    need_comma_.push_back(false);
+  }
+  void obj_close() {
+    out_ << "}";
+    pop();
+  }
+  void arr_open(const std::string& key = {}) {
+    comma();
+    write_key(key);
+    out_ << "[";
+    need_comma_.push_back(false);
+  }
+  void arr_close() {
+    out_ << "]";
+    pop();
+  }
+
+  void kv(const std::string& key, const std::string& value) {
+    comma();
+    write_key(key);
+    out_ << '"' << json_escape(value) << '"';
+    mark();
+  }
+  void kv(const std::string& key, const char* value) {
+    kv(key, std::string(value));
+  }
+  void kv(const std::string& key, double value) {
+    comma();
+    write_key(key);
+    write_number(value);
+    mark();
+  }
+  void kv(const std::string& key, long value) {
+    comma();
+    write_key(key);
+    out_ << value;
+    mark();
+  }
+  void kv(const std::string& key, int value) { kv(key, long{value}); }
+  void kv(const std::string& key, bool value) {
+    comma();
+    write_key(key);
+    out_ << (value ? "true" : "false");
+    mark();
+  }
+  /// Array element.
+  void value(double v) {
+    comma();
+    write_number(v);
+    mark();
+  }
+  void value(const std::string& v) {
+    comma();
+    out_ << '"' << json_escape(v) << '"';
+    mark();
+  }
+
+ private:
+  void write_key(const std::string& key) {
+    if (!key.empty()) {
+      out_ << '"' << json_escape(key) << "\":";
+    }
+  }
+  void write_number(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+  }
+  void comma() {
+    if (!need_comma_.empty() && need_comma_.back()) {
+      out_ << ",";
+    }
+  }
+  void mark() {
+    if (!need_comma_.empty()) {
+      need_comma_.back() = true;
+    }
+  }
+  void pop() {
+    if (!need_comma_.empty()) {
+      need_comma_.pop_back();
+    }
+    mark();
+  }
+
+  std::ostream& out_;
+  std::vector<bool> need_comma_;
+};
 
 }  // namespace toast::bench

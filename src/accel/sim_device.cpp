@@ -101,20 +101,42 @@ void SimDevice::allocate(std::size_t bytes) {
     throw DeviceOomError(msg.str());
   }
   allocated_ += bytes;
+  if (sink_ != nullptr) {
+    sink_->device_span("device_alloc", "alloc", 0.0,
+                       static_cast<double>(bytes), nullptr);
+  }
 }
 
 void SimDevice::deallocate(std::size_t bytes) {
   allocated_ -= std::min(allocated_, bytes);
+  if (sink_ != nullptr) {
+    sink_->device_span("device_free", "alloc", 0.0,
+                       static_cast<double>(bytes), nullptr);
+  }
 }
 
 void SimDevice::note_execution(const WorkEstimate& w, double seconds) {
   total_launches_ += static_cast<std::uint64_t>(w.launches);
   total_exec_seconds_ += seconds;
+  if (sink_ != nullptr) {
+    sink_->device_span("device_exec", "exec", seconds, 0.0, &w);
+  }
+}
+
+void SimDevice::note_transfer(double bytes, double seconds, bool to_device) {
+  total_transfer_seconds_ += seconds;
+  total_transfer_bytes_ += bytes;
+  if (sink_ != nullptr) {
+    sink_->device_span(to_device ? "h2d_transfer" : "d2h_transfer",
+                       "transfer", seconds, bytes, nullptr);
+  }
 }
 
 void SimDevice::reset_counters() {
   total_launches_ = 0;
   total_exec_seconds_ = 0.0;
+  total_transfer_seconds_ = 0.0;
+  total_transfer_bytes_ = 0.0;
 }
 
 }  // namespace toast::accel

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "accel/specs.hpp"
+#include "accel/trace_sink.hpp"
 #include "accel/work.hpp"
 
 namespace toast::accel {
@@ -89,8 +90,18 @@ class SimDevice {
 
   std::uint64_t total_launches() const { return total_launches_; }
   double total_exec_seconds() const { return total_exec_seconds_; }
+  double total_transfer_seconds() const { return total_transfer_seconds_; }
+  double total_transfer_bytes() const { return total_transfer_bytes_; }
   void note_execution(const WorkEstimate& w, double seconds);
+  /// Record a completed PCIe transfer (emits a span on the device track).
+  void note_transfer(double bytes, double seconds, bool to_device);
   void reset_counters();
+
+  // --- tracing ------------------------------------------------------------
+
+  /// Attach a trace sink; the device emits exec/transfer/alloc spans to it
+  /// (nullptr detaches).  Not owned.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
 
  private:
   DeviceSpec spec_;
@@ -99,6 +110,9 @@ class SimDevice {
   std::size_t allocated_ = 0;
   std::uint64_t total_launches_ = 0;
   double total_exec_seconds_ = 0.0;
+  double total_transfer_seconds_ = 0.0;
+  double total_transfer_bytes_ = 0.0;
+  TraceSink* sink_ = nullptr;
 };
 
 }  // namespace toast::accel

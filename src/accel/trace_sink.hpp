@@ -1,0 +1,25 @@
+#pragma once
+
+// Minimal emission interface the device model uses to report spans to the
+// tracing layer.  Lives in accel (not obs) so SimDevice can emit
+// transfer/exec/alloc events without a dependency cycle: obs depends on
+// accel, never the other way around.
+
+namespace toast::accel {
+
+struct WorkEstimate;
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Record a completed device-side event of `seconds` duration ending at
+  /// the current virtual time.  `bytes` is the payload for transfer/alloc
+  /// events (0 when meaningless); `work` is the executed estimate for
+  /// kernel events (nullptr otherwise).
+  virtual void device_span(const char* name, const char* category,
+                           double seconds, double bytes,
+                           const WorkEstimate* work) = 0;
+};
+
+}  // namespace toast::accel

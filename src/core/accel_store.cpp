@@ -40,7 +40,8 @@ void AccelStore::create(Field& field) {
   mapped_bytes_ += field.byte_size();
   shadows_.emplace(&field, std::move(s));
   ctx_.clock().advance(alloc_cost);
-  ctx_.log().add("accel_data_create", alloc_cost);
+  ctx_.tracer().record("accel_data_create", "alloc", alloc_cost,
+                       to_string(ctx_.config().backend));
 }
 
 bool AccelStore::present(const Field& field) const {
@@ -67,20 +68,24 @@ void AccelStore::update_device(Field& field) {
   std::byte* shadow = raw_ptr(field);
   std::memcpy(shadow, field.raw(), field.byte_size());
   const double factor = jax_like(ctx_) ? kJaxUpdateDeviceFactor : 1.0;
-  const double t = factor * ctx_.device().transfer_time(
-                                paper_bytes(field, ctx_));
+  const double bytes = paper_bytes(field, ctx_);
+  const double t = factor * ctx_.device().transfer_time(bytes);
   ctx_.clock().advance(t);
-  ctx_.log().add("accel_data_update_device", t);
+  ctx_.device().note_transfer(bytes, t, /*to_device=*/true);
+  ctx_.tracer().record("accel_data_update_device", "transfer", t,
+                       to_string(ctx_.config().backend));
 }
 
 void AccelStore::update_host(Field& field) {
   const std::byte* shadow = raw_ptr(field);
   std::memcpy(field.raw(), shadow, field.byte_size());
   const double factor = jax_like(ctx_) ? kJaxUpdateHostFactor : 1.0;
-  const double t = factor * ctx_.device().transfer_time(
-                                paper_bytes(field, ctx_));
+  const double bytes = paper_bytes(field, ctx_);
+  const double t = factor * ctx_.device().transfer_time(bytes);
   ctx_.clock().advance(t);
-  ctx_.log().add("accel_data_update_host", t);
+  ctx_.device().note_transfer(bytes, t, /*to_device=*/false);
+  ctx_.tracer().record("accel_data_update_host", "transfer", t,
+                       to_string(ctx_.config().backend));
 }
 
 void AccelStore::reset(Field& field) {
@@ -90,7 +95,8 @@ void AccelStore::reset(Field& field) {
                        ? kJaxResetSeconds
                        : ctx_.device().fill_time(paper_bytes(field, ctx_));
   ctx_.clock().advance(t);
-  ctx_.log().add("accel_data_reset", t);
+  ctx_.tracer().record("accel_data_reset", "transfer", t,
+                       to_string(ctx_.config().backend));
 }
 
 void AccelStore::remove(Field& field) {
@@ -103,7 +109,8 @@ void AccelStore::remove(Field& field) {
   }
   mapped_bytes_ -= field.byte_size();
   shadows_.erase(it);
-  ctx_.log().add("accel_data_delete", 0.0);
+  ctx_.tracer().record("accel_data_delete", "alloc", 0.0,
+                       to_string(ctx_.config().backend));
 }
 
 void AccelStore::clear() {

@@ -5,9 +5,11 @@ namespace toast::core {
 ExecContext::ExecContext(const ExecConfig& config)
     : config_(config),
       device_(config.device_spec),
+      tracer_(&clock_),
       host_(config.host_spec),
-      omp_rt_(device_, clock_, log_),
-      jax_rt_(device_, clock_, log_) {
+      omp_rt_(device_, clock_, tracer_),
+      jax_rt_(device_, clock_, tracer_) {
+  device_.set_trace_sink(&tracer_);
   device_.set_sharing(config.sharing, config.procs_per_gpu);
   omp_rt_.set_dispatch_overhead(config.omp_dispatch_overhead);
   omp_rt_.set_work_scale(config.work_scale);
@@ -36,7 +38,7 @@ void ExecContext::charge_host_kernel(const std::string& name,
   const double t = host_.exec_time(scaled, config_.threads,
                                    config_.socket_active_threads);
   clock_.advance(t);
-  log_.add(name, t);
+  tracer_.record(name, "kernel", t, "cpu", &scaled);
 }
 
 void ExecContext::charge_host_kernel_raw(const std::string& name,
@@ -44,12 +46,12 @@ void ExecContext::charge_host_kernel_raw(const std::string& name,
   const double t = host_.exec_time(work, config_.threads,
                                    config_.socket_active_threads);
   clock_.advance(t);
-  log_.add(name, t);
+  tracer_.record(name, "kernel", t, "cpu", &work);
 }
 
 void ExecContext::charge_serial(const std::string& name, double seconds) {
   clock_.advance(seconds);
-  log_.add(name, seconds);
+  tracer_.record(name, "serial", seconds);
 }
 
 }  // namespace toast::core

@@ -13,6 +13,7 @@
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "omptarget/runtime.hpp"
 #include "xla/jit.hpp"
 
@@ -50,7 +51,12 @@ class ExecContext {
 
   accel::SimDevice& device() { return device_; }
   accel::VirtualClock& clock() { return clock_; }
-  accel::TimeLog& log() { return log_; }
+  /// The span tracer: source of truth for all charged time.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Flat per-category view (the seed's TimeLog), aggregated from the
+  /// tracer's logged spans on demand.
+  accel::TimeLog log() const { return tracer_.timelog(); }
   const accel::HostModel& host() const { return host_; }
   omptarget::Runtime& omp() { return omp_rt_; }
   xla::Runtime& jax() { return jax_rt_; }
@@ -82,7 +88,7 @@ class ExecContext {
   ExecConfig config_;
   accel::SimDevice device_;
   accel::VirtualClock clock_;
-  accel::TimeLog log_;
+  obs::Tracer tracer_;
   accel::HostModel host_;
   omptarget::Runtime omp_rt_;
   xla::Runtime jax_rt_;

@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.hpp"
+
 namespace toast::core {
 
 namespace {
@@ -29,6 +31,8 @@ void Pipeline::exec(Data& data, ExecContext& ctx) {
 }
 
 void Pipeline::exec(Observation& ob, ExecContext& ctx) {
+  obs::ScopedSpan pipeline_span(ctx.tracer(), "pipeline:" + ob.name(),
+                                "pipeline");
   AccelStore store(ctx);
   std::map<Field*, FieldState> state;
 
@@ -40,6 +44,7 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
   };
 
   for (const auto& op : operators_) {
+    obs::ScopedSpan op_span(ctx.tracer(), op->name(), "operator");
     ctx.charge_serial("pipeline_overhead", kOperatorOverheadSeconds);
     op->ensure_fields(ob);
 

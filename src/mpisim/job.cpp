@@ -102,6 +102,9 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   ec.device_spec = cfg.device_spec;
   ec.omp_dispatch_overhead = cfg.omp_dispatch_overhead;
   core::ExecContext ctx(ec);
+  const obs::SpanId rank_span = ctx.tracer().begin(
+      "rank:" + std::string(core::to_string(cfg.backend)), "rank",
+      core::to_string(cfg.backend));
 
   // Fresh process: cold JIT caches, and the one-time accelerator bring-up
   // (CUDA context creation, runtime init) every GPU-enabled process pays.
@@ -113,13 +116,16 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
 
   const auto fp = sim::hex_focalplane(p.actual_n_detectors, 37.0);
   core::Data data;
-  for (int ob = 0; ob < p.observations_per_proc; ++ob) {
-    sim::ScanParams scan;
-    scan.spin_period =
-        static_cast<double>(p.actual_n_samples) / 37.0 / 6.0;
-    data.observations.push_back(sim::simulate_satellite(
-        "obs" + std::to_string(ob), fp, p.actual_n_samples, scan,
-        cfg.seed + static_cast<std::uint64_t>(ob)));
+  {
+    obs::ScopedSpan sim_span(ctx.tracer(), "simulate_observations", "phase");
+    for (int ob = 0; ob < p.observations_per_proc; ++ob) {
+      sim::ScanParams scan;
+      scan.spin_period =
+          static_cast<double>(p.actual_n_samples) / 37.0 / 6.0;
+      data.observations.push_back(sim::simulate_satellite(
+          "obs" + std::to_string(ob), fp, p.actual_n_samples, scan,
+          cfg.seed + static_cast<std::uint64_t>(ob)));
+    }
   }
 
   sim::WorkflowConfig wf;
@@ -134,6 +140,7 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
       p.paper_total_samples / static_cast<double>(p.total_procs());
   ctx.charge_serial("framework_serial",
                     fw.serial_seconds_per_sample * rank_samples);
+  ctx.tracer().end(rank_span);
 
   // --- job composition ----------------------------------------------------
   const double elapsed = ctx.clock().now();
@@ -185,7 +192,12 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   const double paper_map_bytes = 12.0 * 512.0 * 512.0 * 3.0 * 8.0;
   result.comm_seconds =
       comm.allreduce_seconds(paper_map_bytes, p.total_procs());
+  const obs::SpanId comm_span = ctx.tracer().record_at(
+      "map_allreduce", "comm", ctx.clock().now(), result.comm_seconds, "",
+      nullptr, /*logged=*/false);
+  ctx.tracer().add_counter(comm_span, "bytes", paper_map_bytes);
 
+  result.rank_spans = ctx.tracer().spans();
   result.runtime = rank_runtime + result.comm_seconds;
   return result;
 }

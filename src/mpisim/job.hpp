@@ -22,6 +22,7 @@
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
 #include "bench_model/calibration.hpp"
+#include "obs/trace.hpp"
 #include "bench_model/problem.hpp"
 #include "core/pipeline.hpp"
 #include "core/types.hpp"
@@ -68,6 +69,10 @@ struct JobResult {
   double comm_seconds = 0.0;
   /// Per-category virtual time of the representative rank.
   accel::TimeLog rank_log;
+  /// Full span trace of the representative rank (per-kernel, per-operator
+  /// and per-phase spans; export with obs::write_chrome_trace /
+  /// write_metrics_json).
+  std::vector<obs::Span> rank_spans;
   MemoryFootprint memory;
 };
 

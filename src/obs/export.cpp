@@ -1,0 +1,202 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace toast::obs {
+
+namespace {
+
+void open_or_throw(std::ofstream& out, const std::string& path) {
+  out.open(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+}
+
+/// Numbers are written with enough digits to round-trip a double.
+struct Num {
+  double v;
+};
+
+std::ostream& operator<<(std::ostream& out, Num n) {
+  const auto flags = out.flags();
+  const auto prec = out.precision();
+  out << std::setprecision(17) << n.v;
+  out.flags(flags);
+  out.precision(prec);
+  return out;
+}
+
+void write_counters(std::ostream& out, const MetricRow& row) {
+  out << "\"calls\":" << row.calls << ",\"seconds\":" << Num{row.seconds}
+      << ",\"flops\":" << Num{row.flops}
+      << ",\"bytes_read\":" << Num{row.bytes_read}
+      << ",\"bytes_written\":" << Num{row.bytes_written}
+      << ",\"launches\":" << Num{row.launches}
+      << ",\"atomic_ops\":" << Num{row.atomic_ops};
+  for (const auto& [key, value] : row.counters) {
+    out << ",\"" << json::escape(key) << "\":" << Num{value};
+  }
+}
+
+}  // namespace
+
+std::map<std::string, MetricRow> aggregate_metrics(
+    const std::vector<Span>& spans) {
+  std::map<std::string, MetricRow> rows;
+  for (const auto& s : spans) {
+    if (!s.logged) {
+      continue;
+    }
+    auto& row = rows[s.name];
+    row.calls += 1;
+    row.seconds += s.duration;
+    if (s.has_work) {
+      row.flops += s.work.flops;
+      row.bytes_read += s.work.bytes_read;
+      row.bytes_written += s.work.bytes_written;
+      row.launches += s.work.launches;
+      row.atomic_ops += s.work.atomic_ops;
+    }
+    for (const auto& [key, value] : s.counters) {
+      row.counters[key] += value;
+    }
+  }
+  return rows;
+}
+
+void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
+                        const std::string& process_name) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{"
+         "\"name\":\""
+      << json::escape(process_name) << "\"}},\n";
+  out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+         "\"args\":{\"name\":\"host (virtual)\"}},\n";
+  out << "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
+         "\"args\":{\"name\":\"device (virtual)\"}}";
+  for (const auto& s : spans) {
+    out << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << (s.device ? 1 : 0)
+        << ",\"name\":\"" << json::escape(s.name) << "\",\"cat\":\""
+        << json::escape(s.category.empty() ? "span" : s.category)
+        << "\",\"ts\":" << Num{s.start * 1e6}
+        << ",\"dur\":" << Num{s.duration * 1e6} << ",\"args\":{";
+    bool first = true;
+    auto arg = [&](const char* key, double value) {
+      if (value == 0.0) {
+        return;
+      }
+      out << (first ? "" : ",") << "\"" << key << "\":" << Num{value};
+      first = false;
+    };
+    if (!s.backend.empty()) {
+      out << "\"backend\":\"" << json::escape(s.backend) << "\"";
+      first = false;
+    }
+    if (s.has_work) {
+      arg("flops", s.work.flops);
+      arg("bytes_read", s.work.bytes_read);
+      arg("bytes_written", s.work.bytes_written);
+      arg("launches", s.work.launches);
+      arg("atomic_ops", s.work.atomic_ops);
+    }
+    for (const auto& [key, value] : s.counters) {
+      out << (first ? "" : ",") << "\"" << json::escape(key)
+          << "\":" << Num{value};
+      first = false;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::vector<Span>& spans,
+                             const std::string& path,
+                             const std::string& process_name) {
+  std::ofstream out;
+  open_or_throw(out, path);
+  write_chrome_trace(spans, out, process_name);
+}
+
+void write_metrics_json(const std::vector<Span>& spans, std::ostream& out,
+                        const std::map<std::string, std::string>& meta) {
+  const auto rows = aggregate_metrics(spans);
+  out << "{\"schema\":\"toastcase-metrics-v1\"";
+  if (!meta.empty()) {
+    out << ",\"meta\":{";
+    bool first = true;
+    for (const auto& [key, value] : meta) {
+      out << (first ? "" : ",") << "\"" << json::escape(key) << "\":\""
+          << json::escape(value) << "\"";
+      first = false;
+    }
+    out << "}";
+  }
+  out << ",\"categories\":{";
+  bool first = true;
+  double total = 0.0;
+  for (const auto& [name, row] : rows) {
+    out << (first ? "" : ",") << "\n\"" << json::escape(name) << "\":{";
+    write_counters(out, row);
+    out << "}";
+    first = false;
+    total += row.seconds;
+  }
+  out << "\n},\"total_seconds\":" << Num{total} << "}\n";
+}
+
+void write_metrics_json_file(const std::vector<Span>& spans,
+                             const std::string& path,
+                             const std::map<std::string, std::string>& meta) {
+  std::ofstream out;
+  open_or_throw(out, path);
+  write_metrics_json(spans, out, meta);
+}
+
+void write_metrics_csv(const std::vector<Span>& spans, std::ostream& out) {
+  out << "category,calls,seconds,flops,bytes_read,bytes_written,launches\n";
+  for (const auto& [name, row] : aggregate_metrics(spans)) {
+    out << name << "," << row.calls << "," << std::setprecision(17)
+        << row.seconds << "," << row.flops << "," << row.bytes_read << ","
+        << row.bytes_written << "," << row.launches << "\n";
+  }
+}
+
+std::map<std::string, MetricRow> read_metrics_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw json::ParseError("not a toastcase-metrics-v1 document");
+  }
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "toastcase-metrics-v1") {
+    throw json::ParseError("not a toastcase-metrics-v1 document");
+  }
+  std::map<std::string, MetricRow> rows;
+  for (const auto& [name, cat] : doc.at("categories").object) {
+    MetricRow row;
+    row.calls = static_cast<long>(cat.number_or("calls", 0.0));
+    row.seconds = cat.number_or("seconds", 0.0);
+    row.flops = cat.number_or("flops", 0.0);
+    row.bytes_read = cat.number_or("bytes_read", 0.0);
+    row.bytes_written = cat.number_or("bytes_written", 0.0);
+    row.launches = cat.number_or("launches", 0.0);
+    row.atomic_ops = cat.number_or("atomic_ops", 0.0);
+    for (const auto& [key, value] : cat.object) {
+      if (key == "calls" || key == "seconds" || key == "flops" ||
+          key == "bytes_read" || key == "bytes_written" ||
+          key == "launches" || key == "atomic_ops") {
+        continue;
+      }
+      if (value.is_number()) {
+        row.counters[key] = value.number;
+      }
+    }
+    rows.emplace(name, std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace toast::obs

@@ -1,0 +1,135 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace toast::obs {
+
+SpanId Tracer::push(Span span) {
+  span.parent = open_.empty() ? kInvalidSpan : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+SpanId Tracer::begin(std::string name, std::string category,
+                     std::string backend) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.backend = std::move(backend);
+  s.start = now();
+  const SpanId id = push(std::move(s));
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::end(SpanId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) {
+    return;
+  }
+  // Close any scopes opened inside `id` that were left open (exceptions,
+  // early returns), then `id` itself.
+  while (!open_.empty()) {
+    const SpanId top = open_.back();
+    open_.pop_back();
+    spans_[static_cast<std::size_t>(top)].duration =
+        now() - spans_[static_cast<std::size_t>(top)].start;
+    if (top == id) {
+      return;
+    }
+  }
+}
+
+SpanId Tracer::record(const std::string& name, const std::string& category,
+                      double seconds, const std::string& backend,
+                      const accel::WorkEstimate* work) {
+  return record_at(name, category, now() - seconds, seconds, backend, work,
+                   /*logged=*/true);
+}
+
+SpanId Tracer::record_at(const std::string& name, const std::string& category,
+                         double start, double seconds,
+                         const std::string& backend,
+                         const accel::WorkEstimate* work, bool logged) {
+  Span s;
+  s.name = name;
+  s.category = category;
+  s.backend = backend;
+  s.start = start;
+  s.duration = seconds;
+  s.logged = logged;
+  if (work != nullptr) {
+    s.work = *work;
+    s.has_work = true;
+  }
+  return push(std::move(s));
+}
+
+void Tracer::add_counter(SpanId id, const std::string& key, double value) {
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) {
+    return;
+  }
+  spans_[static_cast<std::size_t>(id)].counters[key] += value;
+}
+
+void Tracer::device_span(const char* name, const char* category,
+                         double seconds, double bytes,
+                         const accel::WorkEstimate* work) {
+  const SpanId id = record_at(name, category, now() - seconds, seconds, "",
+                              work, /*logged=*/false);
+  spans_[static_cast<std::size_t>(id)].device = true;
+  if (bytes > 0.0) {
+    spans_[static_cast<std::size_t>(id)].counters["bytes"] = bytes;
+  }
+}
+
+accel::TimeLog Tracer::timelog() const {
+  accel::TimeLog log;
+  for (const auto& s : spans_) {
+    if (s.logged) {
+      log.add(s.name, s.duration);
+    }
+  }
+  return log;
+}
+
+double Tracer::seconds(const std::string& name) const {
+  double t = 0.0;
+  for (const auto& s : spans_) {
+    if (s.logged && s.name == name) {
+      t += s.duration;
+    }
+  }
+  return t;
+}
+
+long Tracer::calls(const std::string& name) const {
+  long n = 0;
+  for (const auto& s : spans_) {
+    if (s.logged && s.name == name) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double Tracer::self_seconds(SpanId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) {
+    return 0.0;
+  }
+  double t = spans_[static_cast<std::size_t>(id)].duration;
+  for (const auto& s : spans_) {
+    if (s.parent == id) {
+      t -= s.duration;
+    }
+  }
+  return std::max(0.0, t);
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+}  // namespace toast::obs

@@ -1,0 +1,142 @@
+#pragma once
+
+// Span-based tracing over the virtual clock (paper §3.2.3, grown up).
+//
+// The seed repo recorded a flat category -> seconds map (accel::TimeLog).
+// This layer replaces it as the source of truth: every charge against the
+// virtual clock is a *span* — a named interval with a category, a backend
+// label, an optional parent (nested scopes), and counters carrying the
+// WorkEstimate that produced it (flops, bytes moved, launches).  The old
+// TimeLog is now a thin aggregation view computed from the spans, so
+// Figure 6 output is unchanged, while the full structure exports to
+// Chrome trace-event JSON and flat metrics JSON/CSV (obs/export.hpp) for
+// the CI pipeline to threshold-check.
+//
+// Two kinds of spans:
+//   - *logged* spans enter the TimeLog aggregation (they are the exact
+//     equivalents of the seed's log.add() calls);
+//   - *structural* spans (begin/end scopes, device-emitted sub-events)
+//     appear only in the trace export.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/sim_device.hpp"
+#include "accel/timelog.hpp"
+#include "accel/trace_sink.hpp"
+#include "accel/work.hpp"
+
+namespace toast::obs {
+
+using SpanId = std::int64_t;
+inline constexpr SpanId kInvalidSpan = -1;
+
+struct Span {
+  std::string name;
+  std::string category;  // kernel | transfer | alloc | exec | serial | ...
+  std::string backend;   // cpu | jax | omptarget | "" (framework)
+  double start = 0.0;    // virtual seconds
+  double duration = 0.0;
+  SpanId parent = kInvalidSpan;
+  int depth = 0;
+  /// Whether this span enters the TimeLog aggregation view.
+  bool logged = false;
+  /// Device-emitted sub-event (rendered on the device track).
+  bool device = false;
+  /// Work counters (zero when the producer supplied none).
+  accel::WorkEstimate work;
+  bool has_work = false;
+  /// Extra counters: peak_temp_bytes, bytes, pass statistics...
+  std::map<std::string, double> counters;
+};
+
+class Tracer final : public accel::TraceSink {
+ public:
+  explicit Tracer(const accel::VirtualClock* clock = nullptr)
+      : clock_(clock) {}
+
+  void set_clock(const accel::VirtualClock* clock) { clock_ = clock; }
+  double now() const { return clock_ != nullptr ? clock_->now() : 0.0; }
+
+  // --- structural scopes --------------------------------------------------
+
+  /// Open a nested scope starting at the current virtual time.
+  SpanId begin(std::string name, std::string category,
+               std::string backend = {});
+  /// Close a scope (and any scopes opened inside it that are still open).
+  void end(SpanId id);
+  std::size_t open_depth() const { return open_.size(); }
+
+  // --- completed events ---------------------------------------------------
+
+  /// Record a completed leaf span that lasted `seconds` and ended at the
+  /// current virtual time.  Logged: enters the TimeLog view.  This is the
+  /// drop-in replacement for the seed's `clock.advance(t); log.add(n, t)`.
+  SpanId record(const std::string& name, const std::string& category,
+                double seconds, const std::string& backend = {},
+                const accel::WorkEstimate* work = nullptr);
+
+  /// Explicit-interval variant (async transfers, per-group breakdowns).
+  SpanId record_at(const std::string& name, const std::string& category,
+                   double start, double seconds,
+                   const std::string& backend = {},
+                   const accel::WorkEstimate* work = nullptr,
+                   bool logged = true);
+
+  /// Attach an extra counter to a span.
+  void add_counter(SpanId id, const std::string& key, double value);
+
+  // --- accel::TraceSink ---------------------------------------------------
+
+  void device_span(const char* name, const char* category, double seconds,
+                   double bytes, const accel::WorkEstimate* work) override;
+
+  // --- views --------------------------------------------------------------
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// The seed's flat TimeLog, aggregated from the logged spans: identical
+  /// categories, call counts and totals to what log.add() produced.
+  accel::TimeLog timelog() const;
+
+  /// Sum of `seconds` over logged spans named `name` (convenience for
+  /// tests; equals timelog().seconds(name)).
+  double seconds(const std::string& name) const;
+  long calls(const std::string& name) const;
+
+  /// Exclusive time of a span: duration minus direct children.
+  double self_seconds(SpanId id) const;
+
+  void clear();
+
+ private:
+  SpanId push(Span span);
+
+  const accel::VirtualClock* clock_;
+  std::vector<Span> spans_;
+  std::vector<SpanId> open_;
+};
+
+/// RAII guard for a structural scope.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string name, std::string category,
+             std::string backend = {})
+      : tracer_(tracer),
+        id_(tracer.begin(std::move(name), std::move(category),
+                         std::move(backend))) {}
+  ~ScopedSpan() { tracer_.end(id_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const { return id_; }
+
+ private:
+  Tracer& tracer_;
+  SpanId id_;
+};
+
+}  // namespace toast::obs

@@ -16,7 +16,7 @@ void Runtime::data_create(const void* host, std::size_t bytes) {
   m.shadow.resize(bytes);
   mapped_.emplace(host, std::move(m));
   clock_.advance(alloc_cost);
-  log_.add("accel_data_create", alloc_cost);
+  tracer_.record("accel_data_create", "alloc", alloc_cost, "omptarget");
 }
 
 void Runtime::data_update_device(const void* host) {
@@ -25,10 +25,12 @@ void Runtime::data_update_device(const void* host) {
     throw std::logic_error("omptarget: update_device on unmapped buffer");
   }
   std::memcpy(it->second.shadow.data(), host, it->second.shadow.size());
-  const double t = device_.transfer_time(
-      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  const double bytes =
+      static_cast<double>(it->second.shadow.size()) * work_scale_;
+  const double t = device_.transfer_time(bytes);
   clock_.advance(t);
-  log_.add("accel_data_update_device", t);
+  device_.note_transfer(bytes, t, /*to_device=*/true);
+  tracer_.record("accel_data_update_device", "transfer", t, "omptarget");
 }
 
 void Runtime::data_update_device_async(const void* host) {
@@ -37,20 +39,22 @@ void Runtime::data_update_device_async(const void* host) {
     throw std::logic_error("omptarget: async update on unmapped buffer");
   }
   std::memcpy(it->second.shadow.data(), host, it->second.shadow.size());
-  const double t = device_.transfer_time(
-      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  const double bytes =
+      static_cast<double>(it->second.shadow.size()) * work_scale_;
+  const double t = device_.transfer_time(bytes);
   // Transfers serialize with each other on the PCIe link, but overlap
   // with compute until the synchronization point.
   const double start = std::max(clock_.now(), pending_complete_);
   pending_complete_ = start + t;
-  log_.add("accel_data_update_device_async", t);
+  tracer_.record_at("accel_data_update_device_async", "transfer", start, t,
+                    "omptarget");
 }
 
 void Runtime::wait_transfers() {
   if (pending_complete_ > clock_.now()) {
     const double wait = pending_complete_ - clock_.now();
     clock_.advance(wait);
-    log_.add("accel_transfer_wait", wait);
+    tracer_.record("accel_transfer_wait", "transfer", wait, "omptarget");
   }
   pending_complete_ = 0.0;
 }
@@ -62,10 +66,12 @@ void Runtime::data_update_host(const void* host) {
   }
   std::memcpy(const_cast<void*>(host), it->second.shadow.data(),
               it->second.shadow.size());
-  const double t = device_.transfer_time(
-      static_cast<double>(it->second.shadow.size()) * work_scale_);
+  const double bytes =
+      static_cast<double>(it->second.shadow.size()) * work_scale_;
+  const double t = device_.transfer_time(bytes);
   clock_.advance(t);
-  log_.add("accel_data_update_host", t);
+  device_.note_transfer(bytes, t, /*to_device=*/false);
+  tracer_.record("accel_data_update_host", "transfer", t, "omptarget");
 }
 
 void Runtime::data_reset(const void* host) {
@@ -77,7 +83,7 @@ void Runtime::data_reset(const void* host) {
   const double t = device_.fill_time(
       static_cast<double>(it->second.shadow.size()) * work_scale_);
   clock_.advance(t);
-  log_.add("accel_data_reset", t);
+  tracer_.record("accel_data_reset", "transfer", t, "omptarget");
 }
 
 void Runtime::data_delete(const void* host) {
@@ -87,7 +93,7 @@ void Runtime::data_delete(const void* host) {
   }
   pool_.release(it->second.dptr);
   mapped_.erase(it);
-  log_.add("accel_data_delete", 0.0);
+  tracer_.record("accel_data_delete", "alloc", 0.0, "omptarget");
 }
 
 bool Runtime::data_present(const void* host) const {
@@ -123,9 +129,9 @@ accel::WorkEstimate Runtime::charge(const std::string& name, double executed,
 
   const accel::WorkEstimate scaled = w.scaled(work_scale_);
   const double t = device_.exec_time(scaled) + dispatch_overhead_;
-  device_.note_execution(scaled, t);
   clock_.advance(t);
-  log_.add(name, t);
+  device_.note_execution(scaled, t);
+  tracer_.record(name, "kernel", t, "omptarget", &scaled);
   return scaled;
 }
 

@@ -26,6 +26,7 @@
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
 #include "accel/work.hpp"
+#include "obs/trace.hpp"
 #include "omptarget/pool.hpp"
 
 namespace toast::omptarget {
@@ -52,12 +53,15 @@ struct IterCost {
 class Runtime {
  public:
   Runtime(accel::SimDevice& device, accel::VirtualClock& clock,
-          accel::TimeLog& log)
-      : device_(device), clock_(clock), log_(log), pool_(device) {}
+          obs::Tracer& tracer)
+      : device_(device), clock_(clock), tracer_(tracer), pool_(device) {}
 
   accel::SimDevice& device() { return device_; }
   accel::VirtualClock& clock() { return clock_; }
-  accel::TimeLog& log() { return log_; }
+  obs::Tracer& tracer() { return tracer_; }
+  /// Flat per-category view of everything this runtime charged (the
+  /// seed's TimeLog, aggregated from the tracer's spans).
+  accel::TimeLog log() const { return tracer_.timelog(); }
   DevicePool& pool() { return pool_; }
 
   /// Host-side cost of submitting one target region (OpenMP runtime +
@@ -136,7 +140,7 @@ class Runtime {
 
   accel::SimDevice& device_;
   accel::VirtualClock& clock_;
-  accel::TimeLog& log_;
+  obs::Tracer& tracer_;
   DevicePool pool_;
   std::map<const void*, Mapping> mapped_;
   double dispatch_overhead_ = 6.0e-6;

@@ -1,0 +1,216 @@
+// toast-trace: inspect the JSON files the observability layer writes.
+//
+//   toast-trace summarize <file>    per-category table, sorted by time
+//   toast-trace top <N> <file>      top-N categories by total seconds
+//   toast-trace diff <a> <b>        per-category comparison of two files
+//
+// Accepts either a metrics file ("toastcase-metrics-v1", as written by
+// write_metrics_json) or a Chrome trace-event file (as written by
+// write_chrome_trace); trace events are aggregated by span name.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using toast::obs::MetricRow;
+namespace json = toast::obs::json;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: toast-trace summarize <file>\n"
+               "       toast-trace top <N> <file>\n"
+               "       toast-trace diff <a> <b>\n"
+               "\n"
+               "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
+               "JSON produced by the benchmarks' --json / --trace flags.\n");
+  return 2;
+}
+
+/// Aggregate the "X" events of a Chrome trace by span name.
+std::map<std::string, MetricRow> rows_from_chrome_trace(
+    const json::Value& doc) {
+  std::map<std::string, MetricRow> rows;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->string != "X") {
+      continue;
+    }
+    auto& row = rows[ev.at("name").string];
+    row.calls += 1;
+    row.seconds += ev.number_or("dur", 0.0) * 1e-6;
+    if (const json::Value* args = ev.find("args");
+        args != nullptr && args->is_object()) {
+      row.flops += args->number_or("flops", 0.0);
+      row.bytes_read += args->number_or("bytes_read", 0.0);
+      row.bytes_written += args->number_or("bytes_written", 0.0);
+      row.launches += args->number_or("launches", 0.0);
+      row.atomic_ops += args->number_or("atomic_ops", 0.0);
+    }
+  }
+  return rows;
+}
+
+std::map<std::string, MetricRow> load_rows(const std::string& path) {
+  const json::Value doc = json::load_file(path);
+  if (!doc.is_object()) {
+    throw json::ParseError(path + ": top-level value is not an object");
+  }
+  if (doc.find("traceEvents") != nullptr) {
+    return rows_from_chrome_trace(doc);
+  }
+  return toast::obs::read_metrics_json(doc);
+}
+
+std::vector<std::pair<std::string, MetricRow>> by_seconds(
+    const std::map<std::string, MetricRow>& rows) {
+  std::vector<std::pair<std::string, MetricRow>> sorted(rows.begin(),
+                                                        rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.seconds > b.second.seconds;
+  });
+  return sorted;
+}
+
+std::string fmt_bytes(double b) {
+  char buf[32];
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / 1e6);
+  } else if (b > 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f kB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "-");
+  }
+  return buf;
+}
+
+void print_table(const std::map<std::string, MetricRow>& rows,
+                 std::size_t limit) {
+  double total = 0.0;
+  for (const auto& [name, row] : rows) {
+    total += row.seconds;
+  }
+  std::printf("%-36s %7s %12s %7s %12s %12s\n", "category", "calls",
+              "seconds", "share", "bytes moved", "gflops");
+  std::printf("%.*s\n", 92,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  std::size_t shown = 0;
+  for (const auto& [name, row] : by_seconds(rows)) {
+    if (shown++ == limit) {
+      std::printf("  ... %zu more categories\n", rows.size() - limit);
+      break;
+    }
+    std::printf("%-36s %7ld %11.4fs %6.1f%% %12s %12.3f\n", name.c_str(),
+                row.calls, row.seconds,
+                total > 0.0 ? 100.0 * row.seconds / total : 0.0,
+                fmt_bytes(row.bytes_read + row.bytes_written).c_str(),
+                row.flops / 1e9);
+  }
+  std::printf("%-36s %7s %11.4fs\n", "total", "", total);
+}
+
+int cmd_summarize(const std::string& path, std::size_t limit) {
+  const auto rows = load_rows(path);
+  std::printf("%s: %zu categories\n\n", path.c_str(), rows.size());
+  print_table(rows, limit);
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const auto a = load_rows(path_a);
+  const auto b = load_rows(path_b);
+  std::set<std::string> names;
+  for (const auto& [name, row] : a) {
+    names.insert(name);
+  }
+  for (const auto& [name, row] : b) {
+    names.insert(name);
+  }
+
+  struct DiffRow {
+    std::string name;
+    double a_s = 0.0;
+    double b_s = 0.0;
+  };
+  std::vector<DiffRow> diffs;
+  for (const auto& name : names) {
+    DiffRow d{name, 0.0, 0.0};
+    if (const auto it = a.find(name); it != a.end()) {
+      d.a_s = it->second.seconds;
+    }
+    if (const auto it = b.find(name); it != b.end()) {
+      d.b_s = it->second.seconds;
+    }
+    diffs.push_back(d);
+  }
+  std::sort(diffs.begin(), diffs.end(), [](const auto& x, const auto& y) {
+    return std::abs(x.b_s - x.a_s) > std::abs(y.b_s - y.a_s);
+  });
+
+  std::printf("a = %s\nb = %s\n\n", path_a.c_str(), path_b.c_str());
+  std::printf("%-36s %12s %12s %12s %9s\n", "category", "a", "b", "delta",
+              "b/a");
+  std::printf("%.*s\n", 85,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const auto& d : diffs) {
+    total_a += d.a_s;
+    total_b += d.b_s;
+    char ratio[32];
+    if (d.a_s > 0.0 && d.b_s > 0.0) {
+      std::snprintf(ratio, sizeof(ratio), "%.2fx", d.b_s / d.a_s);
+    } else {
+      std::snprintf(ratio, sizeof(ratio), "%s", d.a_s > 0.0 ? "gone" : "new");
+    }
+    std::printf("%-36s %11.4fs %11.4fs %+11.4fs %9s\n", d.name.c_str(), d.a_s,
+                d.b_s, d.b_s - d.a_s, ratio);
+  }
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                total_a > 0.0 ? total_b / total_a : 0.0);
+  std::printf("%-36s %11.4fs %11.4fs %+11.4fs %9s\n", "total", total_a,
+              total_b, total_b - total_a, ratio);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "summarize" && argc == 3) {
+      return cmd_summarize(argv[2], static_cast<std::size_t>(-1));
+    }
+    if (cmd == "top" && argc == 4) {
+      const long n = std::strtol(argv[2], nullptr, 10);
+      if (n <= 0) {
+        std::fprintf(stderr, "toast-trace: top expects a positive N\n");
+        return 2;
+      }
+      return cmd_summarize(argv[3], static_cast<std::size_t>(n));
+    }
+    if (cmd == "diff" && argc == 4) {
+      return cmd_diff(argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "toast-trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

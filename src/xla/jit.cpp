@@ -87,7 +87,12 @@ const Compiled& Jit::get_or_compile(Runtime& rt,
   // Charge the compile time once (the paper includes JIT compilation in
   // its runtimes).
   rt.clock().advance(compiled->compile_seconds);
-  rt.log().add("jit_compile", compiled->compile_seconds);
+  const obs::SpanId span = rt.tracer().record(
+      "jit_compile", "compile", compiled->compile_seconds, "jax");
+  rt.tracer().add_counter(span, "instructions",
+                          static_cast<double>(compiled->module.size()));
+  rt.tracer().add_counter(span, "fusion_groups",
+                          static_cast<double>(compiled->n_groups));
 
   const auto [pos, inserted] = cache_.emplace(key, std::move(compiled));
   (void)inserted;
@@ -121,8 +126,19 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
     rt.device().deallocate(temp);
   }
 
-  // Charge execution: one dispatch per call plus each fusion group.
+  // Charge execution: one dispatch per call plus each fusion group.  Each
+  // group becomes a trace span laid out sequentially after the dispatch
+  // gap; the whole call is the logged parent span (the seed's category).
+  const char* backend_label = rt.cpu_backend() ? "jax-cpu" : "jax";
+  const double t_start = rt.clock().now();
   double t_total = rt.dispatch_overhead();
+  struct GroupCharge {
+    std::size_t group;
+    double start;
+    double seconds;
+    accel::WorkEstimate work;
+  };
+  std::vector<GroupCharge> charges;
   for (std::size_t g = 0; g < report.group_work.size(); ++g) {
     const auto& w = report.group_work[g];
     if (w.launches <= 0.0) {
@@ -147,10 +163,33 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
       t = rt.device().exec_time(scaled);
       rt.device().note_execution(scaled, t);
     }
+    charges.push_back({g, t_start + t_total, t, scaled});
     t_total += t;
   }
   rt.clock().advance(t_total);
-  rt.log().add(name_, t_total);
+  const obs::SpanId call_span = rt.tracer().record(
+      name_, "kernel", t_total, backend_label, &report.total);
+  rt.tracer().add_counter(call_span, "peak_temp_bytes",
+                          static_cast<double>(report.peak_temp_bytes));
+  rt.tracer().add_counter(call_span, "pass_folded",
+                          static_cast<double>(compiled.pass_stats.folded));
+  rt.tracer().add_counter(
+      call_span, "pass_simplified",
+      static_cast<double>(compiled.pass_stats.simplified));
+  rt.tracer().add_counter(
+      call_span, "pass_dot_rewrites",
+      static_cast<double>(compiled.pass_stats.dot_rewrites));
+  rt.tracer().add_counter(
+      call_span, "pass_cse_removed",
+      static_cast<double>(compiled.pass_stats.cse_removed));
+  rt.tracer().add_counter(
+      call_span, "pass_dce_removed",
+      static_cast<double>(compiled.pass_stats.dce_removed));
+  for (const auto& c : charges) {
+    rt.tracer().record_at(name_ + "/group" + std::to_string(c.group),
+                          "fusion", c.start, c.seconds, backend_label,
+                          &c.work, /*logged=*/false);
+  }
   return outputs;
 }
 

@@ -20,6 +20,7 @@
 #include "accel/host_model.hpp"
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
+#include "obs/trace.hpp"
 #include "xla/array.hpp"
 #include "xla/executor.hpp"
 
@@ -29,12 +30,14 @@ namespace toast::xla {
 class Runtime {
  public:
   Runtime(accel::SimDevice& device, accel::VirtualClock& clock,
-          accel::TimeLog& log)
-      : device_(device), clock_(clock), log_(log) {}
+          obs::Tracer& tracer)
+      : device_(device), clock_(clock), tracer_(tracer) {}
 
   accel::SimDevice& device() { return device_; }
   accel::VirtualClock& clock() { return clock_; }
-  accel::TimeLog& log() { return log_; }
+  obs::Tracer& tracer() { return tracer_; }
+  /// Flat per-category view (the seed's TimeLog, aggregated from spans).
+  accel::TimeLog log() const { return tracer_.timelog(); }
 
   /// Host-side dispatch cost per jitted call (tracing cache lookup, arg
   /// handling, stream submission).
@@ -74,7 +77,7 @@ class Runtime {
  private:
   accel::SimDevice& device_;
   accel::VirtualClock& clock_;
-  accel::TimeLog& log_;
+  obs::Tracer& tracer_;
   double dispatch_overhead_ = 1.5e-5;
   double work_scale_ = 1.0;
   std::size_t prealloc_bytes_ = 0;

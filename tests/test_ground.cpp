@@ -128,8 +128,8 @@ TEST(Ground, FullPipelineRunsOnGroundData) {
 TEST(OmpScopedDataRegion, MapsAndUnmaps) {
   toast::accel::SimDevice device;
   toast::accel::VirtualClock clock;
-  toast::accel::TimeLog log;
-  toast::omptarget::Runtime rt(device, clock, log);
+  toast::obs::Tracer tracer(&clock);
+  toast::omptarget::Runtime rt(device, clock, tracer);
 
   std::vector<double> in(64, 2.0);
   std::vector<double> out(64, 0.0);

@@ -16,8 +16,8 @@ namespace {
 struct Fixture {
   accel::SimDevice device;
   accel::VirtualClock clock;
-  accel::TimeLog log;
-  omp::Runtime rt{device, clock, log};
+  toast::obs::Tracer tracer{&clock};
+  omp::Runtime rt{device, clock, tracer};
 };
 
 }  // namespace
@@ -136,7 +136,7 @@ TEST(OmpTargetData, ResetZeroesDeviceCopy) {
   f.rt.data_reset(host.data());
   EXPECT_DOUBLE_EQ(f.rt.device_ptr(host.data())[5], 0.0);
   EXPECT_DOUBLE_EQ(host[5], 3.0);
-  EXPECT_GT(f.log.seconds("accel_data_reset"), 0.0);
+  EXPECT_GT(f.tracer.seconds("accel_data_reset"), 0.0);
 }
 
 TEST(OmpTargetData, TransfersAdvanceClockAndLog) {
@@ -146,8 +146,8 @@ TEST(OmpTargetData, TransfersAdvanceClockAndLog) {
   const double t0 = f.clock.now();
   f.rt.data_update_device(host.data());
   EXPECT_GT(f.clock.now(), t0);
-  EXPECT_GT(f.log.seconds("accel_data_update_device"), 0.0);
-  EXPECT_EQ(f.log.calls("accel_data_update_device"), 1);
+  EXPECT_GT(f.tracer.seconds("accel_data_update_device"), 0.0);
+  EXPECT_EQ(f.tracer.calls("accel_data_update_device"), 1);
 }
 
 TEST(OmpTargetData, WorkScaleScalesTransfers) {
@@ -159,8 +159,8 @@ TEST(OmpTargetData, WorkScaleScalesTransfers) {
   b.rt.data_create(host.data(), host.size() * sizeof(double));
   a.rt.data_update_device(host.data());
   b.rt.data_update_device(host.data());
-  EXPECT_GT(b.log.seconds("accel_data_update_device"),
-            100.0 * a.log.seconds("accel_data_update_device"));
+  EXPECT_GT(b.tracer.seconds("accel_data_update_device"),
+            100.0 * a.tracer.seconds("accel_data_update_device"));
 }
 
 TEST(OmpTargetAsync, TransfersHideBehindKernels) {
@@ -260,8 +260,8 @@ TEST(OmpTargetLaunch, OneLaunchPerTargetRegion) {
   f.rt.target_for("a", 10, cost, [](std::int64_t) { return true; });
   f.rt.target_for("b", 10, cost, [](std::int64_t) { return true; });
   EXPECT_EQ(f.device.total_launches(), 3u);
-  EXPECT_EQ(f.log.calls("a"), 2);
-  EXPECT_EQ(f.log.calls("b"), 1);
+  EXPECT_EQ(f.tracer.calls("a"), 2);
+  EXPECT_EQ(f.tracer.calls("b"), 1);
 }
 
 TEST(OmpTargetLaunch, DispatchOverheadBoundsSmallKernels) {

@@ -21,8 +21,8 @@ namespace {
 struct Fixture {
   accel::SimDevice device;
   accel::VirtualClock clock;
-  accel::TimeLog log;
-  xla::Runtime rt{device, clock, log};
+  toast::obs::Tracer tracer{&clock};
+  xla::Runtime rt{device, clock, tracer};
 };
 
 Literal vec(std::initializer_list<double> values) {
@@ -191,11 +191,11 @@ TEST(XlaJit, CompileChargedOncePerSignature) {
     return std::vector<Array>{in[0] * 3.0};
   });
   fn.call(f.rt, {vec({1.0})});
-  const double t_compile = f.log.seconds("jit_compile");
+  const double t_compile = f.tracer.seconds("jit_compile");
   EXPECT_GT(t_compile, 0.0);
   fn.call(f.rt, {vec({2.0})});
-  EXPECT_DOUBLE_EQ(f.log.seconds("jit_compile"), t_compile);
-  EXPECT_EQ(f.log.calls("c"), 2);
+  EXPECT_DOUBLE_EQ(f.tracer.seconds("jit_compile"), t_compile);
+  EXPECT_EQ(f.tracer.calls("c"), 2);
 }
 
 TEST(XlaJit, ArgumentValidation) {
@@ -359,7 +359,7 @@ TEST(XlaRuntime, DispatchOverheadCharged) {
     return std::vector<Array>{in[0] + 1.0};
   });
   fn.call(f.rt, {vec({1.0})});
-  const double after_compile = f.log.seconds("o");
+  const double after_compile = f.tracer.seconds("o");
   EXPECT_GE(after_compile, f.rt.dispatch_overhead());
 }
 
@@ -374,7 +374,7 @@ TEST(XlaRuntime, WorkScaleScalesKernelTime) {
   const Literal arg = Literal::from_f64(Shape{4096}, big);
   fn.call(a.rt, {arg});
   fn.call(b.rt, {arg});
-  EXPECT_GT(b.log.seconds("w"), a.log.seconds("w"));
+  EXPECT_GT(b.tracer.seconds("w"), a.tracer.seconds("w"));
 }
 
 TEST(XlaLiteral, TypedAccessAndValidation) {

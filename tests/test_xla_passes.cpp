@@ -20,8 +20,8 @@ namespace {
 struct Fixture {
   accel::SimDevice device;
   accel::VirtualClock clock;
-  accel::TimeLog log;
-  xla::Runtime rt{device, clock, log};
+  toast::obs::Tracer tracer{&clock};
+  xla::Runtime rt{device, clock, tracer};
 };
 
 Literal vec(std::initializer_list<double> values) {
