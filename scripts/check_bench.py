@@ -7,6 +7,7 @@ SC-W 2023), not absolute seconds, so they are robust to model retuning but
 fail if a code change flips a JAX-vs-OpenMP conclusion.
 
 usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
+                      [--overlap overlap.json]
 """
 
 import argparse
@@ -99,14 +100,36 @@ def check_fig5(path):
           "jax CPU backend slower than the threaded baseline")
 
 
+def check_overlap(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "toastcase-bench-overlap-v1", doc.get("schema")
+    print(f"overlap ({path}):")
+    points = {p["streams"]: p["runtime_s"] for p in doc["points"]}
+    sync = doc["sync_runtime_s"]
+
+    # One stream must reproduce the synchronous timeline exactly (the
+    # scheduler's serial-equivalence guarantee).
+    check(points[1] == sync,
+          f"1 stream == synchronous timeline ({points[1]} vs {sync})")
+    # More streams never hurt (overlap can only hide time, not add it).
+    runtimes = [t for _, t in sorted(points.items())]
+    check(all(a >= b for a, b in zip(runtimes, runtimes[1:])),
+          "runtime non-increasing with stream count")
+    # And >= 2 streams must actually overlap: strictly faster than serial.
+    check(min(t for s, t in points.items() if s >= 2) < sync,
+          "multi-stream pipeline strictly faster than serial")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
     ap.add_argument("--fig5")
     ap.add_argument("--fig6")
+    ap.add_argument("--overlap")
     args = ap.parse_args()
-    if not (args.fig4 or args.fig5 or args.fig6):
-        ap.error("pass at least one of --fig4/--fig5/--fig6")
+    if not (args.fig4 or args.fig5 or args.fig6 or args.overlap):
+        ap.error("pass at least one of --fig4/--fig5/--fig6/--overlap")
 
     if args.fig4:
         check_fig4(args.fig4)
@@ -114,6 +137,8 @@ def main():
         check_fig5(args.fig5)
     if args.fig6:
         check_fig6(args.fig6)
+    if args.overlap:
+        check_overlap(args.overlap)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} check(s) failed:")

@@ -115,17 +115,33 @@ void SimDevice::deallocate(std::size_t bytes) {
   }
 }
 
-void SimDevice::note_execution(const WorkEstimate& w, double seconds) {
+void SimDevice::count_execution(const WorkEstimate& w, double seconds) {
   total_launches_ += static_cast<std::uint64_t>(w.launches);
   total_exec_seconds_ += seconds;
+}
+
+void SimDevice::note_execution(const WorkEstimate& w, double seconds) {
+  count_execution(w, seconds);
   if (sink_ != nullptr) {
     sink_->device_span("device_exec", "exec", seconds, 0.0, &w);
   }
 }
 
-void SimDevice::note_transfer(double bytes, double seconds, bool to_device) {
+void SimDevice::count_transfer(double bytes, double seconds,
+                               bool to_device) {
   total_transfer_seconds_ += seconds;
   total_transfer_bytes_ += bytes;
+  if (to_device) {
+    total_h2d_bytes_ += bytes;
+    total_h2d_seconds_ += seconds;
+  } else {
+    total_d2h_bytes_ += bytes;
+    total_d2h_seconds_ += seconds;
+  }
+}
+
+void SimDevice::note_transfer(double bytes, double seconds, bool to_device) {
+  count_transfer(bytes, seconds, to_device);
   if (sink_ != nullptr) {
     sink_->device_span(to_device ? "h2d_transfer" : "d2h_transfer",
                        "transfer", seconds, bytes, nullptr);
@@ -137,6 +153,10 @@ void SimDevice::reset_counters() {
   total_exec_seconds_ = 0.0;
   total_transfer_seconds_ = 0.0;
   total_transfer_bytes_ = 0.0;
+  total_h2d_bytes_ = 0.0;
+  total_d2h_bytes_ = 0.0;
+  total_h2d_seconds_ = 0.0;
+  total_d2h_seconds_ = 0.0;
 }
 
 }  // namespace toast::accel

@@ -92,9 +92,19 @@ class SimDevice {
   double total_exec_seconds() const { return total_exec_seconds_; }
   double total_transfer_seconds() const { return total_transfer_seconds_; }
   double total_transfer_bytes() const { return total_transfer_bytes_; }
+  /// Direction-split transfer traffic (H2D vs D2H).
+  double total_h2d_bytes() const { return total_h2d_bytes_; }
+  double total_d2h_bytes() const { return total_d2h_bytes_; }
+  double total_h2d_seconds() const { return total_h2d_seconds_; }
+  double total_d2h_seconds() const { return total_d2h_seconds_; }
   void note_execution(const WorkEstimate& w, double seconds);
   /// Record a completed PCIe transfer (emits a span on the device track).
   void note_transfer(double bytes, double seconds, bool to_device);
+  /// Counter-only variants for the stream scheduler, which places ops at
+  /// explicit intervals and emits its own per-stream spans (the device
+  /// track renders now-relative, which is wrong for async ops).
+  void count_execution(const WorkEstimate& w, double seconds);
+  void count_transfer(double bytes, double seconds, bool to_device);
   void reset_counters();
 
   // --- tracing ------------------------------------------------------------
@@ -112,6 +122,10 @@ class SimDevice {
   double total_exec_seconds_ = 0.0;
   double total_transfer_seconds_ = 0.0;
   double total_transfer_bytes_ = 0.0;
+  double total_h2d_bytes_ = 0.0;
+  double total_d2h_bytes_ = 0.0;
+  double total_h2d_seconds_ = 0.0;
+  double total_d2h_seconds_ = 0.0;
   TraceSink* sink_ = nullptr;
 };
 

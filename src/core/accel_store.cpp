@@ -72,8 +72,11 @@ void AccelStore::update_device(Field& field) {
   const double t = factor * ctx_.device().transfer_time(bytes);
   ctx_.clock().advance(t);
   ctx_.device().note_transfer(bytes, t, /*to_device=*/true);
-  ctx_.tracer().record("accel_data_update_device", "transfer", t,
-                       to_string(ctx_.config().backend));
+  const auto span =
+      ctx_.tracer().record("accel_data_update_device", "transfer", t,
+                           to_string(ctx_.config().backend));
+  ctx_.tracer().add_counter(span, "bytes_h2d", bytes);
+  ctx_.tracer().add_counter(span, "seconds_h2d", t);
 }
 
 void AccelStore::update_host(Field& field) {
@@ -84,8 +87,11 @@ void AccelStore::update_host(Field& field) {
   const double t = factor * ctx_.device().transfer_time(bytes);
   ctx_.clock().advance(t);
   ctx_.device().note_transfer(bytes, t, /*to_device=*/false);
-  ctx_.tracer().record("accel_data_update_host", "transfer", t,
-                       to_string(ctx_.config().backend));
+  const auto span =
+      ctx_.tracer().record("accel_data_update_host", "transfer", t,
+                           to_string(ctx_.config().backend));
+  ctx_.tracer().add_counter(span, "bytes_d2h", bytes);
+  ctx_.tracer().add_counter(span, "seconds_d2h", t);
 }
 
 void AccelStore::reset(Field& field) {

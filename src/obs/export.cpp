@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -79,8 +80,19 @@ void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
          "\"args\":{\"name\":\"host (virtual)\"}},\n";
   out << "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
          "\"args\":{\"name\":\"device (virtual)\"}}";
+  // One overlap lane per virtual stream that actually appears.
+  int max_stream = -1;
   for (const auto& s : spans) {
-    out << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << (s.device ? 1 : 0)
+    max_stream = std::max(max_stream, s.stream);
+  }
+  for (int st = 0; st <= max_stream; ++st) {
+    out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << (2 + st)
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"stream " << st
+        << "\"}}";
+  }
+  for (const auto& s : spans) {
+    const int tid = s.stream >= 0 ? 2 + s.stream : (s.device ? 1 : 0);
+    out << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
         << ",\"name\":\"" << json::escape(s.name) << "\",\"cat\":\""
         << json::escape(s.category.empty() ? "span" : s.category)
         << "\",\"ts\":" << Num{s.start * 1e6}
@@ -158,11 +170,19 @@ void write_metrics_json_file(const std::vector<Span>& spans,
 }
 
 void write_metrics_csv(const std::vector<Span>& spans, std::ostream& out) {
-  out << "category,calls,seconds,flops,bytes_read,bytes_written,launches\n";
+  out << "category,calls,seconds,flops,bytes_read,bytes_written,launches,"
+         "bytes_h2d,bytes_d2h,seconds_h2d,seconds_d2h\n";
+  auto counter = [](const MetricRow& row, const char* key) {
+    const auto it = row.counters.find(key);
+    return it == row.counters.end() ? 0.0 : it->second;
+  };
   for (const auto& [name, row] : aggregate_metrics(spans)) {
     out << name << "," << row.calls << "," << std::setprecision(17)
         << row.seconds << "," << row.flops << "," << row.bytes_read << ","
-        << row.bytes_written << "," << row.launches << "\n";
+        << row.bytes_written << "," << row.launches << ","
+        << counter(row, "bytes_h2d") << "," << counter(row, "bytes_d2h")
+        << "," << counter(row, "seconds_h2d") << ","
+        << counter(row, "seconds_d2h") << "\n";
   }
 }
 

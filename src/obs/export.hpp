@@ -35,7 +35,8 @@ std::map<std::string, MetricRow> aggregate_metrics(
 // --- Chrome trace-event JSON ---------------------------------------------
 
 /// Complete ("ph":"X") events, microsecond timestamps on the virtual
-/// timeline; framework spans on tid 0, device-emitted spans on tid 1.
+/// timeline; framework spans on tid 0, device-emitted spans on tid 1,
+/// stream-scheduled spans on tid 2+stream (one overlap lane per stream).
 void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
                         const std::string& process_name = "toastcase");
 void write_chrome_trace_file(const std::vector<Span>& spans,
@@ -52,7 +53,9 @@ void write_metrics_json_file(
     const std::vector<Span>& spans, const std::string& path,
     const std::map<std::string, std::string>& meta = {});
 
-/// category,calls,seconds,flops,bytes_read,bytes_written,launches
+/// category,calls,seconds,flops,bytes_read,bytes_written,launches,
+/// bytes_h2d,bytes_d2h,seconds_h2d,seconds_d2h (direction-split transfer
+/// traffic comes from the producer-attached counters of the same names).
 void write_metrics_csv(const std::vector<Span>& spans, std::ostream& out);
 
 /// Parse a metrics JSON document (as written by write_metrics_json) back

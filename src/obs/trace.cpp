@@ -73,6 +73,13 @@ void Tracer::add_counter(SpanId id, const std::string& key, double value) {
   spans_[static_cast<std::size_t>(id)].counters[key] += value;
 }
 
+void Tracer::set_stream(SpanId id, int stream) {
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) {
+    return;
+  }
+  spans_[static_cast<std::size_t>(id)].stream = stream;
+}
+
 void Tracer::device_span(const char* name, const char* category,
                          double seconds, double bytes,
                          const accel::WorkEstimate* work) {

@@ -45,6 +45,9 @@ struct Span {
   bool logged = false;
   /// Device-emitted sub-event (rendered on the device track).
   bool device = false;
+  /// Virtual stream this span executed on (-1: not stream-scheduled).
+  /// Stream spans render on their own Chrome-trace lane.
+  int stream = -1;
   /// Work counters (zero when the producer supplied none).
   accel::WorkEstimate work;
   bool has_work = false;
@@ -87,6 +90,9 @@ class Tracer final : public accel::TraceSink {
 
   /// Attach an extra counter to a span.
   void add_counter(SpanId id, const std::string& key, double value);
+
+  /// Tag a span with the virtual stream it executed on (sched::Scheduler).
+  void set_stream(SpanId id, int stream);
 
   // --- accel::TraceSink ---------------------------------------------------
 

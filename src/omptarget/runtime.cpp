@@ -27,13 +27,12 @@ void Runtime::data_update_device(const void* host) {
   std::memcpy(it->second.shadow.data(), host, it->second.shadow.size());
   const double bytes =
       static_cast<double>(it->second.shadow.size()) * work_scale_;
-  const double t = device_.transfer_time(bytes);
-  clock_.advance(t);
-  device_.note_transfer(bytes, t, /*to_device=*/true);
-  tracer_.record("accel_data_update_device", "transfer", t, "omptarget");
+  sched_.transfer_sync("accel_data_update_device", bytes,
+                       /*to_device=*/true);
 }
 
-void Runtime::data_update_device_async(const void* host) {
+void Runtime::data_update_device_async(const void* host,
+                                       sched::StreamId stream) {
   auto it = mapped_.find(host);
   if (it == mapped_.end()) {
     throw std::logic_error("omptarget: async update on unmapped buffer");
@@ -41,22 +40,12 @@ void Runtime::data_update_device_async(const void* host) {
   std::memcpy(it->second.shadow.data(), host, it->second.shadow.size());
   const double bytes =
       static_cast<double>(it->second.shadow.size()) * work_scale_;
-  const double t = device_.transfer_time(bytes);
-  // Transfers serialize with each other on the PCIe link, but overlap
-  // with compute until the synchronization point.
-  const double start = std::max(clock_.now(), pending_complete_);
-  pending_complete_ = start + t;
-  tracer_.record_at("accel_data_update_device_async", "transfer", start, t,
-                    "omptarget");
+  sched_.transfer_async(stream, "accel_data_update_device_async", bytes,
+                        /*to_device=*/true);
 }
 
 void Runtime::wait_transfers() {
-  if (pending_complete_ > clock_.now()) {
-    const double wait = pending_complete_ - clock_.now();
-    clock_.advance(wait);
-    tracer_.record("accel_transfer_wait", "transfer", wait, "omptarget");
-  }
-  pending_complete_ = 0.0;
+  sched_.sync_transfers("accel_transfer_wait");
 }
 
 void Runtime::data_update_host(const void* host) {
@@ -68,10 +57,22 @@ void Runtime::data_update_host(const void* host) {
               it->second.shadow.size());
   const double bytes =
       static_cast<double>(it->second.shadow.size()) * work_scale_;
-  const double t = device_.transfer_time(bytes);
-  clock_.advance(t);
-  device_.note_transfer(bytes, t, /*to_device=*/false);
-  tracer_.record("accel_data_update_host", "transfer", t, "omptarget");
+  sched_.transfer_sync("accel_data_update_host", bytes,
+                       /*to_device=*/false);
+}
+
+void Runtime::data_update_host_async(const void* host,
+                                     sched::StreamId stream) {
+  auto it = mapped_.find(host);
+  if (it == mapped_.end()) {
+    throw std::logic_error("omptarget: async update on unmapped buffer");
+  }
+  std::memcpy(const_cast<void*>(host), it->second.shadow.data(),
+              it->second.shadow.size());
+  const double bytes =
+      static_cast<double>(it->second.shadow.size()) * work_scale_;
+  sched_.transfer_async(stream, "accel_data_update_host_async", bytes,
+                        /*to_device=*/false);
 }
 
 void Runtime::data_reset(const void* host) {
@@ -80,10 +81,9 @@ void Runtime::data_reset(const void* host) {
     throw std::logic_error("omptarget: reset on unmapped buffer");
   }
   std::memset(it->second.shadow.data(), 0, it->second.shadow.size());
-  const double t = device_.fill_time(
-      static_cast<double>(it->second.shadow.size()) * work_scale_);
-  clock_.advance(t);
-  tracer_.record("accel_data_reset", "transfer", t, "omptarget");
+  sched_.fill_sync("accel_data_reset",
+                   static_cast<double>(it->second.shadow.size()) *
+                       work_scale_);
 }
 
 void Runtime::data_delete(const void* host) {
@@ -116,7 +116,8 @@ void* Runtime::raw_device_ptr(const void* host) {
 
 accel::WorkEstimate Runtime::charge(const std::string& name, double executed,
                                     double cut, double total_items,
-                                    const IterCost& cost) {
+                                    const IterCost& cost,
+                                    const LaunchOptions& opts) {
   accel::WorkEstimate w;
   w.flops = executed * cost.flops + cut * cost.guard_flops;
   w.bytes_read = executed * cost.bytes_read;
@@ -128,10 +129,15 @@ accel::WorkEstimate Runtime::charge(const std::string& name, double executed,
   w.atomic_conflict_rate = cost.atomic_conflict_rate;
 
   const accel::WorkEstimate scaled = w.scaled(work_scale_);
-  const double t = device_.exec_time(scaled) + dispatch_overhead_;
-  clock_.advance(t);
-  device_.note_execution(scaled, t);
-  tracer_.record(name, "kernel", t, "omptarget", &scaled);
+  if (opts.nowait) {
+    // nowait: the host pays only the submission cost; the kernel queues
+    // on its stream, after any depend() events, and the logged span
+    // covers device execution time alone.
+    clock_.advance(dispatch_overhead_);
+    sched_.launch_async(opts.stream, name, scaled, opts.depends);
+  } else {
+    sched_.kernel_sync(name, scaled, dispatch_overhead_);
+  }
   return scaled;
 }
 
@@ -139,7 +145,7 @@ accel::WorkEstimate Runtime::target_for_collapse3(
     const std::string& name, std::int64_t na, std::int64_t nb,
     std::int64_t nc, const IterCost& cost,
     const std::function<bool(std::int64_t, std::int64_t, std::int64_t)>&
-        body) {
+        body, const LaunchOptions& opts) {
   double executed = 0.0;
   double cut = 0.0;
   for (std::int64_t a = 0; a < na; ++a) {
@@ -156,12 +162,13 @@ accel::WorkEstimate Runtime::target_for_collapse3(
   return charge(name, executed, cut,
                 static_cast<double>(na) * static_cast<double>(nb) *
                     static_cast<double>(nc),
-                cost);
+                cost, opts);
 }
 
 accel::WorkEstimate Runtime::target_for(
     const std::string& name, std::int64_t n, const IterCost& cost,
-    const std::function<bool(std::int64_t)>& body) {
+    const std::function<bool(std::int64_t)>& body,
+    const LaunchOptions& opts) {
   double executed = 0.0;
   double cut = 0.0;
   for (std::int64_t i = 0; i < n; ++i) {
@@ -171,7 +178,7 @@ accel::WorkEstimate Runtime::target_for(
       cut += 1.0;
     }
   }
-  return charge(name, executed, cut, static_cast<double>(n), cost);
+  return charge(name, executed, cut, static_cast<double>(n), cost, opts);
 }
 
 ScopedDataRegion::ScopedDataRegion(Runtime& rt, std::vector<MapSpec> maps)

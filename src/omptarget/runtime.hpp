@@ -28,6 +28,7 @@
 #include "accel/work.hpp"
 #include "obs/trace.hpp"
 #include "omptarget/pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace toast::omptarget {
 
@@ -50,11 +51,25 @@ struct IterCost {
   double atomic_conflict_rate = 0.0;
 };
 
+/// Async launch clauses for a target region, the OpenMP 5.x
+/// `nowait` / `depend(...)` pair mapped onto the stream engine: a nowait
+/// region enqueues on a stream (device queue) and returns after paying
+/// only the host dispatch cost; `depends` are events from record_event().
+struct LaunchOptions {
+  bool nowait = false;
+  sched::StreamId stream = 0;
+  std::vector<sched::EventId> depends;
+};
+
 class Runtime {
  public:
   Runtime(accel::SimDevice& device, accel::VirtualClock& clock,
           obs::Tracer& tracer)
-      : device_(device), clock_(clock), tracer_(tracer), pool_(device) {}
+      : device_(device),
+        clock_(clock),
+        tracer_(tracer),
+        pool_(device),
+        sched_(device, clock, &tracer, /*n_streams=*/1, "omptarget") {}
 
   accel::SimDevice& device() { return device_; }
   accel::VirtualClock& clock() { return clock_; }
@@ -84,15 +99,22 @@ class Runtime {
   /// The `nowait` form (paper §2.2.2: compilers attempt asynchronous data
   /// movement, but overlapping it with execution needs explicit
   /// dependencies).  The copy happens functionally at once; its modelled
-  /// cost overlaps subsequent launches until wait_transfers().
-  void data_update_device_async(const void* host);
+  /// cost runs on `stream`'s timeline, serializes with other transfers on
+  /// the PCIe link, and overlaps compute until a synchronization point.
+  void data_update_device_async(const void* host, sched::StreamId stream = 0);
   /// Synchronize queued async transfers: charges only the portion of the
   /// transfer time not already hidden behind work submitted since.
   void wait_transfers();
-  /// Completion time (virtual clock) of the queued transfers.
-  double pending_transfer_completion() const { return pending_complete_; }
+  /// Completion time (virtual clock) of the queued transfers; 0.0 when
+  /// the link is drained.
+  double pending_transfer_completion() const {
+    return sched_.pending_transfer_completion();
+  }
   /// Copy device shadow -> host.
   void data_update_host(const void* host);
+  /// Async device -> host readback on `stream` (the functional copy
+  /// happens at once; the modelled cost queues on the link).
+  void data_update_host_async(const void* host, sched::StreamId stream = 0);
   /// Zero the device shadow (device-side memset).
   void data_reset(const void* host);
   /// Unmap and release the device shadow.
@@ -120,18 +142,35 @@ class Runtime {
       const std::string& name, std::int64_t na, std::int64_t nb,
       std::int64_t nc, const IterCost& cost,
       const std::function<bool(std::int64_t, std::int64_t, std::int64_t)>&
-          body);
+          body, const LaunchOptions& opts = {});
 
   /// Single collapsed loop (used by the amplitude-space kernels).
   accel::WorkEstimate target_for(
       const std::string& name, std::int64_t n, const IterCost& cost,
-      const std::function<bool(std::int64_t)>& body);
+      const std::function<bool(std::int64_t)>& body,
+      const LaunchOptions& opts = {});
+
+  // --- streams and events (the OpenMP task-graph surface) ----------------
+
+  /// The stream engine all of this runtime's device time flows through.
+  sched::Scheduler& scheduler() { return sched_; }
+  /// Snapshot `stream`'s completion front for use in LaunchOptions or
+  /// cross-stream waits.
+  sched::EventId record_event(sched::StreamId stream) {
+    return sched_.record_event(stream);
+  }
+  /// Block the host until `stream` drains (taskwait on one queue).
+  void sync_stream(sched::StreamId stream) {
+    sched_.sync_stream(stream, "accel_stream_wait");
+  }
+  /// Block the host until every queue and engine drains.
+  void sync_all() { sched_.sync_all("accel_device_wait"); }
 
  private:
   void* raw_device_ptr(const void* host);
   accel::WorkEstimate charge(const std::string& name, double executed,
                              double cut, double total_items,
-                             const IterCost& cost);
+                             const IterCost& cost, const LaunchOptions& opts);
 
   struct Mapping {
     DevicePtr dptr;
@@ -142,10 +181,10 @@ class Runtime {
   accel::VirtualClock& clock_;
   obs::Tracer& tracer_;
   DevicePool pool_;
+  sched::Scheduler sched_;
   std::map<const void*, Mapping> mapped_;
   double dispatch_overhead_ = 6.0e-6;
   double work_scale_ = 1.0;
-  double pending_complete_ = 0.0;
 };
 
 /// RAII form of "#pragma omp target data map(...)": maps a set of host

@@ -3,10 +3,13 @@
 //   toast-trace summarize <file>    per-category table, sorted by time
 //   toast-trace top <N> <file>      top-N categories by total seconds
 //   toast-trace diff <a> <b>        per-category comparison of two files
+//   toast-trace lanes <file>        per-stream occupancy and overlap
 //
-// Accepts either a metrics file ("toastcase-metrics-v1", as written by
-// write_metrics_json) or a Chrome trace-event file (as written by
-// write_chrome_trace); trace events are aggregated by span name.
+// summarize/top/diff accept either a metrics file ("toastcase-metrics-v1",
+// as written by write_metrics_json) or a Chrome trace-event file (as
+// written by write_chrome_trace); trace events are aggregated by span
+// name.  lanes needs the per-lane timing and therefore only accepts a
+// Chrome trace.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,9 +32,11 @@ int usage() {
                "usage: toast-trace summarize <file>\n"
                "       toast-trace top <N> <file>\n"
                "       toast-trace diff <a> <b>\n"
+               "       toast-trace lanes <trace-file>\n"
                "\n"
                "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
-               "JSON produced by the benchmarks' --json / --trace flags.\n");
+               "JSON produced by the benchmarks' --json / --trace flags;\n"
+               "lanes requires a Chrome trace (it reads per-lane timing).\n");
   return 2;
 }
 
@@ -54,6 +59,15 @@ std::map<std::string, MetricRow> rows_from_chrome_trace(
       row.bytes_written += args->number_or("bytes_written", 0.0);
       row.launches += args->number_or("launches", 0.0);
       row.atomic_ops += args->number_or("atomic_ops", 0.0);
+      // Extra counters (bytes_h2d, seconds_d2h, ...) ride along so the
+      // transfer-direction summary works on traces too.
+      for (const auto& [key, value] : args->object) {
+        if (key == "flops" || key == "bytes_read" || key == "bytes_written" ||
+            key == "launches" || key == "atomic_ops" || !value.is_number()) {
+          continue;
+        }
+        row.counters[key] += value.number;
+      }
     }
   }
   return rows;
@@ -120,10 +134,147 @@ void print_table(const std::map<std::string, MetricRow>& rows,
   std::printf("%-36s %7s %11.4fs\n", "total", "", total);
 }
 
+/// Direction-split transfer traffic summed over every category.
+void print_transfer_directions(const std::map<std::string, MetricRow>& rows) {
+  double bytes_h2d = 0.0;
+  double bytes_d2h = 0.0;
+  double seconds_h2d = 0.0;
+  double seconds_d2h = 0.0;
+  for (const auto& [name, row] : rows) {
+    const auto counter = [&row](const char* key) {
+      const auto it = row.counters.find(key);
+      return it == row.counters.end() ? 0.0 : it->second;
+    };
+    bytes_h2d += counter("bytes_h2d");
+    bytes_d2h += counter("bytes_d2h");
+    seconds_h2d += counter("seconds_h2d");
+    seconds_d2h += counter("seconds_d2h");
+  }
+  if (bytes_h2d == 0.0 && bytes_d2h == 0.0) {
+    return;
+  }
+  std::printf("\ntransfers: H2D %s in %.4fs, D2H %s in %.4fs\n",
+              fmt_bytes(bytes_h2d).c_str(), seconds_h2d,
+              fmt_bytes(bytes_d2h).c_str(), seconds_d2h);
+}
+
 int cmd_summarize(const std::string& path, std::size_t limit) {
   const auto rows = load_rows(path);
   std::printf("%s: %zu categories\n\n", path.c_str(), rows.size());
   print_table(rows, limit);
+  print_transfer_directions(rows);
+  return 0;
+}
+
+/// Per-lane (Chrome tid) occupancy plus the overlap fraction across the
+/// stream lanes (tid >= 2): 1 - union/sum of their busy time, i.e. the
+/// share of stream work that ran concurrently with another stream.
+int cmd_lanes(const std::string& path) {
+  const json::Value doc = json::load_file(path);
+  if (!doc.is_object() || doc.find("traceEvents") == nullptr) {
+    std::fprintf(stderr,
+                 "toast-trace: %s is not a Chrome trace-event file "
+                 "(lanes needs one; pass the --trace output)\n",
+                 path.c_str());
+    return 1;
+  }
+  struct Lane {
+    std::string name;
+    long spans = 0;
+    std::vector<std::pair<double, double>> intervals;  // seconds
+  };
+  std::map<long, Lane> lanes;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  bool any = false;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr) {
+      continue;
+    }
+    const long tid = static_cast<long>(ev.number_or("tid", 0.0));
+    if (ph->string == "M") {
+      const json::Value* name = ev.find("name");
+      const json::Value* args = ev.find("args");
+      if (name != nullptr && name->string == "thread_name" &&
+          args != nullptr && args->find("name") != nullptr) {
+        lanes[tid].name = args->at("name").string;
+      }
+      continue;
+    }
+    if (ph->string != "X") {
+      continue;
+    }
+    const double start = ev.number_or("ts", 0.0) * 1e-6;
+    const double end = start + ev.number_or("dur", 0.0) * 1e-6;
+    auto& lane = lanes[tid];
+    lane.spans += 1;
+    lane.intervals.emplace_back(start, end);
+    t_min = any ? std::min(t_min, start) : start;
+    t_max = any ? std::max(t_max, end) : end;
+    any = true;
+  }
+  if (!any) {
+    std::printf("%s: no spans\n", path.c_str());
+    return 0;
+  }
+
+  // Busy time of a set of intervals = length of their union.
+  const auto merged_length = [](std::vector<std::pair<double, double>> iv) {
+    std::sort(iv.begin(), iv.end());
+    double busy = 0.0;
+    double hi = -1.0;
+    for (const auto& [a, b] : iv) {
+      if (a > hi) {
+        busy += b - a;
+        hi = b;
+      } else if (b > hi) {
+        busy += b - hi;
+        hi = b;
+      }
+    }
+    return busy;
+  };
+
+  const double window = t_max - t_min;
+  std::printf("%s: window %.4fs\n\n", path.c_str(), window);
+  std::printf("%-4s %-24s %7s %12s %10s\n", "tid", "lane", "spans", "busy",
+              "occupancy");
+  std::printf("%.*s\n", 61,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  std::vector<std::pair<double, double>> stream_intervals;
+  double stream_busy_sum = 0.0;
+  int stream_lanes = 0;
+  for (const auto& [tid, lane] : lanes) {
+    if (lane.spans == 0) {
+      continue;  // named but empty lane
+    }
+    const double busy = merged_length(lane.intervals);
+    std::printf("%-4ld %-24s %7ld %11.4fs %9.1f%%\n", tid,
+                lane.name.empty() ? "(unnamed)" : lane.name.c_str(),
+                lane.spans, busy, window > 0.0 ? 100.0 * busy / window : 0.0);
+    if (tid >= 2) {
+      stream_intervals.insert(stream_intervals.end(), lane.intervals.begin(),
+                              lane.intervals.end());
+      stream_busy_sum += busy;
+      ++stream_lanes;
+    }
+  }
+  if (stream_lanes == 0) {
+    std::printf("\nno stream lanes (tid >= 2); run with more than one "
+                "virtual stream to get overlap\n");
+    return 0;
+  }
+  const double stream_union = merged_length(std::move(stream_intervals));
+  const double overlap = stream_busy_sum > 0.0
+                             ? 1.0 - stream_union / stream_busy_sum
+                             : 0.0;
+  std::printf("\n%d stream lane%s: %.4fs busy across lanes, %.4fs of "
+              "timeline covered\noverlap fraction: %.1f%% of stream work ran "
+              "concurrently with another stream\n",
+              stream_lanes, stream_lanes == 1 ? "" : "s", stream_busy_sum,
+              stream_union, 100.0 * overlap);
   return 0;
 }
 
@@ -207,6 +358,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "diff" && argc == 4) {
       return cmd_diff(argv[2], argv[3]);
+    }
+    if (cmd == "lanes" && argc == 3) {
+      return cmd_lanes(argv[2]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "toast-trace: %s\n", e.what());

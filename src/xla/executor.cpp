@@ -71,14 +71,24 @@ std::vector<Literal> execute(const Compiled& compiled,
   // Consumer map: which groups read instruction i, and is it a root.
   const std::size_t n = m.size();
   std::vector<std::set<int>> consumer_groups(n);
+  std::vector<std::set<int>> producer_groups(
+      static_cast<std::size_t>(compiled.n_groups));
   for (std::size_t i = 0; i < n; ++i) {
     const int g = compiled.group_of[i];
     for (const auto op : m.instructions[i].operands) {
       const int og = compiled.group_of[static_cast<std::size_t>(op)];
       if (og != g) {
         consumer_groups[static_cast<std::size_t>(op)].insert(g);
+        if (g >= 0 && og >= 0) {
+          producer_groups[static_cast<std::size_t>(g)].insert(og);
+        }
       }
     }
+  }
+  local.group_deps.resize(static_cast<std::size_t>(compiled.n_groups));
+  for (std::size_t g = 0; g < producer_groups.size(); ++g) {
+    local.group_deps[g].assign(producer_groups[g].begin(),
+                               producer_groups[g].end());
   }
   std::unordered_set<InstrId> root_set(m.roots.begin(), m.roots.end());
 

@@ -36,6 +36,11 @@ struct ExecutionReport {
   /// Whether each group contains a heavy op (reduce/dot/gather/scatter);
   /// XLA's CPU backend parallelizes only these (paper §4.2).
   std::vector<bool> group_heavy;
+  /// Data-dependency edges of the fusion-group DAG: group g reads values
+  /// produced by every group in group_deps[g] (sorted, deduplicated).
+  /// Groups with disjoint dep chains are independent and the runtime may
+  /// dispatch them onto different streams.
+  std::vector<std::vector<int>> group_deps;
   accel::WorkEstimate total;
   bool segment_lowering_used = false;
   /// Bytes of intermediate buffers held at the peak of execution.

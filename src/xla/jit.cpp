@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "sched/scheduler.hpp"
+
 namespace toast::xla {
 
 void Runtime::enable_preallocation(double fraction) {
@@ -126,19 +128,20 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
     rt.device().deallocate(temp);
   }
 
-  // Charge execution: one dispatch per call plus each fusion group.  Each
-  // group becomes a trace span laid out sequentially after the dispatch
-  // gap; the whole call is the logged parent span (the seed's category).
+  // Charge execution: one dispatch per call, then place the fusion-group
+  // DAG onto the runtime's virtual streams (XLA dispatches groups
+  // asynchronously; the call blocks on the last result).  With one stream
+  // the placement degenerates to the seed's serial sum after the dispatch
+  // gap, bit for bit; the whole call is the logged parent span.
   const char* backend_label = rt.cpu_backend() ? "jax-cpu" : "jax";
   const double t_start = rt.clock().now();
-  double t_total = rt.dispatch_overhead();
   struct GroupCharge {
     std::size_t group;
-    double start;
-    double seconds;
     accel::WorkEstimate work;
   };
   std::vector<GroupCharge> charges;
+  std::vector<sched::BatchOp> batch;
+  std::vector<int> batch_index(report.group_work.size(), -1);
   for (std::size_t g = 0; g < report.group_work.size(); ++g) {
     const auto& w = report.group_work[g];
     if (w.launches <= 0.0) {
@@ -146,6 +149,7 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
     }
     accel::WorkEstimate scaled = w.scaled(rt.work_scale());
     double t = 0.0;
+    double launch_part = 0.0;
     if (rt.cpu_backend()) {
       // XLA:CPU parallelizes individual heavy ops only; elementwise
       // fusion groups run on one core, and its scalar codegen does not
@@ -162,13 +166,31 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
     } else {
       t = rt.device().exec_time(scaled);
       rt.device().note_execution(scaled, t);
+      launch_part =
+          std::min(t, scaled.launches * rt.device().spec().launch_latency);
     }
-    charges.push_back({g, t_start + t_total, t, scaled});
-    t_total += t;
+    sched::BatchOp op;
+    op.name = name_ + "/group" + std::to_string(g);
+    op.duration = t;
+    op.launch_part = launch_part;
+    if (g < report.group_deps.size()) {
+      for (const int d : report.group_deps[g]) {
+        if (d >= 0 && static_cast<std::size_t>(d) < batch_index.size() &&
+            batch_index[static_cast<std::size_t>(d)] >= 0) {
+          op.deps.push_back(batch_index[static_cast<std::size_t>(d)]);
+        }
+      }
+    }
+    batch_index[g] = static_cast<int>(batch.size());
+    batch.push_back(std::move(op));
+    charges.push_back({g, scaled});
   }
-  rt.clock().advance(t_total);
+  const int streams = rt.cpu_backend() ? 1 : rt.streams();
+  const sched::BatchPlacement placed =
+      sched::schedule_batch(batch, streams, rt.dispatch_overhead());
+  rt.clock().advance(placed.makespan);
   const obs::SpanId call_span = rt.tracer().record(
-      name_, "kernel", t_total, backend_label, &report.total);
+      name_, "kernel", placed.makespan, backend_label, &report.total);
   rt.tracer().add_counter(call_span, "peak_temp_bytes",
                           static_cast<double>(report.peak_temp_bytes));
   rt.tracer().add_counter(call_span, "pass_folded",
@@ -185,10 +207,14 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
   rt.tracer().add_counter(
       call_span, "pass_dce_removed",
       static_cast<double>(compiled.pass_stats.dce_removed));
-  for (const auto& c : charges) {
-    rt.tracer().record_at(name_ + "/group" + std::to_string(c.group),
-                          "fusion", c.start, c.seconds, backend_label,
-                          &c.work, /*logged=*/false);
+  for (std::size_t i = 0; i < charges.size(); ++i) {
+    const obs::SpanId span = rt.tracer().record_at(
+        batch[i].name, "fusion", t_start + placed.start[i],
+        batch[i].duration, backend_label, &charges[i].work,
+        /*logged=*/false);
+    if (streams > 1) {
+      rt.tracer().set_stream(span, placed.stream[i]);
+    }
   }
   return outputs;
 }

@@ -48,6 +48,14 @@ class Runtime {
   double work_scale() const { return work_scale_; }
   void set_work_scale(double s) { work_scale_ = s; }
 
+  /// Virtual streams jitted calls dispatch fusion groups onto (XLA's
+  /// async dispatch).  Independent groups — per the HLO dependency edges —
+  /// overlap their launch latency across streams; with 1 stream (the
+  /// default) execution is the seed's serial timeline, bit for bit.  The
+  /// CPU backend always executes on one stream.
+  int streams() const { return n_streams_; }
+  void set_streams(int n) { n_streams_ = n < 1 ? 1 : n; }
+
   /// JAX preallocates a device memory pool by default; the paper disables
   /// it when oversubscribing (§3.1.3).  With preallocation the pool claims
   /// the fraction below of device memory at startup.
@@ -80,6 +88,7 @@ class Runtime {
   obs::Tracer& tracer_;
   double dispatch_overhead_ = 1.5e-5;
   double work_scale_ = 1.0;
+  int n_streams_ = 1;
   std::size_t prealloc_bytes_ = 0;
   bool cpu_backend_ = false;
   accel::HostModel host_model_;

@@ -155,6 +155,57 @@ TEST(SimDevice, AllocationTrackingAndOom) {
   EXPECT_EQ(dev.allocated_bytes(), 0u);
 }
 
+TEST(SimDevice, OomErrorMessageIsDiagnostic) {
+  SimDevice dev;
+  const std::size_t cap = dev.capacity_bytes();
+  dev.allocate(cap - 100);
+  try {
+    dev.allocate(1000);
+    FAIL() << "allocation past capacity must throw";
+  } catch (const accel::DeviceOomError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("simulated device out of memory"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("requested 1000 B"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(cap - 100)), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(cap) + " B capacity"),
+              std::string::npos)
+        << msg;
+  }
+  // A failed allocation leaves the accounting untouched.
+  EXPECT_EQ(dev.allocated_bytes(), cap - 100);
+}
+
+TEST(SimDevice, DeallocateUnderflowClampsToZero) {
+  SimDevice dev;
+  dev.deallocate(64);  // free on an empty device is a no-op
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  dev.allocate(10);
+  dev.deallocate(4);
+  EXPECT_EQ(dev.allocated_bytes(), 6u);
+  dev.deallocate(100);  // over-free clamps instead of wrapping
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  EXPECT_NO_THROW(dev.allocate(dev.capacity_bytes()));
+}
+
+TEST(SimDevice, TransferCountersSplitByDirection) {
+  SimDevice dev;
+  dev.note_transfer(1000.0, 2.0, /*to_device=*/true);
+  dev.note_transfer(300.0, 0.5, /*to_device=*/false);
+  EXPECT_DOUBLE_EQ(dev.total_h2d_bytes(), 1000.0);
+  EXPECT_DOUBLE_EQ(dev.total_d2h_bytes(), 300.0);
+  EXPECT_DOUBLE_EQ(dev.total_h2d_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(dev.total_d2h_seconds(), 0.5);
+  // Direction splits always sum to the aggregate counters.
+  EXPECT_DOUBLE_EQ(dev.total_transfer_bytes(),
+                   dev.total_h2d_bytes() + dev.total_d2h_bytes());
+  EXPECT_DOUBLE_EQ(dev.total_transfer_seconds(),
+                   dev.total_h2d_seconds() + dev.total_d2h_seconds());
+  dev.reset_counters();
+  EXPECT_DOUBLE_EQ(dev.total_h2d_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(dev.total_d2h_seconds(), 0.0);
+}
+
 TEST(HostModel, ThreadScalingComputeBound) {
   accel::HostModel host;
   const WorkEstimate w = compute_kernel(1e8);

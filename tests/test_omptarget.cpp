@@ -220,6 +220,92 @@ TEST(OmpTargetAsync, UnmappedAsyncThrows) {
   Fixture f;
   double x = 0.0;
   EXPECT_THROW(f.rt.data_update_device_async(&x), std::logic_error);
+  EXPECT_THROW(f.rt.data_update_host_async(&x), std::logic_error);
+}
+
+TEST(OmpTargetAsync, NowaitLaunchReturnsAfterDispatch) {
+  // A nowait region costs the host only the submission; the kernel body
+  // runs on its stream until a synchronization point.
+  Fixture f;
+  f.rt.set_work_scale(1e6);
+  omp::IterCost cost;
+  cost.flops = 2000.0;
+  cost.bytes_read = 64.0;
+  omp::LaunchOptions nowait;
+  nowait.nowait = true;
+  const double t0 = f.clock.now();
+  const auto w = f.rt.target_for("k", 1 << 13, cost,
+                                 [](std::int64_t) { return true; }, nowait);
+  EXPECT_DOUBLE_EQ(f.clock.now() - t0, f.rt.dispatch_overhead());
+  const double body = f.device.exec_time(w);
+  f.rt.sync_all();
+  EXPECT_NEAR(f.clock.now() - t0, f.rt.dispatch_overhead() + body, 1e-12);
+  EXPECT_GT(f.tracer.seconds("accel_device_wait"), 0.0);
+}
+
+TEST(OmpTargetAsync, DependsOrdersKernelAfterTransfer) {
+  // depend(in: buf) on a nowait region: the kernel waits for the async
+  // upload even though they sit on different streams.
+  Fixture f;
+  f.rt.set_work_scale(1e6);
+  std::vector<double> host(1 << 12, 1.0);
+  f.rt.data_create(host.data(), host.size() * sizeof(double));
+  f.rt.data_update_device_async(host.data(), /*stream=*/0);
+  const auto ev = f.rt.record_event(0);
+
+  omp::IterCost cost;
+  cost.flops = 10.0;
+  omp::LaunchOptions opts;
+  opts.nowait = true;
+  opts.stream = 1;
+  opts.depends = {ev};
+  f.rt.target_for("consume", 64, cost, [](std::int64_t) { return true; },
+                  opts);
+  const auto& ops = f.rt.scheduler().ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_GE(ops[1].start, ops[0].end);
+
+  // Without the depend clause the kernel starts immediately.
+  Fixture g;
+  g.rt.set_work_scale(1e6);
+  g.rt.data_create(host.data(), host.size() * sizeof(double));
+  g.rt.data_update_device_async(host.data(), /*stream=*/0);
+  omp::LaunchOptions free_opts;
+  free_opts.nowait = true;
+  free_opts.stream = 1;
+  const double dispatched = g.clock.now() + g.rt.dispatch_overhead();
+  g.rt.target_for("consume", 64, cost, [](std::int64_t) { return true; },
+                  free_opts);
+  EXPECT_DOUBLE_EQ(g.rt.scheduler().ops()[1].start, dispatched);
+}
+
+TEST(OmpTargetAsync, StreamedPipelineBeatsTheSerialOne) {
+  // The bench_overlap shape in miniature: H2D + nowait kernel per chunk,
+  // round-robin over two streams, versus the same ops one stream.
+  const auto pipeline = [](int n_streams) {
+    Fixture f;
+    f.rt.set_work_scale(1e6);
+    f.rt.set_dispatch_overhead(0.0);
+    std::vector<std::vector<double>> chunks(4,
+                                            std::vector<double>(1 << 10, 1.0));
+    omp::IterCost cost;
+    cost.flops = 100.0;
+    cost.bytes_read = 64.0;
+    for (int i = 0; i < 4; ++i) {
+      auto& c = chunks[static_cast<std::size_t>(i)];
+      f.rt.data_create(c.data(), c.size() * sizeof(double));
+      const toast::sched::StreamId s = i % n_streams;
+      f.rt.data_update_device_async(c.data(), s);
+      omp::LaunchOptions opts;
+      opts.nowait = true;
+      opts.stream = s;
+      f.rt.target_for("chunk", 1 << 10, cost,
+                      [](std::int64_t) { return true; }, opts);
+    }
+    f.rt.sync_all();
+    return f.clock.now();
+  };
+  EXPECT_LT(pipeline(2), pipeline(1));
 }
 
 TEST(OmpTargetLaunch, ExecutesFullIndexSpace) {

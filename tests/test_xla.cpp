@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -351,6 +352,102 @@ TEST(XlaRuntime, PreallocationClaimsDeviceMemory) {
             static_cast<std::size_t>(0.4 * f.device.spec().memory_bytes));
   f.rt.disable_preallocation();
   EXPECT_EQ(f.device.allocated_bytes(), 0u);
+}
+
+TEST(XlaRuntime, PreallocationPoolCoversTemporaries) {
+  Fixture f;
+  f.rt.enable_preallocation(0.75);
+  const std::size_t claimed = f.device.allocated_bytes();
+  EXPECT_EQ(claimed, f.rt.pool_bytes());
+  // Enabling twice is a no-op, not a second claim.
+  f.rt.enable_preallocation(0.75);
+  EXPECT_EQ(f.device.allocated_bytes(), claimed);
+  // With the pool claimed, call temporaries come out of it: the device
+  // allocator balance must not move.
+  xla::Jit fn("pool", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::sqrt(in[0] * 2.0 + 1.0)};
+  });
+  fn.call(f.rt, {vec({1.0, 2.0, 3.0, 4.0})});
+  EXPECT_EQ(f.device.allocated_bytes(), claimed);
+  f.rt.disable_preallocation();
+  EXPECT_EQ(f.device.allocated_bytes(), 0u);
+  EXPECT_EQ(f.rt.pool_bytes(), 0u);
+}
+
+namespace {
+
+/// Two independent reduce chains: four fusion groups, two dependency
+/// edges, no edge between the chains.
+xla::Jit independent_chains() {
+  return xla::Jit("chains", [](const std::vector<Array>& in) {
+    const Array r0 = xla::reduce_sum(in[0] * 2.0);
+    const Array r1 = xla::reduce_sum(in[1] * 3.0);
+    return std::vector<Array>{r0 + 1.0, r1 + 1.0};
+  });
+}
+
+}  // namespace
+
+TEST(XlaStreams, GroupDepsExposeTheFusionDag) {
+  Fixture f;
+  xla::Jit fn = independent_chains();
+  xla::ExecutionReport report;
+  fn.call_reported(f.rt, {vec({1.0, 2.0}), vec({3.0, 4.0})}, "", report);
+  ASSERT_EQ(report.group_deps.size(), report.group_work.size());
+  // The two reduce chains read only parameters (independent roots); the
+  // fused +1.0 epilogue group reads both of their results.  Edges point
+  // backwards, sorted and deduplicated.
+  std::vector<int> roots;
+  std::vector<int> dependents;
+  for (std::size_t g = 0; g < report.group_deps.size(); ++g) {
+    if (report.group_work[g].launches <= 0.0) {
+      continue;
+    }
+    const auto& deps = report.group_deps[g];
+    EXPECT_TRUE(std::is_sorted(deps.begin(), deps.end()));
+    for (const int d : deps) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, static_cast<int>(g));
+    }
+    (deps.empty() ? roots : dependents).push_back(static_cast<int>(g));
+  }
+  EXPECT_EQ(roots.size(), 2u);
+  ASSERT_EQ(dependents.size(), 1u);
+  EXPECT_EQ(report.group_deps[static_cast<std::size_t>(dependents[0])],
+            roots);
+}
+
+TEST(XlaStreams, OneStreamIsDeterministicAndMultiStreamNeverSlower) {
+  // Elapsed time of a cached call (compile charged on the first one).
+  const auto elapsed = [](int streams) {
+    Fixture f;
+    f.rt.set_streams(streams);
+    xla::Jit fn = independent_chains();
+    const std::vector<Literal> args = {vec({1.0, 2.0}), vec({3.0, 4.0})};
+    fn.call(f.rt, args);
+    const double t0 = f.clock.now();
+    fn.call(f.rt, args);
+    return f.clock.now() - t0;
+  };
+  const double serial = elapsed(1);
+  // 1-stream runs are bit-for-bit repeatable (the seed timeline).
+  EXPECT_EQ(serial, elapsed(1));
+  // Independent chains on two streams pipeline their launch latency.
+  const double overlapped = elapsed(2);
+  EXPECT_LT(overlapped, serial);
+  // More streams than independent work: no further change, never slower.
+  EXPECT_LE(elapsed(4), serial);
+}
+
+TEST(XlaStreams, StreamCountIsClampedToOne) {
+  Fixture f;
+  EXPECT_EQ(f.rt.streams(), 1);
+  f.rt.set_streams(0);
+  EXPECT_EQ(f.rt.streams(), 1);
+  f.rt.set_streams(-3);
+  EXPECT_EQ(f.rt.streams(), 1);
+  f.rt.set_streams(4);
+  EXPECT_EQ(f.rt.streams(), 4);
 }
 
 TEST(XlaRuntime, DispatchOverheadCharged) {
