@@ -7,6 +7,9 @@
 // paper's plot because it would dwarf the other bars).
 //
 // --json <path>: machine-readable results (schema toastcase-bench-fig5-v1).
+// --faults <plan>: apply a deterministic fault plan to every modelled run;
+//   fault/recovery counters then ride along in the JSON so the chaos CI
+//   can assert the runs completed (via retry or CPU fallback).
 
 #include <cstdio>
 #include <fstream>
@@ -15,7 +18,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "fault/fault.hpp"
 #include "mpisim/job.hpp"
+#include "obs/export.hpp"
 
 using toast::bench_model::large_problem;
 using toast::core::Backend;
@@ -49,6 +54,20 @@ void write_json(const std::string& path, const JobResult& cpu,
       w.kv("runtime_s", r.runtime);
       w.kv("speedup_vs_cpu", cpu.runtime / r.runtime);
     }
+    if (!r.fault_counters.empty()) {
+      w.obj_open("fault_counters");
+      for (const auto& [key, value] : r.fault_counters) {
+        w.kv(key, value);
+      }
+      w.obj_close();
+    }
+    if (!r.degraded_kernels.empty()) {
+      w.arr_open("degraded_kernels");
+      for (const auto& kernel : r.degraded_kernels) {
+        w.value(kernel);
+      }
+      w.arr_close();
+    }
     w.obj_close();
   };
   emit("cpu", cpu);
@@ -68,8 +87,23 @@ int main(int argc, char** argv) {
       "Figure 5: full benchmark, large problem (8 nodes x 16 procs x 4 "
       "threads)");
 
-  const auto problem = large_problem();
-  const auto cpu = run_benchmark_job({problem, Backend::kCpu});
+  toast::fault::FaultPlan plan;
+  if (!opt.faults_path.empty()) {
+    plan = toast::fault::FaultPlan::load_file(opt.faults_path);
+    std::printf("fault plan: %s (%zu rule%s, seed %llu)\n",
+                opt.faults_path.c_str(), plan.rules.size(),
+                plan.rules.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(plan.seed));
+  }
+  const auto run = [&](Backend backend) {
+    JobConfig cfg;
+    cfg.problem = large_problem();
+    cfg.backend = backend;
+    cfg.fault_plan = plan;
+    return run_benchmark_job(cfg);
+  };
+
+  const auto cpu = run(Backend::kCpu);
 
   std::printf("%-22s %14s %10s\n", "implementation", "runtime", "vs cpu");
   std::printf("------------------------------------------------\n");
@@ -81,7 +115,7 @@ int main(int argc, char** argv) {
        {std::tuple{"jax", "jax", Backend::kJax},
         std::tuple{"omp-target", "omp", Backend::kOmpTarget},
         std::tuple{"jax (CPU backend)", "jax_cpu", Backend::kJaxCpu}}) {
-    const auto r = run_benchmark_job({problem, backend});
+    const auto r = run(backend);
     char speed[32];
     if (r.oom) {
       std::snprintf(speed, sizeof(speed), "OOM");
@@ -106,6 +140,26 @@ int main(int argc, char** argv) {
   if (!opt.json_path.empty()) {
     write_json(opt.json_path, cpu, rows);
     std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    // Per-backend span metrics of the representative rank; under a fault
+    // plan the fault_* categories land here, so `toast-trace faults` can
+    // summarize what fired and what it cost.
+    const auto write_rank_metrics = [&](const std::string& tag,
+                                        const JobResult& r) {
+      if (r.oom) {
+        return;
+      }
+      const std::string path = toast::bench::suffixed_path(opt.trace_path, tag);
+      toast::obs::write_metrics_json_file(
+          r.rank_spans, path,
+          {{"benchmark", "fig5_full_benchmark"}, {"backend", tag}});
+      std::printf("wrote %s\n", path.c_str());
+    };
+    write_rank_metrics("cpu", cpu);
+    for (const auto& row : rows) {
+      write_rank_metrics(row.label, row.result);
+    }
   }
   return 0;
 }

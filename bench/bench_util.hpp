@@ -8,6 +8,9 @@
 //                    scripts/check_bench.py threshold-checks the file)
 //   --trace <path>   write Chrome trace-event JSON of the modelled runs
 //                    (one file per backend, suffixed before the extension)
+//   --faults <path>  deterministic fault plan (toastcase-fault-plan-v1)
+//                    applied to the modelled runs; benchmarks that do not
+//                    model faults ignore it
 //
 // The writer is self-contained (no dependency on toast_obs) so the
 // LoC-counting benchmarks that only link toast_tools can use it too.
@@ -41,8 +44,9 @@ inline std::string fmt_seconds(double s) {
 // --- command line -----------------------------------------------------------
 
 struct BenchOptions {
-  std::string json_path;   // empty = human output only
-  std::string trace_path;  // empty = no trace export
+  std::string json_path;    // empty = human output only
+  std::string trace_path;   // empty = no trace export
+  std::string faults_path;  // empty = no fault plan
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -60,8 +64,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.json_path = need_value("--json");
     } else if (arg == "--trace") {
       opt.trace_path = need_value("--trace");
+    } else if (arg == "--faults") {
+      opt.faults_path = need_value("--faults");
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--json <path>] [--trace <path>]\n", argv[0]);
+      std::printf(
+          "usage: %s [--json <path>] [--trace <path>] [--faults <plan>]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr,

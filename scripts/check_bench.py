@@ -7,7 +7,7 @@ SC-W 2023), not absolute seconds, so they are robust to model retuning but
 fail if a code change flips a JAX-vs-OpenMP conclusion.
 
 usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
-                      [--overlap overlap.json]
+                      [--overlap overlap.json] [--faults faults.json]
 """
 
 import argparse
@@ -22,6 +22,20 @@ def check(cond, msg):
     print(f"  [{status}] {msg}")
     if not cond:
         FAILURES.append(msg)
+
+
+def run_check(fn, path):
+    """Run one file checker; a missing key is a clear failure, not a
+    traceback (a benchmark that wrote a malformed/truncated file must fail
+    CI with a message that names the key and the file)."""
+    try:
+        fn(path)
+    except KeyError as e:
+        print(f"check_bench.py: missing key {e.args[0]!r} in {path}")
+        sys.exit(1)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench.py: cannot read {path}: {e}")
+        sys.exit(1)
 
 
 def check_fig6(path):
@@ -121,24 +135,58 @@ def check_overlap(path):
           "multi-stream pipeline strictly faster than serial")
 
 
+def check_faults(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "toastcase-bench-faults-v1", doc.get("schema")
+    print(f"faults ({path}):")
+    backends = {b["name"]: b for b in doc["backends"]}
+
+    for name, b in sorted(backends.items()):
+        # The contract of the fault layer: an empty plan changes nothing,
+        # and a seeded plan is fully deterministic (identical runtimes AND
+        # identical fault counters across two runs).
+        check(b["zero_fault_identical"],
+              f"{name}: empty fault plan bit-for-bit identical to no plan")
+        check(b["chaos_deterministic"],
+              f"{name}: same chaos seed twice yields identical results")
+        check(b["chaos_runtime_s"] >= b["baseline_runtime_s"],
+              f"{name}: chaos run never faster than the clean run")
+
+    # Accelerated backends must survive persistent launch faults by
+    # degrading kernels to their CPU implementations.
+    for name in ("jax", "omp"):
+        b = backends[name]
+        check(b["fallback_completed"],
+              f"{name}: persistent launch faults complete via CPU fallback")
+        check(b["fallback_counters"].get("fault_fallbacks", 0) > 0,
+              f"{name}: fallback counters recorded")
+        check(len(b["degraded_kernels"]) > 0,
+              f"{name}: degraded kernels listed")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
     ap.add_argument("--fig5")
     ap.add_argument("--fig6")
     ap.add_argument("--overlap")
+    ap.add_argument("--faults")
     args = ap.parse_args()
-    if not (args.fig4 or args.fig5 or args.fig6 or args.overlap):
-        ap.error("pass at least one of --fig4/--fig5/--fig6/--overlap")
+    checks = [
+        (check_fig4, args.fig4),
+        (check_fig5, args.fig5),
+        (check_fig6, args.fig6),
+        (check_overlap, args.overlap),
+        (check_faults, args.faults),
+    ]
+    if not any(path for _, path in checks):
+        ap.error(
+            "pass at least one of --fig4/--fig5/--fig6/--overlap/--faults")
 
-    if args.fig4:
-        check_fig4(args.fig4)
-    if args.fig5:
-        check_fig5(args.fig5)
-    if args.fig6:
-        check_fig6(args.fig6)
-    if args.overlap:
-        check_overlap(args.overlap)
+    for fn, path in checks:
+        if path:
+            run_check(fn, path)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} check(s) failed:")

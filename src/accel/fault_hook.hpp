@@ -1,0 +1,25 @@
+#pragma once
+
+// Allocation-fault hook for the simulated device (the accel-side half of
+// the fault-injection layer, mirroring TraceSink).  SimDevice consults the
+// hook on every allocation; the hook may force a DeviceOomError even when
+// capacity remains, modelling allocation failures under memory pressure
+// (fragmentation, competing processes on a shared GPU).  The concrete
+// implementation lives in src/fault/ so accel stays a leaf module.
+
+#include <cstddef>
+
+namespace toast::accel {
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Return true to force `site`'s allocation of `requested` bytes to
+  /// fail with a DeviceOomError marked `injected`.  `in_use` / `capacity`
+  /// let the hook condition on memory pressure.
+  virtual bool oom_should_fire(const char* site, std::size_t requested,
+                               std::size_t in_use, std::size_t capacity) = 0;
+};
+
+}  // namespace toast::accel

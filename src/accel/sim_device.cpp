@@ -10,6 +10,23 @@ DeviceSpec a100_spec() { return DeviceSpec{}; }
 HostSpec milan_spec() { return HostSpec{}; }
 NetworkSpec slingshot_spec() { return NetworkSpec{}; }
 
+DeviceOomError::DeviceOomError(OomInfo info)
+    : std::runtime_error(format(info)), info_(std::move(info)) {}
+
+std::string DeviceOomError::format(const OomInfo& info) {
+  std::ostringstream msg;
+  msg << "simulated device out of memory: requested " << info.requested_bytes
+      << " B with " << info.in_use_bytes << " B already allocated of "
+      << info.capacity_bytes << " B capacity";
+  if (info.injected) {
+    msg << " (injected fault)";
+  }
+  for (const auto& [tag, bytes] : info.top_consumers) {
+    msg << "; " << tag << " holds " << bytes << " B";
+  }
+  return msg.str();
+}
+
 const char* to_string(Sharing s) {
   switch (s) {
     case Sharing::kExclusive:
@@ -92,23 +109,52 @@ double SimDevice::fill_time(double bytes) const {
   return exec_time(w);
 }
 
-void SimDevice::allocate(std::size_t bytes) {
-  if (allocated_ + bytes > capacity_bytes()) {
-    std::ostringstream msg;
-    msg << "simulated device out of memory: requested " << bytes
-        << " B with " << allocated_ << " B already allocated of "
-        << capacity_bytes() << " B capacity";
-    throw DeviceOomError(msg.str());
+std::vector<std::pair<std::string, std::size_t>> SimDevice::top_consumers()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out(tagged_.begin(),
+                                                       tagged_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+void SimDevice::allocate(std::size_t bytes, const char* tag) {
+  const bool over_capacity = allocated_ + bytes > capacity_bytes();
+  const bool injected =
+      !over_capacity && fault_hook_ != nullptr &&
+      fault_hook_->oom_should_fire(tag != nullptr ? tag : "device_alloc",
+                                   bytes, allocated_, capacity_bytes());
+  if (over_capacity || injected) {
+    OomInfo info;
+    info.requested_bytes = bytes;
+    info.in_use_bytes = allocated_;
+    info.capacity_bytes = capacity_bytes();
+    info.injected = injected;
+    info.top_consumers = top_consumers();
+    throw DeviceOomError(std::move(info));
   }
   allocated_ += bytes;
+  if (tag != nullptr) {
+    tagged_[tag] += bytes;
+  }
   if (sink_ != nullptr) {
     sink_->device_span("device_alloc", "alloc", 0.0,
                        static_cast<double>(bytes), nullptr);
   }
 }
 
-void SimDevice::deallocate(std::size_t bytes) {
+void SimDevice::deallocate(std::size_t bytes, const char* tag) {
   allocated_ -= std::min(allocated_, bytes);
+  if (tag != nullptr) {
+    auto it = tagged_.find(tag);
+    if (it != tagged_.end()) {
+      it->second -= std::min(it->second, bytes);
+      if (it->second == 0) {
+        tagged_.erase(it);
+      }
+    }
+  }
   if (sink_ != nullptr) {
     sink_->device_span("device_free", "alloc", 0.0,
                        static_cast<double>(bytes), nullptr);

@@ -9,9 +9,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "accel/fault_hook.hpp"
 #include "accel/specs.hpp"
 #include "accel/trace_sink.hpp"
 #include "accel/work.hpp"
@@ -27,11 +31,30 @@ enum class Sharing {
 
 const char* to_string(Sharing s);
 
-/// Thrown when a simulated allocation exceeds device capacity.
+/// Structured description of a failed device allocation.  Recovery code
+/// branches on these fields (requested vs capacity, who holds the memory,
+/// injected vs real pressure) instead of parsing what().
+struct OomInfo {
+  std::size_t requested_bytes = 0;
+  std::size_t in_use_bytes = 0;
+  std::size_t capacity_bytes = 0;
+  /// Forced by a FaultHook (transient, worth retrying) rather than a real
+  /// capacity overflow (retry is pointless unless something is freed).
+  bool injected = false;
+  /// Largest tagged holders of device memory at failure time, descending.
+  std::vector<std::pair<std::string, std::size_t>> top_consumers;
+};
+
+/// Thrown when a simulated allocation exceeds device capacity (or a fault
+/// hook forces a failure under memory pressure).
 class DeviceOomError : public std::runtime_error {
  public:
-  explicit DeviceOomError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit DeviceOomError(OomInfo info);
+  const OomInfo& info() const { return info_; }
+
+ private:
+  static std::string format(const OomInfo& info);
+  OomInfo info_;
 };
 
 /// Per-process virtual clock.  All model times accumulate here; wall time
@@ -78,10 +101,14 @@ class SimDevice {
   // --- memory accounting -------------------------------------------------
 
   /// Record an allocation of `bytes`; throws DeviceOomError if the device
-  /// would exceed capacity.
-  void allocate(std::size_t bytes);
-  void deallocate(std::size_t bytes);
+  /// would exceed capacity or the fault hook forces a failure.  `tag`
+  /// attributes the memory to a consumer (pool, JIT temp...) so OOM
+  /// errors can report who holds the device.
+  void allocate(std::size_t bytes, const char* tag = nullptr);
+  void deallocate(std::size_t bytes, const char* tag = nullptr);
   std::size_t allocated_bytes() const { return allocated_; }
+  /// Tagged holders of device memory, largest first.
+  std::vector<std::pair<std::string, std::size_t>> top_consumers() const;
   std::size_t capacity_bytes() const {
     return static_cast<std::size_t>(spec_.memory_bytes);
   }
@@ -113,11 +140,16 @@ class SimDevice {
   /// (nullptr detaches).  Not owned.
   void set_trace_sink(TraceSink* sink) { sink_ = sink; }
 
+  /// Attach a fault hook consulted on every allocation (nullptr detaches).
+  /// Not owned.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
  private:
   DeviceSpec spec_;
   Sharing sharing_ = Sharing::kExclusive;
   int procs_attached_ = 1;
   std::size_t allocated_ = 0;
+  std::map<std::string, std::size_t> tagged_;
   std::uint64_t total_launches_ = 0;
   double total_exec_seconds_ = 0.0;
   double total_transfer_seconds_ = 0.0;
@@ -127,6 +159,7 @@ class SimDevice {
   double total_h2d_seconds_ = 0.0;
   double total_d2h_seconds_ = 0.0;
   TraceSink* sink_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace toast::accel

@@ -22,7 +22,11 @@ bool jax_like(const ExecContext& ctx) {
 }  // namespace
 
 AccelStore::AccelStore(ExecContext& ctx)
-    : ctx_(ctx), pool_(ctx.device()) {}
+    : ctx_(ctx), pool_(ctx.device()) {
+  if (ctx.faults().armed()) {
+    pool_.set_fault_injector(&ctx.faults());
+  }
+}
 
 void AccelStore::create(Field& field) {
   if (shadows_.count(&field) != 0) {
@@ -70,6 +74,12 @@ void AccelStore::update_device(Field& field) {
   const double factor = jax_like(ctx_) ? kJaxUpdateDeviceFactor : 1.0;
   const double bytes = paper_bytes(field, ctx_);
   const double t = factor * ctx_.device().transfer_time(bytes);
+  if (ctx_.faults().armed()) {
+    // The functional copy above already happened, so a persistent fault
+    // thrown here leaves the shadow consistent for the CPU fallback.
+    ctx_.faults().attempt_sync(fault::FaultKind::kTransfer,
+                               "accel_data_update_device", t);
+  }
   ctx_.clock().advance(t);
   ctx_.device().note_transfer(bytes, t, /*to_device=*/true);
   const auto span =
@@ -85,6 +95,10 @@ void AccelStore::update_host(Field& field) {
   const double factor = jax_like(ctx_) ? kJaxUpdateHostFactor : 1.0;
   const double bytes = paper_bytes(field, ctx_);
   const double t = factor * ctx_.device().transfer_time(bytes);
+  if (ctx_.faults().armed()) {
+    ctx_.faults().attempt_sync(fault::FaultKind::kTransfer,
+                               "accel_data_update_host", t);
+  }
   ctx_.clock().advance(t);
   ctx_.device().note_transfer(bytes, t, /*to_device=*/false);
   const auto span =

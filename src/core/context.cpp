@@ -6,11 +6,17 @@ ExecContext::ExecContext(const ExecConfig& config)
     : config_(config),
       device_(config.device_spec),
       tracer_(&clock_),
+      faults_(config.fault_plan, &clock_, &tracer_),
       host_(config.host_spec),
       omp_rt_(device_, clock_, tracer_),
       jax_rt_(device_, clock_, tracer_) {
   device_.set_trace_sink(&tracer_);
   device_.set_sharing(config.sharing, config.procs_per_gpu);
+  if (faults_.armed()) {
+    device_.set_fault_hook(&faults_);
+    omp_rt_.set_fault_injector(&faults_);
+    jax_rt_.set_fault_injector(&faults_);
+  }
   omp_rt_.set_dispatch_overhead(config.omp_dispatch_overhead);
   omp_rt_.set_work_scale(config.work_scale);
   jax_rt_.set_work_scale(config.work_scale);

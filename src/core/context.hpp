@@ -13,6 +13,7 @@
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
 #include "core/types.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "omptarget/runtime.hpp"
 #include "xla/jit.hpp"
@@ -40,6 +41,9 @@ struct ExecConfig {
   double omp_dispatch_overhead = 6.0e-6;
   accel::DeviceSpec device_spec = accel::a100_spec();
   accel::HostSpec host_spec = accel::milan_spec();
+  /// Fault-injection schedule (empty: injector disarmed, all hooks are
+  /// no-ops and execution is bit-for-bit the no-fault timeline).
+  fault::FaultPlan fault_plan;
 };
 
 class ExecContext {
@@ -60,6 +64,10 @@ class ExecContext {
   const accel::HostModel& host() const { return host_; }
   omptarget::Runtime& omp() { return omp_rt_; }
   xla::Runtime& jax() { return jax_rt_; }
+  /// The fault injector every layer of this context shares (disarmed
+  /// when the config's plan is empty).
+  fault::FaultInjector& faults() { return faults_; }
+  const fault::FaultInjector& faults() const { return faults_; }
 
   // --- dispatch ----------------------------------------------------------
 
@@ -89,6 +97,7 @@ class ExecContext {
   accel::SimDevice device_;
   accel::VirtualClock clock_;
   obs::Tracer tracer_;
+  fault::FaultInjector faults_;
   accel::HostModel host_;
   omptarget::Runtime omp_rt_;
   xla::Runtime jax_rt_;

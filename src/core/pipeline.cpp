@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "accel/sim_device.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace toast::core {
@@ -49,61 +51,21 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
     op->ensure_fields(ob);
 
     const Backend backend = dispatch_backend(*op, ctx);
-    const bool on_accel = op->supports_accel() && is_accel(backend);
+    // Kernels degraded by persistent faults stay on their CPU
+    // implementation even through a pipeline-level backend override.
+    const bool on_accel = op->supports_accel() && is_accel(backend) &&
+                          !ctx.faults().degraded(op->name());
 
     std::set<std::string> touched;
     for (const auto& name : op->requires_fields()) touched.insert(name);
     for (const auto& name : op->provides_fields()) touched.insert(name);
 
-    if (on_accel) {
-      // Map every touched field; stage *in* only the inputs (in-place
-      // outputs appear in requires too).  Pure outputs get a device
-      // buffer without an upload.
-      for (const auto& name : touched) {
-        if (ob.has_field(name)) {
-          ensure_mapped(ob.field(name));
-        }
-      }
-      for (const auto& name : op->requires_fields()) {
-        if (!ob.has_field(name)) {
-          continue;
-        }
-        Field& f = ob.field(name);
-        if (!state[&f].device_valid) {
-          store.update_device(f);
-          state[&f].device_valid = true;
-        }
-      }
-      op->exec(ob, ctx, &store, backend);
-      for (const auto& name : op->provides_fields()) {
-        if (!ob.has_field(name)) {
-          continue;
-        }
-        Field& f = ob.field(name);
-        state[&f].device_valid = true;
-        state[&f].host_valid = false;
-      }
-      if (staging_ == Staging::kNaive) {
-        // Naive strategy: everything comes straight back and the device
-        // copies are dropped after every kernel.
-        for (const auto& name : touched) {
-          if (!ob.has_field(name)) {
-            continue;
-          }
-          Field& f = ob.field(name);
-          if (store.present(f)) {
-            if (!state[&f].host_valid) {
-              store.update_host(f);
-              state[&f].host_valid = true;
-            }
-            store.remove(f);
-            state.erase(&f);
-          }
-        }
-      }
-    } else {
-      // Host execution: any field whose current copy lives on the device
-      // must come back first.
+    // Host execution path, also the fault-recovery target: any field
+    // whose current copy lives on the device comes back first (the
+    // functional copy precedes the time charge, so a persistent
+    // transfer fault during recovery still leaves the host data
+    // correct — the charge is simply lost).
+    auto run_host = [&](Backend host_backend, bool recovering) {
       for (const auto& name : touched) {
         if (!ob.has_field(name)) {
           continue;
@@ -111,11 +73,17 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
         Field& f = ob.field(name);
         auto it = state.find(&f);
         if (it != state.end() && !it->second.host_valid) {
-          store.update_host(f);
+          try {
+            store.update_host(f);
+          } catch (const fault::PersistentFaultError&) {
+            if (!recovering) {
+              throw;
+            }
+          }
           it->second.host_valid = true;
         }
       }
-      op->exec(ob, ctx, nullptr, backend);
+      op->exec(ob, ctx, nullptr, host_backend);
       for (const auto& name : op->provides_fields()) {
         if (!ob.has_field(name)) {
           continue;
@@ -127,6 +95,86 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
           it->second.device_valid = false;
         }
       }
+    };
+
+    auto degrade_to_host = [&](const std::string& reason) {
+      ctx.faults().note_fallback(op->name(), reason);
+      ctx.set_kernel_backend(op->name(), Backend::kCpu);
+      run_host(Backend::kCpu, /*recovering=*/true);
+    };
+
+    if (on_accel) {
+      bool accel_ok = true;
+      try {
+        // Map every touched field; stage *in* only the inputs (in-place
+        // outputs appear in requires too).  Pure outputs get a device
+        // buffer without an upload.
+        for (const auto& name : touched) {
+          if (ob.has_field(name)) {
+            ensure_mapped(ob.field(name));
+          }
+        }
+        for (const auto& name : op->requires_fields()) {
+          if (!ob.has_field(name)) {
+            continue;
+          }
+          Field& f = ob.field(name);
+          if (!state[&f].device_valid) {
+            store.update_device(f);
+            state[&f].device_valid = true;
+          }
+        }
+        op->exec(ob, ctx, &store, backend);
+        for (const auto& name : op->provides_fields()) {
+          if (!ob.has_field(name)) {
+            continue;
+          }
+          Field& f = ob.field(name);
+          state[&f].device_valid = true;
+          state[&f].host_valid = false;
+        }
+      } catch (const fault::PersistentFaultError&) {
+        // Retry budget exhausted on a launch or transfer: degrade this
+        // kernel to its CPU implementation and re-run.  The functional
+        // work in both runtimes happens on shadow copies before the
+        // time charge throws, so host data is untouched and the re-run
+        // computes from a consistent state.
+        accel_ok = false;
+        degrade_to_host("persistent_fault");
+      } catch (const accel::DeviceOomError& e) {
+        if (!e.info().injected) {
+          throw;  // real capacity overflow: the fig4 OOM points rely on it
+        }
+        accel_ok = false;
+        degrade_to_host("device_oom");
+      }
+      if (accel_ok && staging_ == Staging::kNaive) {
+        // Naive strategy: everything comes straight back and the device
+        // copies are dropped after every kernel.  This runs outside the
+        // recovery try: the op already completed, so a persistent
+        // transfer fault here must not re-run it (in-place ops would
+        // double-apply); the functional copy precedes the charge, so
+        // only the time accounting is lost.
+        for (const auto& name : touched) {
+          if (!ob.has_field(name)) {
+            continue;
+          }
+          Field& f = ob.field(name);
+          if (store.present(f)) {
+            if (!state[&f].host_valid) {
+              try {
+                store.update_host(f);
+              } catch (const fault::PersistentFaultError&) {
+              }
+              state[&f].host_valid = true;
+            }
+            store.remove(f);
+            state.erase(&f);
+          }
+        }
+      }
+    } else {
+      run_host(backend, /*recovering=*/false);
     }
   }
 
@@ -139,7 +187,11 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
     Field& f = ob.field(name);
     const auto it = state.find(&f);
     if (it != state.end() && !it->second.host_valid) {
-      store.update_host(f);
+      try {
+        store.update_host(f);
+      } catch (const fault::PersistentFaultError&) {
+        // Functional copy already landed; only the charge is lost.
+      }
       it->second.host_valid = true;
     }
   }

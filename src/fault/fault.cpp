@@ -1,0 +1,356 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace toast::fault {
+
+namespace {
+
+// Counter-based RNG: hash the (seed, kind, site, visit-counter) tuple to
+// a uniform double.  No stateful engine means the draw for a given site
+// visit is independent of what any other hook drew before it.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double uniform01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kTransfer:
+      return "transfer";
+    case FaultKind::kLaunch:
+      return "launch";
+    case FaultKind::kDeviceOom:
+      return "oom";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kRankFailure:
+      return "rank";
+  }
+  return "unknown";
+}
+
+FaultKind kind_from_string(const std::string& s) {
+  if (s == "transfer") return FaultKind::kTransfer;
+  if (s == "launch") return FaultKind::kLaunch;
+  if (s == "oom") return FaultKind::kDeviceOom;
+  if (s == "straggler") return FaultKind::kStraggler;
+  if (s == "rank") return FaultKind::kRankFailure;
+  throw std::runtime_error("unknown fault kind: " + s);
+}
+
+namespace {
+
+FaultPlan plan_from_value(const obs::json::Value& doc,
+                          const std::string& where) {
+  if (!doc.is_object()) {
+    throw std::runtime_error(where + ": fault plan must be an object");
+  }
+  const obs::json::Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "toastcase-fault-plan-v1") {
+    throw std::runtime_error(where +
+                             ": expected schema toastcase-fault-plan-v1");
+  }
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(doc.number_or("seed", 0.0));
+  if (const obs::json::Value* retry = doc.find("retry")) {
+    plan.retry.max_attempts =
+        static_cast<int>(retry->number_or("max_attempts", 3.0));
+    plan.retry.backoff_seconds = retry->number_or("backoff_seconds", 1e-4);
+    plan.retry.backoff_multiplier =
+        retry->number_or("backoff_multiplier", 2.0);
+    plan.retry.failed_fraction = retry->number_or("failed_fraction", 0.5);
+  }
+  if (const obs::json::Value* rules = doc.find("rules")) {
+    for (const obs::json::Value& r : rules->array) {
+      FaultRule rule;
+      rule.kind = kind_from_string(r.at("kind").string);
+      if (const obs::json::Value* site = r.find("site")) {
+        rule.site = site->string;
+      }
+      rule.probability = r.number_or("probability", 0.0);
+      rule.max_fires = static_cast<int>(r.number_or("max_fires", -1.0));
+      rule.factor = r.number_or("factor", 2.0);
+      rule.pressure_threshold = r.number_or("pressure_threshold", 0.0);
+      plan.rules.push_back(std::move(rule));
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  return plan_from_value(obs::json::Value::parse(text), "fault plan");
+}
+
+FaultPlan FaultPlan::load_file(const std::string& path) {
+  return plan_from_value(obs::json::load_file(path), path);
+}
+
+PersistentFaultError::PersistentFaultError(FaultKind kind, std::string site,
+                                           int failures)
+    : std::runtime_error("persistent " + std::string(to_string(kind)) +
+                         " fault at " + site + " after " +
+                         std::to_string(failures) + " attempts"),
+      kind_(kind),
+      site_(std::move(site)),
+      failures_(failures) {}
+
+FaultInjector::FaultInjector(FaultPlan plan, accel::VirtualClock* clock,
+                             obs::Tracer* tracer)
+    : plan_(std::move(plan)),
+      clock_(clock),
+      tracer_(tracer),
+      armed_(!plan_.rules.empty()),
+      rule_fires_(plan_.rules.size(), 0) {}
+
+double FaultInjector::draw(FaultKind kind, const std::string& site) {
+  const std::string key = std::string(to_string(kind)) + "@" + site;
+  const std::uint64_t n = draw_counts_[key]++;
+  const std::uint64_t h =
+      splitmix64(plan_.seed ^ splitmix64(static_cast<std::uint64_t>(kind) + 1) ^
+                 fnv1a(key) ^ splitmix64(n));
+  return uniform01(h);
+}
+
+int FaultInjector::match(FaultKind kind, const std::string& site) {
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (r.kind != kind || r.probability <= 0.0) {
+      continue;
+    }
+    if (!r.site.empty() && site.find(r.site) == std::string::npos) {
+      continue;
+    }
+    if (r.max_fires >= 0 && rule_fires_[i] >= r.max_fires) {
+      continue;
+    }
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double FaultInjector::backoff(int attempt) const {
+  return plan_.retry.backoff_seconds *
+         std::pow(plan_.retry.backoff_multiplier, attempt);
+}
+
+int FaultInjector::attempt_sync(FaultKind kind, const std::string& site,
+                                double op_seconds) {
+  if (!armed_) {
+    return 0;
+  }
+  ProbeResult r = probe(kind, site, op_seconds);
+  if (r.failures == 0) {
+    return 0;
+  }
+  if (clock_ != nullptr) {
+    clock_->advance(r.penalty);
+  }
+  if (tracer_ != nullptr) {
+    const obs::SpanId id =
+        tracer_->record(std::string("fault_retry_") + to_string(kind),
+                        "fault", r.penalty);
+    tracer_->add_counter(id, "failures", r.failures);
+  }
+  add_count(std::string("fault_") + to_string(kind) + "_retries",
+            r.failures);
+  if (r.persistent) {
+    add_count("fault_persistent");
+    throw PersistentFaultError(kind, site, r.failures);
+  }
+  return r.failures;
+}
+
+ProbeResult FaultInjector::probe(FaultKind kind, const std::string& site,
+                                 double op_seconds) {
+  ProbeResult result;
+  if (!armed_) {
+    return result;
+  }
+  const int max_attempts = std::max(1, plan_.retry.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const int rule = match(kind, site);
+    if (rule < 0) {
+      return result;
+    }
+    if (draw(kind, site) >= plan_.rules[rule].probability) {
+      return result;
+    }
+    ++rule_fires_[rule];
+    ++result.failures;
+    result.penalty +=
+        plan_.retry.failed_fraction * op_seconds + backoff(attempt);
+  }
+  result.persistent = true;
+  return result;
+}
+
+double FaultInjector::straggler_factor(const std::string& site) {
+  if (!armed_) {
+    return 1.0;
+  }
+  const int rule = match(FaultKind::kStraggler, site);
+  if (rule < 0) {
+    return 1.0;
+  }
+  if (draw(FaultKind::kStraggler, site) >= plan_.rules[rule].probability) {
+    return 1.0;
+  }
+  ++rule_fires_[rule];
+  add_count("fault_stragglers");
+  return std::max(1.0, plan_.rules[rule].factor);
+}
+
+bool FaultInjector::rank_failure(const std::string& site) {
+  if (!armed_) {
+    return false;
+  }
+  const int rule = match(FaultKind::kRankFailure, site);
+  if (rule < 0) {
+    return false;
+  }
+  if (draw(FaultKind::kRankFailure, site) >= plan_.rules[rule].probability) {
+    return false;
+  }
+  ++rule_fires_[rule];
+  add_count("fault_rank_failures");
+  return true;
+}
+
+bool FaultInjector::oom_should_fire(const char* site, std::size_t requested,
+                                    std::size_t in_use,
+                                    std::size_t capacity) {
+  if (!armed_) {
+    return false;
+  }
+  const std::string site_name = site != nullptr ? site : "";
+  const int rule = match(FaultKind::kDeviceOom, site_name);
+  if (rule < 0) {
+    return false;
+  }
+  const double pressure =
+      capacity > 0
+          ? static_cast<double>(in_use + requested) /
+                static_cast<double>(capacity)
+          : 1.0;
+  if (pressure < plan_.rules[rule].pressure_threshold) {
+    return false;
+  }
+  if (draw(FaultKind::kDeviceOom, site_name) >=
+      plan_.rules[rule].probability) {
+    return false;
+  }
+  ++rule_fires_[rule];
+  add_count("fault_oom_injected");
+  return true;
+}
+
+bool FaultInjector::on_oom(const std::string& site,
+                           const accel::DeviceOomError& e, int attempt) {
+  if (!armed_ || !e.info().injected) {
+    return false;  // real capacity overflow: retry is pointless
+  }
+  if (attempt + 1 >= std::max(1, plan_.retry.max_attempts)) {
+    add_count("fault_persistent");
+    return false;
+  }
+  const double penalty = backoff(attempt);
+  if (clock_ != nullptr) {
+    clock_->advance(penalty);
+  }
+  if (tracer_ != nullptr) {
+    const obs::SpanId id = tracer_->record("fault_retry_oom", "fault", penalty);
+    tracer_->add_counter(id, "site_" + site, 1.0);
+  }
+  add_count("fault_oom_retries");
+  return true;
+}
+
+void FaultInjector::note_fallback(const std::string& kernel,
+                                  const std::string& reason) {
+  mark_degraded(kernel);
+  add_count("fault_fallbacks");
+  if (tracer_ != nullptr) {
+    const obs::SpanId id = tracer_->record("fault_fallback", "fault", 0.0);
+    tracer_->add_counter(id, "kernel_" + kernel, 1.0);
+    tracer_->add_counter(id, "reason_" + reason, 1.0);
+  }
+}
+
+void FaultInjector::note_oom_recovery(const std::string& site,
+                                      double seconds) {
+  add_count("fault_oom_recoveries");
+  if (clock_ != nullptr) {
+    clock_->advance(seconds);
+  }
+  if (tracer_ != nullptr) {
+    const obs::SpanId id =
+        tracer_->record("fault_oom_recovery", "fault", seconds);
+    tracer_->add_counter(id, "site_" + site, 1.0);
+  }
+}
+
+void FaultInjector::note_checkpoint_restore(const std::string& site,
+                                            int iteration) {
+  add_count("fault_checkpoint_restores");
+  if (tracer_ != nullptr) {
+    const obs::SpanId id =
+        tracer_->record("fault_checkpoint_restore", "fault", 0.0);
+    tracer_->add_counter(id, "site_" + site, 1.0);
+    tracer_->add_counter(id, "iteration", iteration);
+  }
+}
+
+void FaultInjector::note_straggler(const std::string& site, double start,
+                                   double extra_seconds) {
+  if (tracer_ != nullptr) {
+    const obs::SpanId id = tracer_->record_at("fault_straggler", "fault",
+                                              start, extra_seconds);
+    tracer_->add_counter(id, "site_" + site, 1.0);
+  }
+}
+
+void FaultInjector::note_async_retries(FaultKind kind,
+                                       const std::string& site, double start,
+                                       const ProbeResult& r) {
+  if (r.failures == 0) {
+    return;
+  }
+  add_count(std::string("fault_") + to_string(kind) + "_retries",
+            r.failures);
+  if (tracer_ != nullptr) {
+    const obs::SpanId id =
+        tracer_->record_at(std::string("fault_retry_") + to_string(kind),
+                           "fault", start, r.penalty);
+    tracer_->add_counter(id, "failures", r.failures);
+    tracer_->add_counter(id, "site_" + site, 1.0);
+  }
+  if (r.persistent) {
+    add_count("fault_persistent");
+  }
+}
+
+}  // namespace toast::fault

@@ -101,6 +101,7 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   ec.jax_preallocate = cfg.jax_preallocate;
   ec.device_spec = cfg.device_spec;
   ec.omp_dispatch_overhead = cfg.omp_dispatch_overhead;
+  ec.fault_plan = cfg.fault_plan;
   core::ExecContext ctx(ec);
   const obs::SpanId rank_span = ctx.tracer().begin(
       "rank:" + std::string(core::to_string(cfg.backend)), "rank",
@@ -133,7 +134,40 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   wf.map_iterations =
       cfg.map_iterations > 0 ? cfg.map_iterations : fw.map_iterations;
   auto pipeline = sim::make_benchmark_pipeline(wf, cfg.staging);
-  pipeline.exec(data, ctx);
+  if (!ctx.faults().armed()) {
+    pipeline.exec(data, ctx);
+  } else {
+    // Rank-failure model: a rank that dies mid-observation is replaced
+    // and the replacement replays the lost observation.  The functional
+    // work runs exactly once (replaying in-place kernels would
+    // double-apply); what the failure costs — the lost fraction of the
+    // observation plus the replacement's bring-up — is charged to the
+    // virtual clock as a logged fault span, bounded by the plan's retry
+    // budget per observation.
+    const double restart_seconds =
+        core::is_accel(cfg.backend)
+            ? (cfg.backend == core::Backend::kJax ? 1.2 : 0.8)
+            : 0.1;
+    const int max_replays = std::max(1, cfg.fault_plan.retry.max_attempts);
+    for (auto& ob : data.observations) {
+      const double t0 = ctx.clock().now();
+      pipeline.exec(ob, ctx);
+      const double obs_seconds = ctx.clock().now() - t0;
+      for (int replay = 0; replay < max_replays; ++replay) {
+        if (!ctx.faults().rank_failure("mpisim_rank:" + ob.name())) {
+          break;
+        }
+        const double lost =
+            cfg.fault_plan.retry.failed_fraction * obs_seconds +
+            restart_seconds;
+        ctx.clock().advance(lost);
+        const obs::SpanId id = ctx.tracer().record(
+            "fault_rank_restart", "fault", lost,
+            core::to_string(cfg.backend));
+        ctx.tracer().add_counter(id, "observation_" + ob.name(), 1.0);
+      }
+    }
+  }
 
   // Serial framework time (I/O, distribution, bookkeeping) at paper scale.
   const double rank_samples =
@@ -198,6 +232,9 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   ctx.tracer().add_counter(comm_span, "bytes", paper_map_bytes);
 
   result.rank_spans = ctx.tracer().spans();
+  result.fault_counters = ctx.faults().counters();
+  result.degraded_kernels.assign(ctx.faults().degraded_kernels().begin(),
+                                 ctx.faults().degraded_kernels().end());
   result.runtime = rank_runtime + result.comm_seconds;
   return result;
 }

@@ -17,11 +17,13 @@
 //   - paper-scale memory-footprint checks that produce the OOM failures
 //     of Figure 4.
 
+#include <map>
 #include <string>
 
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
 #include "bench_model/calibration.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "bench_model/problem.hpp"
 #include "core/pipeline.hpp"
@@ -45,6 +47,11 @@ struct JobConfig {
   /// OpenMP-target dispatch overhead (compiler-runtime dependent).
   double omp_dispatch_overhead = 6.0e-6;
   std::uint64_t seed = 2023;
+  /// Deterministic fault schedule (empty plan = no fault layer at all;
+  /// the run is bit-for-bit identical to a plan-free build).  Rank
+  /// failures are handled at this level: a rank that dies during an
+  /// observation is replaced and the lost work is recharged.
+  fault::FaultPlan fault_plan = {};
 };
 
 struct MemoryFootprint {
@@ -74,6 +81,11 @@ struct JobResult {
   /// write_metrics_json).
   std::vector<obs::Span> rank_spans;
   MemoryFootprint memory;
+  /// Flat fault/recovery counters of the representative rank (empty when
+  /// no fault fired); keys like "fault_transfer_retries".
+  std::map<std::string, double> fault_counters;
+  /// Kernels that degraded to their CPU implementation mid-run.
+  std::vector<std::string> degraded_kernels;
 };
 
 /// Paper-scale memory footprints for a configuration (also used alone by

@@ -26,10 +26,32 @@ DevicePtr DevicePool::allocate(std::size_t bytes, double& cost_seconds) {
     ++hits_;
     cost_seconds = 0.0;
   } else {
-    device_.allocate(cls);
+    cost_seconds = raw_alloc_cost_;
+    int attempt = 0;
+    for (;;) {
+      try {
+        device_.allocate(cls, "omptarget_pool");
+        break;
+      } catch (const accel::DeviceOomError& e) {
+        // Shrink instead of aborting: hand pooled free blocks back to
+        // the device and re-stage (real pressure may clear); injected
+        // faults without pooled slack get their bounded backoff retry.
+        if (pooled_ > 0) {
+          drain_free_lists();
+          ++shrinks_;
+          cost_seconds += raw_alloc_cost_;
+          if (faults_ != nullptr) {
+            faults_->note_oom_recovery("omptarget_pool", 0.0);
+          }
+        } else if (faults_ == nullptr ||
+                   !faults_->on_oom("omptarget_pool", e, attempt)) {
+          throw;
+        }
+        ++attempt;
+      }
+    }
     ptr.id = next_id_++;
     ++misses_;
-    cost_seconds = raw_alloc_cost_;
   }
   live_[ptr.id] = cls;
   in_use_ += cls;
@@ -49,14 +71,21 @@ void DevicePool::release(DevicePtr ptr) {
   free_lists_[cls].push_back(ptr.id);
 }
 
-void DevicePool::release_all() {
+std::size_t DevicePool::drain_free_lists() {
+  std::size_t freed = 0;
   for (auto& [cls, list] : free_lists_) {
     for (std::size_t i = 0; i < list.size(); ++i) {
-      device_.deallocate(cls);
+      device_.deallocate(cls, "omptarget_pool");
+      freed += cls;
     }
     list.clear();
   }
   pooled_ = 0;
+  return freed;
+}
+
+void DevicePool::release_all() {
+  drain_free_lists();
   // Live allocations stay live; callers must release them first.
 }
 

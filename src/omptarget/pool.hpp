@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "accel/sim_device.hpp"
+#include "fault/fault.hpp"
 
 namespace toast::omptarget {
 
@@ -37,8 +38,16 @@ class DevicePool {
   DevicePool(const DevicePool&) = delete;
   DevicePool& operator=(const DevicePool&) = delete;
 
+  /// Attach a fault injector (nullptr detaches).  Not owned.  Injected
+  /// OOMs on the miss path then get bounded backoff retries instead of
+  /// propagating immediately.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
   /// Allocate at least `bytes`; returns a handle and the virtual seconds
-  /// the allocation cost (0 on pool hit, raw_alloc_cost on miss).
+  /// the allocation cost (0 on pool hit, raw_alloc_cost on miss).  On
+  /// DeviceOomError the pool shrinks — pooled free blocks go back to the
+  /// device — and re-stages the allocation (paying the driver cost again)
+  /// before giving up and propagating the error.
   DevicePtr allocate(std::size_t bytes, double& cost_seconds);
 
   /// Return an allocation to the pool (never releases device memory until
@@ -53,11 +62,18 @@ class DevicePool {
   std::size_t high_water_bytes() const { return high_water_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Times the pool drained its free lists to survive an OOM.
+  std::uint64_t shrinks() const { return shrinks_; }
 
   static std::size_t size_class(std::size_t bytes);
 
  private:
+  /// Hand every pooled free block back to the device; returns the bytes
+  /// freed.
+  std::size_t drain_free_lists();
+
   accel::SimDevice& device_;
+  fault::FaultInjector* faults_ = nullptr;
   double raw_alloc_cost_;
   std::map<std::size_t, std::vector<std::uint64_t>> free_lists_;
   std::map<std::uint64_t, std::size_t> live_;  // id -> size class
@@ -67,6 +83,7 @@ class DevicePool {
   std::size_t high_water_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t shrinks_ = 0;
 };
 
 }  // namespace toast::omptarget

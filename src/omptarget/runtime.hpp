@@ -79,6 +79,13 @@ class Runtime {
   accel::TimeLog log() const { return tracer_.timelog(); }
   DevicePool& pool() { return pool_; }
 
+  /// Attach a fault injector to this runtime's scheduler and pool
+  /// (nullptr detaches).  Not owned.
+  void set_fault_injector(fault::FaultInjector* f) {
+    sched_.set_fault_injector(f);
+    pool_.set_fault_injector(f);
+  }
+
   /// Host-side cost of submitting one target region (OpenMP runtime +
   /// driver).  Lower than the JAX dispatch path, which is one of the
   /// paper's findings (§4.1, footnote 10).

@@ -125,18 +125,39 @@ double Scheduler::launch_async(StreamId s, const std::string& name,
                                const accel::WorkEstimate& work,
                                const std::vector<EventId>& depends) {
   ensure_stream(s);
-  const double t = device_.exec_time(work);
+  const double t_base = device_.exec_time(work);
+  double t = t_base;
+  double penalty = 0.0;
+  fault::ProbeResult pr;
+  if (faults_ != nullptr && faults_->armed()) {
+    t *= faults_->straggler_factor(name);
+    pr = faults_->probe(fault::FaultKind::kLaunch, name, t);
+    if (pr.persistent) {
+      faults_->note_async_retries(fault::FaultKind::kLaunch, name,
+                                  clock_.now(), pr);
+      throw fault::PersistentFaultError(fault::FaultKind::kLaunch, name,
+                                        pr.failures);
+    }
+    penalty = pr.penalty;
+  }
   const double launch_part =
       std::min(t, work.launches * device_.spec().launch_latency);
   const double issue =
       std::max({clock_.now(), stream_ready_[static_cast<std::size_t>(s)],
                 deps_ready(depends)});
-  const double start = std::max(issue, compute_ready_ - launch_part);
+  const double start = std::max(issue, compute_ready_ - launch_part) + penalty;
+  if (pr.failures > 0 && faults_ != nullptr) {
+    faults_->note_async_retries(fault::FaultKind::kLaunch, name,
+                                start - penalty, pr);
+  }
   const double end = start + t;
   stream_ready_[static_cast<std::size_t>(s)] = end;
   compute_ready_ = end;
   device_.count_execution(work, t);
   emit(name, "kernel", start, t, s, &work);
+  if (t > t_base && faults_ != nullptr) {
+    faults_->note_straggler(name, start + t_base, t - t_base);
+  }
   ops_.push_back({OpKind::kKernel, name, s, start, end, 0.0});
   return end;
 }
@@ -146,11 +167,27 @@ double Scheduler::transfer_async(StreamId s, const std::string& name,
                                  const std::vector<EventId>& depends) {
   ensure_stream(s);
   const double t = device_.transfer_time(bytes);
+  double penalty = 0.0;
+  fault::ProbeResult pr;
+  if (faults_ != nullptr && faults_->armed()) {
+    pr = faults_->probe(fault::FaultKind::kTransfer, name, t);
+    if (pr.persistent) {
+      faults_->note_async_retries(fault::FaultKind::kTransfer, name,
+                                  clock_.now(), pr);
+      throw fault::PersistentFaultError(fault::FaultKind::kTransfer, name,
+                                        pr.failures);
+    }
+    penalty = pr.penalty;
+  }
   const double issue =
       std::max({clock_.now(), stream_ready_[static_cast<std::size_t>(s)],
                 deps_ready(depends)});
   // One copy engine: concurrent transfers serialize on the PCIe link.
-  const double start = std::max(issue, link_ready_);
+  const double start = std::max(issue, link_ready_) + penalty;
+  if (pr.failures > 0 && faults_ != nullptr) {
+    faults_->note_async_retries(fault::FaultKind::kTransfer, name,
+                                start - penalty, pr);
+  }
   const double end = start + t;
   stream_ready_[static_cast<std::size_t>(s)] = end;
   link_ready_ = end;
@@ -202,6 +239,10 @@ void Scheduler::stream_wait_event(StreamId s, EventId e) {
 double Scheduler::transfer_sync(const std::string& name, double bytes,
                                 bool to_device) {
   const double t = device_.transfer_time(bytes);
+  if (faults_ != nullptr && faults_->armed()) {
+    // Charges retry/backoff to the clock; throws on a persistent fault.
+    faults_->attempt_sync(fault::FaultKind::kTransfer, name, t);
+  }
   const double start = std::max(clock_.now(), link_ready_);
   advance_sync(start, t);
   const double end = clock_.now();
@@ -220,7 +261,15 @@ double Scheduler::transfer_sync(const std::string& name, double bytes,
 double Scheduler::kernel_sync(const std::string& name,
                               const accel::WorkEstimate& work,
                               double host_overhead) {
-  const double t = device_.exec_time(work) + host_overhead;
+  double t = device_.exec_time(work) + host_overhead;
+  if (faults_ != nullptr && faults_->armed()) {
+    const double stretched = t * faults_->straggler_factor(name);
+    if (stretched > t) {
+      faults_->note_straggler(name, clock_.now(), stretched - t);
+      t = stretched;
+    }
+    faults_->attempt_sync(fault::FaultKind::kLaunch, name, t);
+  }
   const double start = std::max(clock_.now(), compute_ready_);
   advance_sync(start, t);
   const double end = clock_.now();

@@ -35,6 +35,7 @@
 
 #include "accel/sim_device.hpp"
 #include "accel/work.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace toast::sched {
@@ -94,6 +95,13 @@ class Scheduler {
   int n_streams() const { return static_cast<int>(stream_ready_.size()); }
   /// Streams also grow on demand when an op names a new stream id.
   void set_streams(int n);
+
+  /// Attach a fault injector (nullptr detaches).  Not owned.  Kernel and
+  /// transfer ops then probe for injected failures: sync ops charge
+  /// retry/backoff to the clock before placement; async ops are delayed
+  /// by the retry penalty on their stream; stragglers stretch the op.  A
+  /// disarmed injector leaves every placement bit-for-bit unchanged.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
 
   // --- async submission (returns the op's completion time) ---------------
 
@@ -168,6 +176,7 @@ class Scheduler {
   accel::SimDevice& device_;
   accel::VirtualClock& clock_;
   obs::Tracer* tracer_;
+  fault::FaultInjector* faults_ = nullptr;
   std::string backend_;
   std::vector<double> stream_ready_;
   double link_ready_ = 0.0;

@@ -1,5 +1,6 @@
 #include "solver/destriper.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -302,7 +303,50 @@ DestriperResult Destriper::solve(core::Observation& ob,
   result.residuals.push_back(std::sqrt(dot(r, r)));
   const double target = config_.tolerance * result.residuals.front();
 
-  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+  // Checkpoint/restart: with an armed fault injector the solver snapshots
+  // its CG state every checkpoint_interval iterations; a simulated rank
+  // failure restores the snapshot and replays from there (the replayed
+  // kernel charges land on the clock — recovery is not free), instead of
+  // recomputing the whole solve.  Disarmed, the loop is the plain CG
+  // iteration, bit for bit.
+  struct CgCheckpoint {
+    std::vector<double> amplitudes;
+    std::vector<double> r;
+    std::vector<double> p;
+    double rz = 0.0;
+    std::vector<double> residuals;
+    int iterations = 0;
+    int iter = 0;
+  };
+  const bool chaos = ctx.faults().armed();
+  const int ckpt_interval = std::max(1, config_.checkpoint_interval);
+  const int max_restores =
+      std::max(1, ctx.faults().plan().retry.max_attempts);
+  CgCheckpoint ckpt;
+  int restores = 0;
+
+  int iter = 0;
+  while (iter < config_.max_iterations) {
+    if (chaos) {
+      if (iter % ckpt_interval == 0) {
+        ckpt = {result.amplitudes, r,    p,
+                rz,                result.residuals, result.iterations,
+                iter};
+      }
+      if (restores < max_restores &&
+          ctx.faults().rank_failure("destriper_cg")) {
+        result.amplitudes = ckpt.amplitudes;
+        r = ckpt.r;
+        p = ckpt.p;
+        rz = ckpt.rz;
+        result.residuals = ckpt.residuals;
+        result.iterations = ckpt.iterations;
+        iter = ckpt.iter;
+        ++restores;
+        ctx.faults().note_checkpoint_restore("destriper_cg", iter);
+        continue;
+      }
+    }
     const auto ap = normal_matrix(ob, p, ctx, backend);
     const double pap = dot(p, ap);
     if (pap <= 0.0) {
@@ -327,6 +371,7 @@ DestriperResult Destriper::solve(core::Observation& ob,
     for (std::size_t i = 0; i < n_amp; ++i) {
       p[i] = z[i] + beta * p[i];
     }
+    ++iter;
   }
   return result;
 }

@@ -34,6 +34,12 @@ struct DestriperConfig {
   double tolerance = 1.0e-10;
   /// Tikhonov-style amplitude prior (stabilizes poorly hit steps).
   double prior_weight = 1.0e-6;
+  /// CG iterations between checkpoints of the solver state (used only
+  /// when the context's fault injector is armed: a simulated rank
+  /// failure mid-solve restores the last checkpoint and replays,
+  /// recharging the replayed kernels honestly, instead of recomputing
+  /// the whole solve).
+  int checkpoint_interval = 5;
 };
 
 struct DestriperResult {

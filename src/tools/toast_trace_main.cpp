@@ -4,6 +4,7 @@
 //   toast-trace top <N> <file>      top-N categories by total seconds
 //   toast-trace diff <a> <b>        per-category comparison of two files
 //   toast-trace lanes <file>        per-stream occupancy and overlap
+//   toast-trace faults <file>       fault/recovery events and totals
 //
 // summarize/top/diff accept either a metrics file ("toastcase-metrics-v1",
 // as written by write_metrics_json) or a Chrome trace-event file (as
@@ -33,6 +34,7 @@ int usage() {
                "       toast-trace top <N> <file>\n"
                "       toast-trace diff <a> <b>\n"
                "       toast-trace lanes <trace-file>\n"
+               "       toast-trace faults <file>\n"
                "\n"
                "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
                "JSON produced by the benchmarks' --json / --trace flags;\n"
@@ -278,6 +280,54 @@ int cmd_lanes(const std::string& path) {
   return 0;
 }
 
+/// Fault-injection view: the fault_* categories the recovery layer emits
+/// (retries, fallbacks, OOM recoveries, checkpoint restores, stragglers,
+/// rank restarts), their time cost, and which kernels degraded to CPU.
+int cmd_faults(const std::string& path) {
+  const auto rows = load_rows(path);
+  std::map<std::string, MetricRow> faults;
+  for (const auto& [name, row] : rows) {
+    if (name.rfind("fault_", 0) == 0) {
+      faults.emplace(name, row);
+    }
+  }
+  if (faults.empty()) {
+    std::printf("%s: no fault events (clean run or disarmed fault plan)\n",
+                path.c_str());
+    return 0;
+  }
+  std::printf("%s: %zu fault categories\n\n", path.c_str(), faults.size());
+  print_table(faults, static_cast<std::size_t>(-1));
+
+  double failed_attempts = 0.0;
+  std::set<std::string> degraded;
+  for (const auto& [name, row] : faults) {
+    const auto counter = [&row](const std::string& key) {
+      const auto it = row.counters.find(key);
+      return it == row.counters.end() ? 0.0 : it->second;
+    };
+    if (name.rfind("fault_retry_", 0) == 0) {
+      failed_attempts += counter("failures");
+    }
+    if (name == "fault_fallback") {
+      for (const auto& [key, value] : row.counters) {
+        if (key.rfind("kernel_", 0) == 0 && value > 0.0) {
+          degraded.insert(key.substr(7));
+        }
+      }
+    }
+  }
+  std::printf("\nfailed attempts retried: %.0f\n", failed_attempts);
+  if (!degraded.empty()) {
+    std::printf("kernels degraded to CPU:");
+    for (const auto& kernel : degraded) {
+      std::printf(" %s", kernel.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int cmd_diff(const std::string& path_a, const std::string& path_b) {
   const auto a = load_rows(path_a);
   const auto b = load_rows(path_b);
@@ -361,6 +411,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "lanes" && argc == 3) {
       return cmd_lanes(argv[2]);
+    }
+    if (cmd == "faults" && argc == 3) {
+      return cmd_faults(argv[2]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "toast-trace: %s\n", e.what());

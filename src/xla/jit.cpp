@@ -14,13 +14,13 @@ void Runtime::enable_preallocation(double fraction) {
   }
   const auto bytes = static_cast<std::size_t>(
       fraction * static_cast<double>(device_.capacity_bytes()));
-  device_.allocate(bytes);
+  device_.allocate(bytes, "xla_prealloc");
   prealloc_bytes_ = bytes;
 }
 
 void Runtime::disable_preallocation() {
   if (prealloc_bytes_ > 0) {
-    device_.deallocate(prealloc_bytes_);
+    device_.deallocate(prealloc_bytes_, "xla_prealloc");
     prealloc_bytes_ = 0;
   }
 }
@@ -124,8 +124,20 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
   // allocate (and immediately release) against the device to enforce the
   // capacity limit.
   if (!rt.preallocation() && temp > 0) {
-    rt.device().allocate(temp);
-    rt.device().deallocate(temp);
+    fault::FaultInjector* faults = rt.faults();
+    for (int attempt = 0;; ++attempt) {
+      try {
+        rt.device().allocate(temp, "xla_temp");
+        break;
+      } catch (const accel::DeviceOomError& e) {
+        // Injected allocation failures get their bounded backoff retry;
+        // real capacity overflows propagate (fig4 relies on them).
+        if (faults == nullptr || !faults->on_oom("xla_temp", e, attempt)) {
+          throw;
+        }
+      }
+    }
+    rt.device().deallocate(temp, "xla_temp");
   }
 
   // Charge execution: one dispatch per call, then place the fusion-group
@@ -134,6 +146,13 @@ std::vector<Literal> Jit::call_reported(Runtime& rt,
   // the placement degenerates to the seed's serial sum after the dispatch
   // gap, bit for bit; the whole call is the logged parent span.
   const char* backend_label = rt.cpu_backend() ? "jax-cpu" : "jax";
+  if (rt.faults() != nullptr && rt.faults()->armed() && !rt.cpu_backend()) {
+    // Probed before any group is charged so a persistent launch fault
+    // leaves the device counters untouched (the pipeline re-runs the op
+    // on the CPU).  Retry penalties land on the clock here.
+    rt.faults()->attempt_sync(fault::FaultKind::kLaunch, "xla/" + name_,
+                              rt.dispatch_overhead());
+  }
   const double t_start = rt.clock().now();
   struct GroupCharge {
     std::size_t group;

@@ -20,6 +20,7 @@
 #include "accel/host_model.hpp"
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "xla/array.hpp"
 #include "xla/executor.hpp"
@@ -38,6 +39,12 @@ class Runtime {
   obs::Tracer& tracer() { return tracer_; }
   /// Flat per-category view (the seed's TimeLog, aggregated from spans).
   accel::TimeLog log() const { return tracer_.timelog(); }
+
+  /// Attach a fault injector (nullptr detaches).  Not owned.  Jitted
+  /// calls then probe for launch faults before dispatch and retry
+  /// injected OOMs on temp-buffer accounting.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+  fault::FaultInjector* faults() { return faults_; }
 
   /// Host-side dispatch cost per jitted call (tracing cache lookup, arg
   /// handling, stream submission).
@@ -86,6 +93,7 @@ class Runtime {
   accel::SimDevice& device_;
   accel::VirtualClock& clock_;
   obs::Tracer& tracer_;
+  fault::FaultInjector* faults_ = nullptr;
   double dispatch_overhead_ = 1.5e-5;
   double work_scale_ = 1.0;
   int n_streams_ = 1;

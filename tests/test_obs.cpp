@@ -277,4 +277,53 @@ TEST(Json, ThrowsOnMalformedInput) {
   EXPECT_THROW(json::Value::parse(""), json::ParseError);
 }
 
+TEST(Json, ThrowsOnEveryTruncatedPrefix) {
+  // Cut a representative document at every byte: the parser must throw a
+  // ParseError for each prefix, never crash or silently accept (fault
+  // plans and metrics files are loaded through this path).
+  const std::string full = R"({"a":[1,2.5e-3,"x\n"],"b":{"c":true}})";
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    EXPECT_THROW(json::Value::parse(full.substr(0, n)), json::ParseError)
+        << "prefix length " << n;
+  }
+  EXPECT_NO_THROW(json::Value::parse(full));
+}
+
+TEST(Json, NumberOrFallsBackOnWrongTypes) {
+  const json::Value v = json::Value::parse(
+      R"({"s":"12","b":true,"z":null,"o":{"n":1},"a":[1],"n":2.5})");
+  EXPECT_DOUBLE_EQ(v.number_or("s", -1.0), -1.0);  // string, not coerced
+  EXPECT_DOUBLE_EQ(v.number_or("b", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("z", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("o", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("a", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), 2.5);
+}
+
+TEST(Export, FaultCounterRoundTrip) {
+  // The recovery layer's fault_* spans and their counters must survive
+  // the metrics JSON round trip: `toast-trace faults` and the chaos CI
+  // read them back from disk.
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  const SpanId retry = tracer.record("fault_retry_launch", "fault", 3.0e-4);
+  tracer.add_counter(retry, "failures", 2.0);
+  const SpanId fallback = tracer.record("fault_fallback", "fault", 0.0);
+  tracer.add_counter(fallback, "kernel_noise_weight", 1.0);
+  tracer.add_counter(fallback, "reason_persistent_fault", 1.0);
+
+  std::ostringstream out;
+  toast::obs::write_metrics_json(tracer.spans(), out);
+  const auto rows =
+      toast::obs::read_metrics_json(json::Value::parse(out.str()));
+  EXPECT_DOUBLE_EQ(rows.at("fault_retry_launch").counters.at("failures"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(rows.at("fault_retry_launch").seconds, 3.0e-4);
+  EXPECT_DOUBLE_EQ(
+      rows.at("fault_fallback").counters.at("kernel_noise_weight"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      rows.at("fault_fallback").counters.at("reason_persistent_fault"), 1.0);
+}
+
 }  // namespace
