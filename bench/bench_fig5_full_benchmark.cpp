@@ -35,8 +35,8 @@ struct Row {
   JobResult result;
 };
 
-void write_json(const std::string& path, const JobResult& cpu,
-                const std::vector<Row>& rows) {
+void write_json(const std::string& path, const toast::bench::BenchOptions& opt,
+                const JobResult& cpu, const std::vector<Row>& rows) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("cannot open " + path);
@@ -45,6 +45,8 @@ void write_json(const std::string& path, const JobResult& cpu,
   w.obj_open();
   w.kv("schema", "toastcase-bench-fig5-v1");
   w.kv("benchmark", "fig5_full_benchmark");
+  w.kv("staging", opt.staging.empty() ? "pipelined" : opt.staging);
+  w.kv("prefetch", opt.prefetch);
   w.arr_open("implementations");
   auto emit = [&](const std::string& label, const JobResult& r) {
     w.obj_open();
@@ -57,6 +59,13 @@ void write_json(const std::string& path, const JobResult& cpu,
     if (!r.fault_counters.empty()) {
       w.obj_open("fault_counters");
       for (const auto& [key, value] : r.fault_counters) {
+        w.kv(key, value);
+      }
+      w.obj_close();
+    }
+    if (!r.plan_counters.empty()) {
+      w.obj_open("plan_counters");
+      for (const auto& [key, value] : r.plan_counters) {
         w.kv(key, value);
       }
       w.obj_close();
@@ -95,11 +104,20 @@ int main(int argc, char** argv) {
                 plan.rules.size() == 1 ? "" : "s",
                 static_cast<unsigned long long>(plan.seed));
   }
+  if (!opt.staging.empty() || opt.prefetch) {
+    std::printf("staging: %s%s\n",
+                opt.staging.empty() ? "pipelined" : opt.staging.c_str(),
+                opt.prefetch ? " + prefetch" : "");
+  }
   const auto run = [&](Backend backend) {
     JobConfig cfg;
     cfg.problem = large_problem();
     cfg.backend = backend;
     cfg.fault_plan = plan;
+    if (opt.staging == "naive") {
+      cfg.staging = toast::core::Pipeline::Staging::kNaive;
+    }
+    cfg.prefetch = opt.prefetch;
     return run_benchmark_job(cfg);
   };
 
@@ -138,7 +156,7 @@ int main(int argc, char** argv) {
       "       jax CPU backend 7.4x slower than the threaded baseline.\n");
 
   if (!opt.json_path.empty()) {
-    write_json(opt.json_path, cpu, rows);
+    write_json(opt.json_path, opt, cpu, rows);
     std::printf("wrote %s\n", opt.json_path.c_str());
   }
   if (!opt.trace_path.empty()) {

@@ -1,0 +1,332 @@
+// Plan-vs-interpreter equivalence and prefetch benefit bench.
+//
+// Two sections (schema toastcase-bench-plan-v1):
+//   - "direct": the benchmark workflow run twice on one rank — once
+//     through the cached ExecutionPlan (the default exec() path), once
+//     through the historical interpreter — including under deterministic
+//     fault plans.  The default sync plan must reproduce the interpreter
+//     bit for bit: identical virtual runtime, identical TimeLog, identical
+//     science products.
+//   - "jobs": the fig5 large-problem job per backend.  Sync plan vs
+//     interpreter must again be bitwise equal; prefetch+evict mode is
+//     reported with its plan counters and is expected to be strictly
+//     faster (scripts/check_bench.py --plan asserts all of it).
+//
+// --dump-plan <path> additionally writes the omp-target plan of the first
+// observation as toastcase-plan-v1 JSON (`toast-trace plan` reads it).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "kernels/jax.hpp"
+#include "mpisim/job.hpp"
+#include "sim/satellite.hpp"
+#include "sim/workflow.hpp"
+
+namespace core = toast::core;
+namespace sim = toast::sim;
+using core::Backend;
+using toast::bench_model::large_problem;
+using toast::mpisim::JobConfig;
+using toast::mpisim::JobResult;
+using toast::mpisim::run_benchmark_job;
+
+namespace {
+
+core::Data make_data(int n_obs = 2) {
+  const auto fp = sim::hex_focalplane(4, 37.0);
+  core::Data data;
+  for (int ob = 0; ob < n_obs; ++ob) {
+    sim::ScanParams scan;
+    scan.spin_period = 1024.0 / 37.0 / 4.0;
+    data.observations.push_back(sim::simulate_satellite(
+        "obs" + std::to_string(ob), fp, 1024, scan,
+        7 + static_cast<std::uint64_t>(ob)));
+  }
+  return data;
+}
+
+double field_sum(const core::Data& data, const char* name) {
+  double sum = 0.0;
+  for (const auto& ob : data.observations) {
+    const auto span = ob.field(name).f64();
+    for (const double v : span) {
+      sum += v;
+    }
+  }
+  return sum;
+}
+
+struct DirectResult {
+  double runtime = 0.0;
+  toast::accel::TimeLog log;
+  double signal_sum = 0.0;
+  double zmap_sum = 0.0;
+};
+
+DirectResult run_direct(Backend backend, core::Pipeline::Staging staging,
+                        const toast::fault::FaultPlan& fplan,
+                        bool interpret) {
+  auto data = make_data();
+  core::ExecConfig cfg;
+  cfg.backend = backend;
+  cfg.fault_plan = fplan;
+  core::ExecContext ctx(cfg);
+  toast::kernels::jax::clear_jit_caches();
+  sim::WorkflowConfig wf;
+  wf.nside = 32;
+  wf.map_iterations = 2;
+  auto pipeline = sim::make_benchmark_pipeline(wf, staging);
+  if (interpret) {
+    pipeline.exec_interpreted(data, ctx);
+  } else {
+    pipeline.exec(data, ctx);
+  }
+  DirectResult r;
+  r.runtime = ctx.clock().now();
+  r.log = ctx.log();
+  r.signal_sum = field_sum(data, "signal");
+  r.zmap_sum = field_sum(data, "zmap");
+  return r;
+}
+
+bool logs_equal(const toast::accel::TimeLog& a,
+                const toast::accel::TimeLog& b) {
+  const auto ca = a.categories();
+  if (ca != b.categories()) {
+    return false;
+  }
+  for (const auto& c : ca) {
+    if (a.seconds(c) != b.seconds(c) || a.calls(c) != b.calls(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+toast::fault::FaultPlan launch_chaos_plan() {
+  toast::fault::FaultPlan p;
+  p.seed = 7;
+  toast::fault::FaultRule r;
+  r.kind = toast::fault::FaultKind::kLaunch;
+  r.site = "scan_map";
+  r.probability = 1.0;  // exhaust the retry budget: forces CPU degrade
+  p.rules.push_back(r);
+  return p;
+}
+
+toast::fault::FaultPlan transfer_chaos_plan() {
+  toast::fault::FaultPlan p;
+  p.seed = 11;
+  toast::fault::FaultRule r;
+  r.kind = toast::fault::FaultKind::kTransfer;
+  r.site = "accel_data_update";  // both directions
+  r.probability = 0.2;
+  r.max_fires = 6;
+  p.rules.push_back(r);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string dump_plan_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a path\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = need_value("--json");
+    } else if (arg == "--dump-plan") {
+      dump_plan_path = need_value("--dump-plan");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--json <path>] [--dump-plan <path>]\n",
+                  argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0],
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  toast::bench::print_header(
+      "Pipeline compilation: plan vs interpreter equivalence + prefetch");
+
+  // --- direct rank-level equivalence ---------------------------------------
+  struct DirectRow {
+    std::string name;
+    DirectResult plan;
+    DirectResult interp;
+    bool runtime_equal = false;
+    bool log_equal = false;
+    bool products_equal = false;
+  };
+  const toast::fault::FaultPlan no_faults;
+  const struct {
+    const char* name;
+    Backend backend;
+    core::Pipeline::Staging staging;
+    toast::fault::FaultPlan faults;
+  } direct_cases[] = {
+      {"omp_pipelined", Backend::kOmpTarget,
+       core::Pipeline::Staging::kPipelined, no_faults},
+      {"omp_naive", Backend::kOmpTarget, core::Pipeline::Staging::kNaive,
+       no_faults},
+      {"jax_pipelined", Backend::kJax, core::Pipeline::Staging::kPipelined,
+       no_faults},
+      {"omp_launch_chaos", Backend::kOmpTarget,
+       core::Pipeline::Staging::kPipelined, launch_chaos_plan()},
+      {"omp_naive_transfer_chaos", Backend::kOmpTarget,
+       core::Pipeline::Staging::kNaive, transfer_chaos_plan()},
+  };
+
+  std::vector<DirectRow> direct;
+  std::printf("%-26s %16s %16s %8s\n", "direct case", "plan", "interpreter",
+              "equal");
+  std::printf(
+      "--------------------------------------------------------------------\n");
+  for (const auto& c : direct_cases) {
+    DirectRow row;
+    row.name = c.name;
+    row.plan = run_direct(c.backend, c.staging, c.faults, false);
+    row.interp = run_direct(c.backend, c.staging, c.faults, true);
+    row.runtime_equal = row.plan.runtime == row.interp.runtime;
+    row.log_equal = logs_equal(row.plan.log, row.interp.log);
+    row.products_equal = row.plan.signal_sum == row.interp.signal_sum &&
+                         row.plan.zmap_sum == row.interp.zmap_sum;
+    std::printf("%-26s %16.9e %16.9e %8s\n", c.name, row.plan.runtime,
+                row.interp.runtime,
+                row.runtime_equal && row.log_equal && row.products_equal
+                    ? "yes"
+                    : "NO");
+    direct.push_back(std::move(row));
+  }
+
+  // --- fig5 job-level: sync equivalence + prefetch benefit -----------------
+  struct JobRow {
+    std::string name;
+    JobResult interp;
+    JobResult sync;
+    JobResult prefetch;
+    bool sync_equal = false;
+  };
+  std::vector<JobRow> jobs;
+  std::printf("\n%-6s %14s %14s %14s %10s\n", "job", "interpreter", "plan",
+              "prefetch", "speedup");
+  std::printf(
+      "--------------------------------------------------------------------\n");
+  for (const auto& [name, backend] :
+       {std::pair{"omp", Backend::kOmpTarget}, std::pair{"jax", Backend::kJax}}) {
+    JobRow row;
+    row.name = name;
+    JobConfig cfg;
+    cfg.problem = large_problem();
+    cfg.backend = backend;
+    cfg.interpret = true;
+    row.interp = run_benchmark_job(cfg);
+    cfg.interpret = false;
+    row.sync = run_benchmark_job(cfg);
+    cfg.prefetch = true;
+    cfg.evict = true;
+    row.prefetch = run_benchmark_job(cfg);
+    row.sync_equal = row.sync.runtime == row.interp.runtime;
+    std::printf("%-6s %14s %14s %14s %9.3fx%s\n", name,
+                toast::bench::fmt_seconds(row.interp.runtime).c_str(),
+                toast::bench::fmt_seconds(row.sync.runtime).c_str(),
+                toast::bench::fmt_seconds(row.prefetch.runtime).c_str(),
+                row.sync.runtime / row.prefetch.runtime,
+                row.sync_equal ? "" : "  [SYNC MISMATCH]");
+    jobs.push_back(std::move(row));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      throw std::runtime_error("cannot open " + json_path);
+    }
+    toast::bench::JsonWriter w(out);
+    w.obj_open();
+    w.kv("schema", "toastcase-bench-plan-v1");
+    w.kv("benchmark", "plan");
+    w.arr_open("direct");
+    for (const auto& row : direct) {
+      w.obj_open();
+      w.kv("name", row.name);
+      w.kv("plan_runtime_s", row.plan.runtime);
+      w.kv("interpreter_runtime_s", row.interp.runtime);
+      w.kv("runtime_equal", row.runtime_equal);
+      w.kv("timelog_equal", row.log_equal);
+      w.kv("products_equal", row.products_equal);
+      w.obj_close();
+    }
+    w.arr_close();
+    w.arr_open("jobs");
+    for (const auto& row : jobs) {
+      w.obj_open();
+      w.kv("name", row.name);
+      w.kv("interpreter_runtime_s", row.interp.runtime);
+      w.kv("sync_runtime_s", row.sync.runtime);
+      w.kv("prefetch_runtime_s", row.prefetch.runtime);
+      w.kv("sync_equal", row.sync_equal);
+      w.kv("prefetch_speedup", row.sync.runtime / row.prefetch.runtime);
+      w.obj_open("plan_counters");
+      for (const auto& [key, value] : row.prefetch.plan_counters) {
+        w.kv(key, value);
+      }
+      w.obj_close();
+      w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
+    out << "\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!dump_plan_path.empty()) {
+    auto data = make_data(1);
+    core::ExecConfig cfg;
+    cfg.backend = Backend::kOmpTarget;
+    core::ExecContext ctx(cfg);
+    sim::WorkflowConfig wf;
+    wf.nside = 32;
+    wf.map_iterations = 2;
+    auto pipeline = sim::make_benchmark_pipeline(wf);
+    core::PlanOptions popt;
+    popt.prefetch = true;
+    popt.evict = true;
+    pipeline.set_plan_options(popt);
+    const auto plan = pipeline.plan_for(data.observations.front(), ctx);
+    std::ofstream out(dump_plan_path);
+    if (!out) {
+      throw std::runtime_error("cannot open " + dump_plan_path);
+    }
+    plan->write_json(out);
+    std::printf("wrote %s\n", dump_plan_path.c_str());
+  }
+
+  bool ok = true;
+  for (const auto& row : direct) {
+    ok = ok && row.runtime_equal && row.log_equal && row.products_equal;
+  }
+  for (const auto& row : jobs) {
+    ok = ok && row.sync_equal;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "plan/interpreter mismatch (see table above)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -47,6 +47,8 @@ struct BenchOptions {
   std::string json_path;    // empty = human output only
   std::string trace_path;   // empty = no trace export
   std::string faults_path;  // empty = no fault plan
+  std::string staging;      // "naive" | "pipelined" | empty (bench default)
+  bool prefetch = false;    // plan-level transfer/compute overlap
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -66,9 +68,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.trace_path = need_value("--trace");
     } else if (arg == "--faults") {
       opt.faults_path = need_value("--faults");
+    } else if (arg == "--staging") {
+      opt.staging = need_value("--staging");
+      if (opt.staging != "naive" && opt.staging != "pipelined") {
+        std::fprintf(stderr, "%s: --staging wants naive|pipelined, got '%s'\n",
+                     argv[0], opt.staging.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--prefetch") {
+      opt.prefetch = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--json <path>] [--trace <path>] [--faults <plan>]\n",
+          "usage: %s [--json <path>] [--trace <path>] [--faults <plan>] "
+          "[--staging naive|pipelined] [--prefetch]\n",
           argv[0]);
       std::exit(0);
     } else {

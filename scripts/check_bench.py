@@ -8,6 +8,7 @@ fail if a code change flips a JAX-vs-OpenMP conclusion.
 
 usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
                       [--overlap overlap.json] [--faults faults.json]
+                      [--plan plan.json]
 """
 
 import argparse
@@ -165,6 +166,45 @@ def check_faults(path):
               f"{name}: degraded kernels listed")
 
 
+def check_plan(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "toastcase-bench-plan-v1", doc.get("schema")
+    print(f"plan ({path}):")
+
+    # The compilation contract: the default sync plan reproduces the
+    # interpreter bit for bit — runtime, TimeLog and science products —
+    # for both staging modes, both backends and under chaos plans.
+    for row in doc["direct"]:
+        name = row["name"]
+        check(row["runtime_equal"],
+              f"{name}: plan runtime bitwise-equal to interpreter")
+        check(row["timelog_equal"],
+              f"{name}: plan TimeLog identical to interpreter")
+        check(row["products_equal"],
+              f"{name}: science products identical to interpreter")
+
+    jobs = {j["name"]: j for j in doc["jobs"]}
+    for name, j in sorted(jobs.items()):
+        check(j["sync_equal"],
+              f"{name} job: sync plan bitwise-equal to interpreter")
+        # Prefetch overlaps next-operator uploads with compute: the planned
+        # hybrid job must be strictly faster than the sync plan.
+        check(j["prefetch_runtime_s"] < j["sync_runtime_s"],
+              f"{name} job: prefetch strictly faster than sync plan")
+        counters = j["plan_counters"]
+        check(counters.get("plan_cache_hits", 0) > 0,
+              f"{name} job: plan cache re-used across observations")
+        check(counters.get("transfers_avoided", 0) > 0,
+              f"{name} job: pipelined staging avoids transfers vs naive")
+        check(counters.get("prefetched_uploads", 0) > 0,
+              f"{name} job: uploads actually ran on the copy engine")
+        check(counters.get("evictions", 0) > 0,
+              f"{name} job: liveness eviction fired")
+        check(counters.get("peak_mapped_bytes", 0) > 0,
+              f"{name} job: peak mapped bytes recorded")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -172,6 +212,7 @@ def main():
     ap.add_argument("--fig6")
     ap.add_argument("--overlap")
     ap.add_argument("--faults")
+    ap.add_argument("--plan")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -179,10 +220,12 @@ def main():
         (check_fig6, args.fig6),
         (check_overlap, args.overlap),
         (check_faults, args.faults),
+        (check_plan, args.plan),
     ]
     if not any(path for _, path in checks):
         ap.error(
-            "pass at least one of --fig4/--fig5/--fig6/--overlap/--faults")
+            "pass at least one of "
+            "--fig4/--fig5/--fig6/--overlap/--faults/--plan")
 
     for fn, path in checks:
         if path:

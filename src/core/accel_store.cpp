@@ -1,7 +1,10 @@
 #include "core/accel_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "sched/scheduler.hpp"
 
 namespace toast::core {
 
@@ -42,6 +45,7 @@ void AccelStore::create(Field& field) {
   }
   s.data.resize(field.byte_size());
   mapped_bytes_ += field.byte_size();
+  peak_mapped_bytes_ = std::max(peak_mapped_bytes_, mapped_bytes_);
   shadows_.emplace(&field, std::move(s));
   ctx_.clock().advance(alloc_cost);
   ctx_.tracer().record("accel_data_create", "alloc", alloc_cost,
@@ -87,6 +91,20 @@ void AccelStore::update_device(Field& field) {
                            to_string(ctx_.config().backend));
   ctx_.tracer().add_counter(span, "bytes_h2d", bytes);
   ctx_.tracer().add_counter(span, "seconds_h2d", t);
+}
+
+void AccelStore::update_device_async(Field& field, sched::Scheduler& engine) {
+  std::byte* shadow = raw_ptr(field);
+  std::memcpy(shadow, field.raw(), field.byte_size());
+  const double factor = jax_like(ctx_) ? kJaxUpdateDeviceFactor : 1.0;
+  const double bytes = paper_bytes(field, ctx_);
+  const double t = factor * ctx_.device().transfer_time(bytes);
+  // The engine places the transfer on the PCIe link without advancing the
+  // clock; it probes the fault injector itself (attached by the executor)
+  // and records the span with the stream lane, so no attempt_sync /
+  // tracer.record here.  note_transfer is likewise counted by the engine.
+  engine.transfer_async_timed(0, "accel_data_update_device", bytes, t,
+                              /*to_device=*/true);
 }
 
 void AccelStore::update_host(Field& field) {

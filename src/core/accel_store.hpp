@@ -21,6 +21,10 @@
 #include "core/observation.hpp"
 #include "omptarget/pool.hpp"
 
+namespace toast::sched {
+class Scheduler;
+}  // namespace toast::sched
+
 namespace toast::core {
 
 class AccelStore {
@@ -31,6 +35,11 @@ class AccelStore {
   void create(Field& field);
   bool present(const Field& field) const;
   void update_device(Field& field);
+  /// Asynchronous H2D on `engine`'s copy engine (the plan executor's
+  /// prefetch path): the functional copy happens now, the transfer time
+  /// is placed on the PCIe link and overlaps compute; a later
+  /// sync_transfers() charges any unhidden remainder.
+  void update_device_async(Field& field, sched::Scheduler& engine);
   void update_host(Field& field);
   /// Zero the device copy.
   void reset(Field& field);
@@ -45,6 +54,9 @@ class AccelStore {
   }
 
   std::size_t mapped_bytes() const { return mapped_bytes_; }
+  /// High-water mark of mapped_bytes() over this store's lifetime (what
+  /// liveness eviction lowers).
+  std::size_t peak_mapped_bytes() const { return peak_mapped_bytes_; }
   std::size_t n_mapped() const { return shadows_.size(); }
 
  private:
@@ -58,6 +70,7 @@ class AccelStore {
   };
   std::map<const Field*, Shadow> shadows_;
   std::size_t mapped_bytes_ = 0;
+  std::size_t peak_mapped_bytes_ = 0;
 };
 
 }  // namespace toast::core

@@ -1,7 +1,6 @@
 #include "core/pipeline.hpp"
 
 #include <map>
-#include <set>
 
 #include "accel/sim_device.hpp"
 #include "fault/fault.hpp"
@@ -18,12 +17,95 @@ struct FieldState {
 
 }  // namespace
 
-Backend Pipeline::dispatch_backend(const Operator& op,
+Backend Pipeline::dispatch_backend(const std::string& kernel,
                                    ExecContext& ctx) const {
   if (backend_override_.has_value()) {
     return *backend_override_;
   }
-  return ctx.backend_for(op.name());
+  return ctx.backend_for(kernel);
+}
+
+PlanOptions Pipeline::effective_options() const {
+  PlanOptions options = plan_options_;
+  options.naive_staging = staging_ == Staging::kNaive;
+  return options;
+}
+
+// --- planned execution (the default) ---------------------------------------
+
+std::string Pipeline::plan_key(const Observation& ob, ExecContext& ctx,
+                               const PlanOptions& options) const {
+  // Keyed like the xla JIT cache: pipeline signature (operators, outputs),
+  // backend map (dispatch + degradation at key time), staging mode and
+  // observation field layout.
+  std::string key;
+  key += options.naive_staging ? "st=n" : "st=p";
+  key += options.prefetch ? ";pf=1" : ";pf=0";
+  key += options.evict ? ";ev=1" : ";ev=0";
+  for (const auto& m : meta_) {
+    const Backend b = dispatch_backend(m.name, ctx);
+    const bool accel =
+        m.supports_accel && is_accel(b) && !ctx.faults().degraded(m.name);
+    key += ";";
+    key += m.name;
+    key += ":";
+    key += to_string(b);
+    key += accel ? ":a" : ":h";
+  }
+  key += ";out=";
+  for (const auto& name : outputs_) {
+    key += name;
+    key += ",";
+  }
+  key += ";fields=";
+  for (const auto& name : ob.field_names()) {
+    key += name;
+    key += ",";
+  }
+  return key;
+}
+
+std::shared_ptr<const ExecutionPlan> Pipeline::plan_for(const Observation& ob,
+                                                        ExecContext& ctx) {
+  const PlanOptions options = effective_options();
+  const std::string key = plan_key(ob, ctx, options);
+  const auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    plan_stats_.cache_hits += 1.0;
+    return it->second;
+  }
+  plan_stats_.cache_misses += 1.0;
+  std::vector<Backend> backends;
+  std::vector<char> on_accel;
+  backends.reserve(meta_.size());
+  on_accel.reserve(meta_.size());
+  for (const auto& m : meta_) {
+    const Backend b = dispatch_backend(m.name, ctx);
+    backends.push_back(b);
+    on_accel.push_back(
+        (m.supports_accel && is_accel(b) && !ctx.faults().degraded(m.name))
+            ? 1
+            : 0);
+  }
+  auto plan = std::make_shared<const ExecutionPlan>(
+      build_plan(meta_, options, outputs_, backends, on_accel, key));
+  plan_cache_.emplace(key, plan);
+  // Plan build is charged once per cache entry as a structural span:
+  // zero virtual seconds, so the default plan stays bit-for-bit equal to
+  // the interpreter (the per-operator pipeline_overhead already models
+  // the framework layer; see docs/MODEL.md).
+  const obs::SpanId span = ctx.tracer().record_at(
+      "plan_build", "plan", ctx.clock().now(), 0.0,
+      to_string(ctx.config().backend), nullptr, /*logged=*/false);
+  ctx.tracer().add_counter(span, "steps",
+                           static_cast<double>(plan->steps.size()));
+  ctx.tracer().add_counter(span, "operators",
+                           static_cast<double>(operators_.size()));
+  ctx.tracer().add_counter(span, "transfers_avoided",
+                           static_cast<double>(plan->transfers_avoided));
+  ctx.tracer().add_counter(span, "planned_evictions",
+                           static_cast<double>(plan->planned_evictions));
+  return plan;
 }
 
 void Pipeline::exec(Data& data, ExecContext& ctx) {
@@ -33,6 +115,19 @@ void Pipeline::exec(Data& data, ExecContext& ctx) {
 }
 
 void Pipeline::exec(Observation& ob, ExecContext& ctx) {
+  const auto plan = plan_for(ob, ctx);
+  execute_plan(*plan, meta_, ob, ctx, backend_override_, plan_stats_);
+}
+
+// --- the interpreter (equivalence oracle) ----------------------------------
+
+void Pipeline::exec_interpreted(Data& data, ExecContext& ctx) {
+  for (auto& ob : data.observations) {
+    exec_interpreted(ob, ctx);
+  }
+}
+
+void Pipeline::exec_interpreted(Observation& ob, ExecContext& ctx) {
   obs::ScopedSpan pipeline_span(ctx.tracer(), "pipeline:" + ob.name(),
                                 "pipeline");
   AccelStore store(ctx);
@@ -45,51 +140,53 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
     }
   };
 
-  for (const auto& op : operators_) {
-    obs::ScopedSpan op_span(ctx.tracer(), op->name(), "operator");
-    ctx.charge_serial("pipeline_overhead", kOperatorOverheadSeconds);
-    op->ensure_fields(ob);
-
-    const Backend backend = dispatch_backend(*op, ctx);
-    // Kernels degraded by persistent faults stay on their CPU
-    // implementation even through a pipeline-level backend override.
-    const bool on_accel = op->supports_accel() && is_accel(backend) &&
-                          !ctx.faults().degraded(op->name());
-
-    std::set<std::string> touched;
-    for (const auto& name : op->requires_fields()) touched.insert(name);
-    for (const auto& name : op->provides_fields()) touched.insert(name);
-
-    // Host execution path, also the fault-recovery target: any field
-    // whose current copy lives on the device comes back first (the
-    // functional copy precedes the time charge, so a persistent
-    // transfer fault during recovery still leaves the host data
-    // correct — the charge is simply lost).
-    auto run_host = [&](Backend host_backend, bool recovering) {
-      for (const auto& name : touched) {
-        if (!ob.has_field(name)) {
-          continue;
-        }
-        Field& f = ob.field(name);
-        auto it = state.find(&f);
-        if (it != state.end() && !it->second.host_valid) {
-          try {
-            store.update_host(f);
-          } catch (const fault::PersistentFaultError&) {
-            if (!recovering) {
-              throw;
-            }
-          }
-          it->second.host_valid = true;
+  // The one download dance shared by the host-execution path, the naive
+  // cleanup and the end-of-pipeline loop: copy back if the host copy is
+  // stale.  The functional copy precedes the time charge, so a persistent
+  // transfer fault still leaves the host data correct — callers that may
+  // swallow it only lose the charge.
+  auto download = [&](const std::string& name, bool swallow) -> Field* {
+    if (!ob.has_field(name)) {
+      return nullptr;
+    }
+    Field& f = ob.field(name);
+    const auto it = state.find(&f);
+    if (it != state.end() && !it->second.host_valid && store.present(f)) {
+      try {
+        store.update_host(f);
+      } catch (const fault::PersistentFaultError&) {
+        if (!swallow) {
+          throw;
         }
       }
-      op->exec(ob, ctx, nullptr, host_backend);
-      for (const auto& name : op->provides_fields()) {
+      it->second.host_valid = true;
+    }
+    return &f;
+  };
+
+  for (const auto& m : meta_) {
+    obs::ScopedSpan op_span(ctx.tracer(), m.name, "operator");
+    ctx.charge_serial("pipeline_overhead", kOperatorOverheadSeconds);
+    m.op->ensure_fields(ob);
+
+    const Backend backend = dispatch_backend(m.name, ctx);
+    // Kernels degraded by persistent faults stay on their CPU
+    // implementation even through a pipeline-level backend override.
+    const bool on_accel = m.supports_accel && is_accel(backend) &&
+                          !ctx.faults().degraded(m.name);
+
+    // Host execution path, also the fault-recovery target.
+    auto run_host = [&](Backend host_backend, bool recovering) {
+      for (const auto& name : m.touched) {
+        download(name, /*swallow=*/recovering);
+      }
+      m.op->exec(ob, ctx, nullptr, host_backend);
+      for (const auto& name : m.writes) {
         if (!ob.has_field(name)) {
           continue;
         }
         Field& f = ob.field(name);
-        auto it = state.find(&f);
+        const auto it = state.find(&f);
         if (it != state.end()) {
           it->second.host_valid = true;
           it->second.device_valid = false;
@@ -98,8 +195,8 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
     };
 
     auto degrade_to_host = [&](const std::string& reason) {
-      ctx.faults().note_fallback(op->name(), reason);
-      ctx.set_kernel_backend(op->name(), Backend::kCpu);
+      ctx.faults().note_fallback(m.name, reason);
+      ctx.set_kernel_backend(m.name, Backend::kCpu);
       run_host(Backend::kCpu, /*recovering=*/true);
     };
 
@@ -109,12 +206,12 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
         // Map every touched field; stage *in* only the inputs (in-place
         // outputs appear in requires too).  Pure outputs get a device
         // buffer without an upload.
-        for (const auto& name : touched) {
+        for (const auto& name : m.touched) {
           if (ob.has_field(name)) {
             ensure_mapped(ob.field(name));
           }
         }
-        for (const auto& name : op->requires_fields()) {
+        for (const auto& name : m.reads) {
           if (!ob.has_field(name)) {
             continue;
           }
@@ -124,8 +221,8 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
             state[&f].device_valid = true;
           }
         }
-        op->exec(ob, ctx, &store, backend);
-        for (const auto& name : op->provides_fields()) {
+        m.op->exec(ob, ctx, &store, backend);
+        for (const auto& name : m.writes) {
           if (!ob.has_field(name)) {
             continue;
           }
@@ -153,23 +250,12 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
         // copies are dropped after every kernel.  This runs outside the
         // recovery try: the op already completed, so a persistent
         // transfer fault here must not re-run it (in-place ops would
-        // double-apply); the functional copy precedes the charge, so
-        // only the time accounting is lost.
-        for (const auto& name : touched) {
-          if (!ob.has_field(name)) {
-            continue;
-          }
-          Field& f = ob.field(name);
-          if (store.present(f)) {
-            if (!state[&f].host_valid) {
-              try {
-                store.update_host(f);
-              } catch (const fault::PersistentFaultError&) {
-              }
-              state[&f].host_valid = true;
-            }
-            store.remove(f);
-            state.erase(&f);
+        // double-apply).
+        for (const auto& name : m.touched) {
+          Field* f = download(name, /*swallow=*/true);
+          if (f != nullptr && store.present(*f)) {
+            store.remove(*f);
+            state.erase(f);
           }
         }
       }
@@ -181,19 +267,7 @@ void Pipeline::exec(Observation& ob, ExecContext& ctx) {
   // End of pipeline: final products back to the host; device-only
   // intermediates are dropped without a transfer.
   for (const auto& name : outputs_) {
-    if (!ob.has_field(name)) {
-      continue;
-    }
-    Field& f = ob.field(name);
-    const auto it = state.find(&f);
-    if (it != state.end() && !it->second.host_valid) {
-      try {
-        store.update_host(f);
-      } catch (const fault::PersistentFaultError&) {
-        // Functional copy already landed; only the charge is lost.
-      }
-      it->second.host_valid = true;
-    }
+    download(name, /*swallow=*/true);
   }
   store.clear();
 }

@@ -9,7 +9,15 @@
 // them, and deletes device data when done.  The paper measured this
 // staging at ~40% faster than naively transferring around every kernel;
 // Staging::kNaive reproduces the naive strategy for that ablation.
+//
+// Since the plan/execute split (docs/MODEL.md "Pipeline compilation"),
+// exec() compiles the operator list into a cached ExecutionPlan and runs
+// that; the historical interpreter is kept as exec_interpreted(), the
+// bit-for-bit oracle the plan-equivalence tests and benches compare
+// against.  set_plan_options() opts into prefetch (transfer/compute
+// overlap on the sched copy engine) and liveness eviction.
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +27,7 @@
 #include "core/context.hpp"
 #include "core/observation.hpp"
 #include "core/operator.hpp"
+#include "core/plan.hpp"
 
 namespace toast::core {
 
@@ -31,7 +40,9 @@ class Pipeline {
 
   explicit Pipeline(std::vector<std::shared_ptr<Operator>> operators,
                     Staging staging = Staging::kPipelined)
-      : operators_(std::move(operators)), staging_(staging) {}
+      : operators_(std::move(operators)),
+        meta_(build_op_metadata(operators_)),
+        staging_(staging) {}
 
   /// Fields copied back to the host at the end of the pipeline.  Device-
   /// only intermediates (expanded pointing, Stokes weights...) are simply
@@ -39,6 +50,7 @@ class Pipeline {
   /// default the science products are kept.
   void set_outputs(std::vector<std::string> outputs) {
     outputs_ = std::move(outputs);
+    plan_cache_.clear();
   }
   const std::vector<std::string>& outputs() const { return outputs_; }
 
@@ -46,28 +58,66 @@ class Pipeline {
   /// of the context default (paper §3.2.1: per-pipeline selection).
   void set_backend_override(std::optional<Backend> backend) {
     backend_override_ = backend;
+    plan_cache_.clear();
   }
+
+  /// Opt into prefetch / liveness eviction (the naive_staging bit is
+  /// derived from the Staging mode and ignored here).
+  void set_plan_options(const PlanOptions& options) {
+    plan_options_ = options;
+    plan_cache_.clear();
+  }
+  const PlanOptions& plan_options() const { return plan_options_; }
 
   /// Per-operator host-side framework overhead (the Python layer driving
   /// the kernels), charged as serial time.
-  static constexpr double kOperatorOverheadSeconds = 5.0e-5;
+  static constexpr double kOperatorOverheadSeconds =
+      kPipelineOverheadSeconds;
 
+  /// Planned execution (the default): compile-on-miss against the plan
+  /// cache, then run the ExecutionPlan.
   void exec(Data& data, ExecContext& ctx);
   void exec(Observation& ob, ExecContext& ctx);
+
+  /// The historical interpreter: places every transfer greedily at exec
+  /// time.  Kept as the equivalence oracle; the default plan reproduces
+  /// its virtual-time results bit for bit.
+  void exec_interpreted(Data& data, ExecContext& ctx);
+  void exec_interpreted(Observation& ob, ExecContext& ctx);
+
+  /// The plan exec() would use for this observation right now (cached;
+  /// builds on miss).  Exposed for the dump tooling and tests.
+  std::shared_ptr<const ExecutionPlan> plan_for(const Observation& ob,
+                                                ExecContext& ctx);
+
+  /// Cumulative plan/execute statistics (cache hits/misses, replans,
+  /// transfers avoided, evictions, peak mapped bytes).
+  const PlanStats& plan_stats() const { return plan_stats_; }
 
   const std::vector<std::shared_ptr<Operator>>& operators() const {
     return operators_;
   }
+  /// Immutable per-operator metadata (name/reads/writes/touched), built
+  /// once at construction.
+  const std::vector<OpMeta>& metadata() const { return meta_; }
 
  private:
-  Backend dispatch_backend(const Operator& op, ExecContext& ctx) const;
+  Backend dispatch_backend(const std::string& kernel,
+                           ExecContext& ctx) const;
+  PlanOptions effective_options() const;
+  std::string plan_key(const Observation& ob, ExecContext& ctx,
+                       const PlanOptions& options) const;
 
   std::vector<std::shared_ptr<Operator>> operators_;
+  std::vector<OpMeta> meta_;
   Staging staging_;
   std::optional<Backend> backend_override_;
+  PlanOptions plan_options_;
   std::vector<std::string> outputs_ = {
       std::string(fields::kSignal), std::string(fields::kZmap),
       std::string(fields::kAmplitudes), std::string(fields::kPixels)};
+  std::map<std::string, std::shared_ptr<const ExecutionPlan>> plan_cache_;
+  PlanStats plan_stats_;
 };
 
 }  // namespace toast::core

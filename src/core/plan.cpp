@@ -1,0 +1,644 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "accel/sim_device.hpp"
+#include "core/accel_store.hpp"
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
+
+namespace toast::core {
+
+const char* to_string(StepKind k) {
+  switch (k) {
+    case StepKind::kChargeOverhead:
+      return "charge_overhead";
+    case StepKind::kEnsureFields:
+      return "ensure_fields";
+    case StepKind::kMapField:
+      return "map_field";
+    case StepKind::kUpload:
+      return "upload";
+    case StepKind::kLaunch:
+      return "launch";
+    case StepKind::kDownload:
+      return "download";
+    case StepKind::kEvict:
+      return "evict";
+    case StepKind::kSyncTransfers:
+      return "sync_transfers";
+  }
+  return "?";
+}
+
+std::vector<OpMeta> build_op_metadata(
+    const std::vector<std::shared_ptr<Operator>>& operators) {
+  std::vector<OpMeta> meta;
+  meta.reserve(operators.size());
+  for (const auto& op : operators) {
+    OpMeta m;
+    m.op = op;
+    m.name = op->name();
+    m.supports_accel = op->supports_accel();
+    m.reads = op->requires_fields();
+    m.writes = op->provides_fields();
+    std::set<std::string> touched(m.reads.begin(), m.reads.end());
+    touched.insert(m.writes.begin(), m.writes.end());
+    m.touched.assign(touched.begin(), touched.end());
+    meta.push_back(std::move(m));
+  }
+  return meta;
+}
+
+// --- planner ---------------------------------------------------------------
+
+namespace {
+
+class Planner {
+ public:
+  Planner(const std::vector<OpMeta>& meta, const PlanOptions& options,
+          const std::vector<std::string>& outputs,
+          const std::vector<Backend>& backends,
+          const std::vector<char>& on_accel)
+      : meta_(meta),
+        options_(options),
+        outputs_(outputs),
+        backends_(backends),
+        on_accel_(on_accel) {}
+
+  ExecutionPlan build(std::string key) {
+    plan_.key = std::move(key);
+    plan_.options = options_;
+    for (std::size_t k = 0; k < meta_.size(); ++k) {
+      plan_.op_names.push_back(meta_[k].name);
+      plan_.op_backends.push_back(backends_[k]);
+      plan_.op_on_accel.push_back(on_accel_[k]);
+    }
+    compute_liveness();
+    bool prev_hoisted = false;
+    for (int k = 0; k < static_cast<int>(meta_.size()); ++k) {
+      prev_hoisted = emit_group(k, prev_hoisted);
+    }
+    emit_epilogue();
+    model_transfers();
+    return std::move(plan_);
+  }
+
+ private:
+  int fidx(const std::string& name) {
+    for (std::size_t i = 0; i < plan_.field_names.size(); ++i) {
+      if (plan_.field_names[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    plan_.field_names.push_back(name);
+    return static_cast<int>(plan_.field_names.size()) - 1;
+  }
+
+  bool is_output(const std::string& name) const {
+    return std::find(outputs_.begin(), outputs_.end(), name) !=
+           outputs_.end();
+  }
+
+  /// Last pipeline position touching each field, and whether any
+  /// device-staged operator maps it at all (the eviction candidates).
+  void compute_liveness() {
+    for (std::size_t k = 0; k < meta_.size(); ++k) {
+      for (const auto& name : meta_[k].touched) {
+        last_use_[name] = static_cast<int>(k);
+        if (on_accel_[k] != 0) {
+          mapped_.insert(name);
+        }
+      }
+    }
+  }
+
+  /// Fields of accel op `next` worth staging during op `k`: everything
+  /// `next` touches that `k` does not (uploading a field `k` writes would
+  /// stage stale host data ahead of the kernel that produces it).
+  std::vector<std::string> hoistable(int k, int next) const {
+    std::vector<std::string> out;
+    const auto& cur = meta_[static_cast<std::size_t>(k)].touched;
+    for (const auto& name :
+         meta_[static_cast<std::size_t>(next)].touched) {
+      if (std::find(cur.begin(), cur.end(), name) == cur.end()) {
+        out.push_back(name);
+      }
+    }
+    return out;
+  }
+
+  /// Returns whether this group hoisted prefetch steps for its successor.
+  bool emit_group(int k, bool prev_hoisted) {
+    const OpMeta& m = meta_[static_cast<std::size_t>(k)];
+    PlanGroup g;
+    g.op = k;
+    g.backend = backends_[static_cast<std::size_t>(k)];
+    g.on_accel = on_accel_[static_cast<std::size_t>(k)] != 0;
+    g.begin = static_cast<int>(plan_.steps.size());
+    plan_.steps.push_back({StepKind::kChargeOverhead, k});
+    plan_.steps.push_back({StepKind::kEnsureFields, k});
+    g.try_begin = static_cast<int>(plan_.steps.size());
+
+    bool hoisted = false;
+    if (g.on_accel) {
+      if (prev_hoisted) {
+        plan_.steps.push_back({StepKind::kSyncTransfers, k});
+      }
+      for (const auto& name : m.touched) {
+        plan_.steps.push_back({StepKind::kMapField, k, fidx(name)});
+      }
+      for (const auto& name : m.reads) {
+        plan_.steps.push_back({StepKind::kUpload, k, fidx(name)});
+      }
+      // Distance-1 prefetch: stage the next accel operator's fields on
+      // the copy engine while this operator computes.
+      const int next = k + 1;
+      if (options_.prefetch && next < static_cast<int>(meta_.size()) &&
+          on_accel_[static_cast<std::size_t>(next)] != 0) {
+        const auto hoist = hoistable(k, next);
+        const OpMeta& nm = meta_[static_cast<std::size_t>(next)];
+        for (const auto& name : hoist) {
+          plan_.steps.push_back({StepKind::kMapField, next, fidx(name)});
+        }
+        for (const auto& name : nm.reads) {
+          if (std::find(hoist.begin(), hoist.end(), name) != hoist.end()) {
+            PlanStep s{StepKind::kUpload, next, fidx(name)};
+            s.async = true;
+            plan_.steps.push_back(s);
+            plan_.prefetch_uploads += 1;
+            hoisted = true;
+          }
+        }
+      }
+      PlanStep launch{StepKind::kLaunch, k};
+      launch.on_device = true;
+      plan_.steps.push_back(launch);
+    }
+    g.post_begin = static_cast<int>(plan_.steps.size());
+    if (g.on_accel && options_.naive_staging) {
+      for (const auto& name : m.touched) {
+        PlanStep dl{StepKind::kDownload, k, fidx(name)};
+        dl.swallow_persistent = true;
+        plan_.steps.push_back(dl);
+        plan_.steps.push_back({StepKind::kEvict, k, fidx(name)});
+      }
+    }
+    g.post_end = static_cast<int>(plan_.steps.size());
+    if (options_.evict && !options_.naive_staging) {
+      for (const auto& name : m.touched) {
+        if (last_use_.at(name) == k && mapped_.count(name) != 0 &&
+            !is_output(name)) {
+          PlanStep ev{StepKind::kEvict, k, fidx(name)};
+          ev.liveness = true;
+          plan_.steps.push_back(ev);
+          plan_.planned_evictions += 1;
+        }
+      }
+    }
+    g.end = static_cast<int>(plan_.steps.size());
+
+    // Host-fallback patch: what the interpreter's run_host did — bring
+    // device-resident touched fields back, execute on the host, mark
+    // outputs host-valid.
+    g.alt_begin = static_cast<int>(plan_.alt_steps.size());
+    for (const auto& name : m.touched) {
+      plan_.alt_steps.push_back({StepKind::kDownload, k, fidx(name)});
+    }
+    plan_.alt_steps.push_back({StepKind::kLaunch, k});
+    g.alt_end = static_cast<int>(plan_.alt_steps.size());
+
+    plan_.groups.push_back(g);
+    return hoisted;
+  }
+
+  void emit_epilogue() {
+    PlanGroup g;
+    g.op = -1;
+    g.begin = static_cast<int>(plan_.steps.size());
+    for (const auto& name : outputs_) {
+      PlanStep dl{StepKind::kDownload, -1, fidx(name)};
+      dl.swallow_persistent = true;
+      plan_.steps.push_back(dl);
+    }
+    // The epilogue executes [begin, end) directly (no try / post split).
+    g.try_begin = g.post_begin = g.post_end = g.end =
+        static_cast<int>(plan_.steps.size());
+    plan_.groups.push_back(g);
+  }
+
+  /// Static validity simulation (every declared field assumed to exist)
+  /// counting the transfers the plan's guards will let through.
+  int simulate_transfers(bool naive_staging) const {
+    std::map<std::string, bool> hvalid;
+    std::map<std::string, bool> dvalid;
+    auto host_ok = [&](const std::string& n) {
+      const auto it = hvalid.find(n);
+      return it == hvalid.end() || it->second;
+    };
+    int count = 0;
+    for (std::size_t k = 0; k < meta_.size(); ++k) {
+      const OpMeta& m = meta_[k];
+      if (on_accel_[k] != 0) {
+        for (const auto& r : m.reads) {
+          if (!dvalid[r]) {
+            count += 1;
+            dvalid[r] = true;
+          }
+        }
+        for (const auto& w : m.writes) {
+          dvalid[w] = true;
+          hvalid[w] = false;
+        }
+        if (naive_staging) {
+          for (const auto& t : m.touched) {
+            if (!host_ok(t)) {
+              count += 1;
+            }
+            hvalid[t] = true;
+            dvalid[t] = false;
+          }
+        }
+      } else {
+        for (const auto& t : m.touched) {
+          if (!host_ok(t)) {
+            count += 1;
+            hvalid[t] = true;
+          }
+        }
+        for (const auto& w : m.writes) {
+          hvalid[w] = true;
+          dvalid[w] = false;
+        }
+      }
+    }
+    for (const auto& out : outputs_) {
+      if (!host_ok(out)) {
+        count += 1;
+        hvalid[out] = true;
+      }
+    }
+    return count;
+  }
+
+  /// Transfer counts of this plan vs the naive strategy (Staging::kNaive
+  /// semantics, guards included): what the §3.2.2 staging win avoids.  A
+  /// naive-staging plan avoids exactly nothing by construction.
+  void model_transfers() {
+    plan_.naive_transfers = simulate_transfers(/*naive_staging=*/true);
+    plan_.planned_transfers = simulate_transfers(options_.naive_staging);
+    plan_.transfers_avoided =
+        std::max(0, plan_.naive_transfers - plan_.planned_transfers);
+  }
+
+  const std::vector<OpMeta>& meta_;
+  PlanOptions options_;
+  const std::vector<std::string>& outputs_;
+  const std::vector<Backend>& backends_;
+  const std::vector<char>& on_accel_;
+  std::map<std::string, int> last_use_;
+  std::set<std::string> mapped_;
+  ExecutionPlan plan_;
+};
+
+}  // namespace
+
+ExecutionPlan build_plan(const std::vector<OpMeta>& meta,
+                         const PlanOptions& options,
+                         const std::vector<std::string>& outputs,
+                         const std::vector<Backend>& backends,
+                         const std::vector<char>& on_accel,
+                         std::string key) {
+  return Planner(meta, options, outputs, backends, on_accel)
+      .build(std::move(key));
+}
+
+// --- executor --------------------------------------------------------------
+
+namespace {
+
+struct FieldRt {
+  bool host_valid = true;
+  bool device_valid = false;
+};
+
+}  // namespace
+
+void execute_plan(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
+                  Observation& ob, ExecContext& ctx,
+                  const std::optional<Backend>& backend_override,
+                  PlanStats& stats) {
+  obs::ScopedSpan pipeline_span(ctx.tracer(), "pipeline:" + ob.name(),
+                                "pipeline");
+  AccelStore store(ctx);
+  std::map<Field*, FieldRt> state;
+  std::optional<sched::Scheduler> engine;
+  if (plan.options.prefetch) {
+    engine.emplace(ctx.device(), ctx.clock(), &ctx.tracer(), 1,
+                   std::string(to_string(ctx.config().backend)));
+    if (ctx.faults().armed()) {
+      engine->set_fault_injector(&ctx.faults());
+    }
+  }
+
+  auto field_ptr = [&](int idx) -> Field* {
+    const std::string& name =
+        plan.field_names[static_cast<std::size_t>(idx)];
+    return ob.has_field(name) ? &ob.field(name) : nullptr;
+  };
+
+  // The one download dance (host-consumed, naive cleanup, recovery and
+  // live-out all share it): copy back if the host copy is stale; a
+  // persistent transfer fault after the functional copy only loses the
+  // charge when the caller may swallow it.
+  auto download = [&](Field& f, bool swallow) {
+    const auto it = state.find(&f);
+    if (it == state.end() || it->second.host_valid || !store.present(f)) {
+      return;
+    }
+    try {
+      store.update_host(f);
+    } catch (const fault::PersistentFaultError&) {
+      if (!swallow) {
+        throw;
+      }
+    }
+    it->second.host_valid = true;
+  };
+
+  Backend cur_backend = Backend::kCpu;
+
+  auto exec_step = [&](const PlanStep& s, bool recovering) {
+    switch (s.kind) {
+      case StepKind::kChargeOverhead:
+        ctx.charge_serial("pipeline_overhead", kPipelineOverheadSeconds);
+        break;
+      case StepKind::kEnsureFields:
+        meta[static_cast<std::size_t>(s.op)].op->ensure_fields(ob);
+        break;
+      case StepKind::kMapField: {
+        Field* f = field_ptr(s.field);
+        if (f != nullptr && !store.present(*f)) {
+          store.create(*f);
+          state[f];  // host_valid=true, device_valid=false
+        }
+        break;
+      }
+      case StepKind::kUpload: {
+        Field* f = field_ptr(s.field);
+        if (f == nullptr) {
+          break;
+        }
+        FieldRt& fs = state[f];
+        if (fs.device_valid) {
+          break;
+        }
+        if (s.async && engine.has_value()) {
+          try {
+            store.update_device_async(*f, *engine);
+            fs.device_valid = true;
+            stats.prefetched_uploads += 1.0;
+          } catch (const fault::PersistentFaultError&) {
+            // Prefetch failed persistently: leave the device copy stale
+            // so the owning operator's synchronous upload retries (and
+            // degrades *that* operator, not the one it overlapped).
+          }
+        } else {
+          store.update_device(*f);
+          fs.device_valid = true;
+        }
+        break;
+      }
+      case StepKind::kLaunch: {
+        const OpMeta& m = meta[static_cast<std::size_t>(s.op)];
+        if (s.on_device) {
+          m.op->exec(ob, ctx, &store, cur_backend);
+          for (const auto& name : m.writes) {
+            if (!ob.has_field(name)) {
+              continue;
+            }
+            Field& f = ob.field(name);
+            state[&f].device_valid = true;
+            state[&f].host_valid = false;
+          }
+        } else {
+          m.op->exec(ob, ctx, nullptr, cur_backend);
+          for (const auto& name : m.writes) {
+            if (!ob.has_field(name)) {
+              continue;
+            }
+            Field& f = ob.field(name);
+            const auto it = state.find(&f);
+            if (it != state.end()) {
+              it->second.host_valid = true;
+              it->second.device_valid = false;
+            }
+          }
+        }
+        break;
+      }
+      case StepKind::kDownload: {
+        Field* f = field_ptr(s.field);
+        if (f != nullptr) {
+          download(*f, s.swallow_persistent || recovering);
+        }
+        break;
+      }
+      case StepKind::kEvict: {
+        Field* f = field_ptr(s.field);
+        if (f != nullptr && store.present(*f)) {
+          store.remove(*f);
+          state.erase(f);
+          if (s.liveness) {
+            stats.evictions += 1.0;
+          }
+        }
+        break;
+      }
+      case StepKind::kSyncTransfers:
+        if (engine.has_value()) {
+          engine->sync_transfers("accel_prefetch_wait");
+        }
+        break;
+    }
+  };
+
+  for (const PlanGroup& g : plan.groups) {
+    if (g.op < 0) {
+      for (int i = g.begin; i < g.end; ++i) {
+        exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+      }
+      continue;
+    }
+    const OpMeta& m = meta[static_cast<std::size_t>(g.op)];
+    obs::ScopedSpan op_span(ctx.tracer(), m.name, "operator");
+    for (int i = g.begin; i < g.try_begin; ++i) {
+      exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+    }
+    cur_backend = backend_override.has_value() ? *backend_override
+                                               : ctx.backend_for(m.name);
+    const bool on_accel = m.supports_accel && is_accel(cur_backend) &&
+                          !ctx.faults().degraded(m.name);
+    auto run_patch = [&](bool recovering) {
+      for (int i = g.alt_begin; i < g.alt_end; ++i) {
+        exec_step(plan.alt_steps[static_cast<std::size_t>(i)], recovering);
+      }
+    };
+    if (!on_accel) {
+      if (g.on_accel) {
+        // The cached plan staged this operator for the device, but the
+        // kernel degraded since plan build: patch to the host fallback.
+        stats.replans += 1.0;
+        ctx.faults().note_replan(m.name);
+      }
+      run_patch(/*recovering=*/false);
+    } else {
+      bool accel_ok = true;
+      auto degrade = [&](const char* reason) {
+        accel_ok = false;
+        ctx.faults().note_fallback(m.name, reason);
+        ctx.set_kernel_backend(m.name, Backend::kCpu);
+        ctx.faults().note_replan(m.name);
+        stats.replans += 1.0;
+        cur_backend = Backend::kCpu;
+        run_patch(/*recovering=*/true);
+      };
+      try {
+        for (int i = g.try_begin; i < g.post_begin; ++i) {
+          exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+        }
+      } catch (const fault::PersistentFaultError&) {
+        // Retry budget exhausted on a launch or transfer: the plan's
+        // host-fallback patch re-runs this operator on the CPU.  The
+        // functional work in both runtimes happens on shadow copies
+        // before the time charge throws, so host data is untouched.
+        degrade("persistent_fault");
+      } catch (const accel::DeviceOomError& e) {
+        if (!e.info().injected) {
+          throw;  // real capacity overflow: the fig4 OOM points rely on it
+        }
+        degrade("device_oom");
+      }
+      if (accel_ok) {
+        // Naive-staging cleanup runs outside the recovery try: the op
+        // already completed, so a persistent transfer fault here must
+        // not re-run it (in-place ops would double-apply).
+        for (int i = g.post_begin; i < g.post_end; ++i) {
+          exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+        }
+      }
+    }
+    for (int i = g.post_end; i < g.end; ++i) {
+      exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+    }
+  }
+
+  if (engine.has_value()) {
+    // Prefetches issued for an operator that then degraded may still be
+    // in flight; account for them before the pipeline closes.
+    engine->sync_transfers("accel_prefetch_wait");
+  }
+  stats.transfers_avoided += static_cast<double>(plan.transfers_avoided);
+  stats.peak_mapped_bytes =
+      std::max(stats.peak_mapped_bytes,
+               static_cast<double>(store.peak_mapped_bytes()));
+  ctx.tracer().add_counter(pipeline_span.id(), "transfers_avoided",
+                           static_cast<double>(plan.transfers_avoided));
+  ctx.tracer().add_counter(pipeline_span.id(), "peak_mapped_bytes",
+                           static_cast<double>(store.peak_mapped_bytes()));
+  store.clear();
+}
+
+// --- dump ------------------------------------------------------------------
+
+namespace {
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_steps(std::ostream& out, const ExecutionPlan& plan,
+                 const std::vector<PlanStep>& steps) {
+  bool first = true;
+  for (const auto& s : steps) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n    {\"kind\":" << json_str(to_string(s.kind));
+    if (s.op >= 0) {
+      out << ",\"op\":" << s.op;
+    }
+    if (s.field >= 0) {
+      out << ",\"field\":"
+          << json_str(plan.field_names[static_cast<std::size_t>(s.field)]);
+    }
+    if (s.on_device) {
+      out << ",\"on_device\":true";
+    }
+    if (s.async) {
+      out << ",\"async\":true";
+    }
+    if (s.swallow_persistent) {
+      out << ",\"swallow_persistent\":true";
+    }
+    if (s.liveness) {
+      out << ",\"liveness\":true";
+    }
+    out << "}";
+  }
+}
+
+}  // namespace
+
+void ExecutionPlan::write_json(std::ostream& out) const {
+  out << "{\n  \"schema\":\"toastcase-plan-v1\",\n";
+  out << "  \"key\":" << json_str(key) << ",\n";
+  out << "  \"options\":{\"naive_staging\":"
+      << (options.naive_staging ? "true" : "false")
+      << ",\"prefetch\":" << (options.prefetch ? "true" : "false")
+      << ",\"evict\":" << (options.evict ? "true" : "false") << "},\n";
+  out << "  \"ops\":[";
+  for (std::size_t k = 0; k < op_names.size(); ++k) {
+    if (k != 0) {
+      out << ",";
+    }
+    out << "\n    {\"name\":" << json_str(op_names[k])
+        << ",\"backend\":" << json_str(core::to_string(op_backends[k]))
+        << ",\"on_accel\":" << (op_on_accel[k] != 0 ? "true" : "false")
+        << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"field_names\":[";
+  for (std::size_t i = 0; i < field_names.size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    out << json_str(field_names[i]);
+  }
+  out << "],\n";
+  out << "  \"steps\":[";
+  write_steps(out, *this, steps);
+  out << "\n  ],\n";
+  out << "  \"alt_steps\":[";
+  write_steps(out, *this, alt_steps);
+  out << "\n  ],\n";
+  out << "  \"stats\":{\"naive_transfers\":" << naive_transfers
+      << ",\"planned_transfers\":" << planned_transfers
+      << ",\"transfers_avoided\":" << transfers_avoided
+      << ",\"planned_evictions\":" << planned_evictions
+      << ",\"prefetch_uploads\":" << prefetch_uploads << "}\n";
+  out << "}\n";
+}
+
+}  // namespace toast::core

@@ -300,6 +300,19 @@ void FaultInjector::note_fallback(const std::string& kernel,
   }
 }
 
+void FaultInjector::note_replan(const std::string& kernel) {
+  if (!armed_) {
+    return;
+  }
+  add_count("fault_plan_replans");
+  if (tracer_ != nullptr && clock_ != nullptr) {
+    const obs::SpanId id =
+        tracer_->record_at("fault_plan_replan", "fault", clock_->now(), 0.0,
+                           /*backend=*/{}, nullptr, /*logged=*/false);
+    tracer_->add_counter(id, "kernel_" + kernel, 1.0);
+  }
+}
+
 void FaultInjector::note_oom_recovery(const std::string& site,
                                       double seconds) {
   add_count("fault_oom_recoveries");

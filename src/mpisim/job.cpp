@@ -134,8 +134,21 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   wf.map_iterations =
       cfg.map_iterations > 0 ? cfg.map_iterations : fw.map_iterations;
   auto pipeline = sim::make_benchmark_pipeline(wf, cfg.staging);
+  core::PlanOptions popt;
+  popt.prefetch = cfg.prefetch;
+  popt.evict = cfg.evict;
+  pipeline.set_plan_options(popt);
+  auto run_pipeline = [&](core::Observation& ob) {
+    if (cfg.interpret) {
+      pipeline.exec_interpreted(ob, ctx);
+    } else {
+      pipeline.exec(ob, ctx);
+    }
+  };
   if (!ctx.faults().armed()) {
-    pipeline.exec(data, ctx);
+    for (auto& ob : data.observations) {
+      run_pipeline(ob);
+    }
   } else {
     // Rank-failure model: a rank that dies mid-observation is replaced
     // and the replacement replays the lost observation.  The functional
@@ -151,7 +164,7 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
     const int max_replays = std::max(1, cfg.fault_plan.retry.max_attempts);
     for (auto& ob : data.observations) {
       const double t0 = ctx.clock().now();
-      pipeline.exec(ob, ctx);
+      run_pipeline(ob);
       const double obs_seconds = ctx.clock().now() - t0;
       for (int replay = 0; replay < max_replays; ++replay) {
         if (!ctx.faults().rank_failure("mpisim_rank:" + ob.name())) {
@@ -233,6 +246,18 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
 
   result.rank_spans = ctx.tracer().spans();
   result.fault_counters = ctx.faults().counters();
+  if (!cfg.interpret) {
+    const core::PlanStats& ps = pipeline.plan_stats();
+    result.plan_counters = {
+        {"plan_cache_hits", ps.cache_hits},
+        {"plan_cache_misses", ps.cache_misses},
+        {"plan_replans", ps.replans},
+        {"transfers_avoided", ps.transfers_avoided},
+        {"evictions", ps.evictions},
+        {"prefetched_uploads", ps.prefetched_uploads},
+        {"peak_mapped_bytes", ps.peak_mapped_bytes},
+    };
+  }
   result.degraded_kernels.assign(ctx.faults().degraded_kernels().begin(),
                                  ctx.faults().degraded_kernels().end());
   result.runtime = rank_runtime + result.comm_seconds;

@@ -38,6 +38,13 @@ struct JobConfig {
   /// NVIDIA MPS (required for OpenMP-target oversubscription, §3.1.2).
   bool mps = true;
   core::Pipeline::Staging staging = core::Pipeline::Staging::kPipelined;
+  /// Plan options: overlap next-operator uploads with compute / unmap dead
+  /// device intermediates (docs/MODEL.md "Pipeline compilation").
+  bool prefetch = false;
+  bool evict = false;
+  /// Run the historical interpreter instead of the cached ExecutionPlan
+  /// (the equivalence oracle the plan bench compares against).
+  bool interpret = false;
   bool jax_preallocate = false;
   /// Override the workflow (0 keeps the calibrated default).
   int map_iterations = 0;
@@ -84,6 +91,10 @@ struct JobResult {
   /// Flat fault/recovery counters of the representative rank (empty when
   /// no fault fired); keys like "fault_transfer_retries".
   std::map<std::string, double> fault_counters;
+  /// Plan/execute statistics of the representative rank's pipeline
+  /// ("plan_cache_hits", "transfers_avoided", "peak_mapped_bytes", ...).
+  /// Empty when cfg.interpret is set.
+  std::map<std::string, double> plan_counters;
   /// Kernels that degraded to their CPU implementation mid-run.
   std::vector<std::string> degraded_kernels;
 };

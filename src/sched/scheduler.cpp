@@ -165,8 +165,16 @@ double Scheduler::launch_async(StreamId s, const std::string& name,
 double Scheduler::transfer_async(StreamId s, const std::string& name,
                                  double bytes, bool to_device,
                                  const std::vector<EventId>& depends) {
+  return transfer_async_timed(s, name, bytes, device_.transfer_time(bytes),
+                              to_device, depends);
+}
+
+double Scheduler::transfer_async_timed(StreamId s, const std::string& name,
+                                       double bytes, double seconds,
+                                       bool to_device,
+                                       const std::vector<EventId>& depends) {
   ensure_stream(s);
-  const double t = device_.transfer_time(bytes);
+  const double t = seconds;
   double penalty = 0.0;
   fault::ProbeResult pr;
   if (faults_ != nullptr && faults_->armed()) {

@@ -115,6 +115,12 @@ class Scheduler {
   double transfer_async(StreamId s, const std::string& name, double bytes,
                         bool to_device,
                         const std::vector<EventId>& depends = {});
+  /// Like transfer_async, but with the duration supplied by the caller —
+  /// for backend-scaled transfer costs (the AccelStore jax factors) that
+  /// the device's raw transfer_time does not know about.
+  double transfer_async_timed(StreamId s, const std::string& name,
+                              double bytes, double seconds, bool to_device,
+                              const std::vector<EventId>& depends = {});
   /// Enqueue a device-side fill (compute engine, like a memset kernel).
   double fill_async(StreamId s, const std::string& name, double bytes,
                     const std::vector<EventId>& depends = {});

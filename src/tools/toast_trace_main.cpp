@@ -5,6 +5,7 @@
 //   toast-trace diff <a> <b>        per-category comparison of two files
 //   toast-trace lanes <file>        per-stream occupancy and overlap
 //   toast-trace faults <file>       fault/recovery events and totals
+//   toast-trace plan <file>         ExecutionPlan dump (toastcase-plan-v1)
 //
 // summarize/top/diff accept either a metrics file ("toastcase-metrics-v1",
 // as written by write_metrics_json) or a Chrome trace-event file (as
@@ -35,6 +36,7 @@ int usage() {
                "       toast-trace diff <a> <b>\n"
                "       toast-trace lanes <trace-file>\n"
                "       toast-trace faults <file>\n"
+               "       toast-trace plan <plan-file>\n"
                "\n"
                "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
                "JSON produced by the benchmarks' --json / --trace flags;\n"
@@ -328,6 +330,87 @@ int cmd_faults(const std::string& path) {
   return 0;
 }
 
+/// Compiled-pipeline view: the step schedule a bench dumped with
+/// --dump-plan (bench_plan) or tests wrote via ExecutionPlan::write_json.
+int cmd_plan(const std::string& path) {
+  const json::Value doc = json::load_file(path);
+  if (!doc.is_object() || doc.find("schema") == nullptr ||
+      doc.at("schema").string != "toastcase-plan-v1") {
+    std::fprintf(stderr,
+                 "toast-trace: %s is not a toastcase-plan-v1 file "
+                 "(pass bench_plan's --dump-plan output)\n",
+                 path.c_str());
+    return 1;
+  }
+  const auto& ops = doc.at("ops").array;
+  const auto& steps = doc.at("steps").array;
+  const auto& alt_steps = doc.at("alt_steps").array;
+  const json::Value& opt = doc.at("options");
+  const auto flag = [&opt](const char* key) {
+    const json::Value* v = opt.find(key);
+    return v != nullptr && v->boolean;
+  };
+  std::printf("%s: %zu operators, %zu steps (+%zu fallback)\n",
+              path.c_str(), ops.size(), steps.size(), alt_steps.size());
+  std::printf("options: staging=%s prefetch=%s evict=%s\n\n",
+              flag("naive_staging") ? "naive" : "pipelined",
+              flag("prefetch") ? "on" : "off", flag("evict") ? "on" : "off");
+
+  // Per-operator step histogram.
+  struct OpSteps {
+    long maps = 0;
+    long uploads = 0;
+    long prefetched = 0;
+    long downloads = 0;
+    long evicts = 0;
+  };
+  std::vector<OpSteps> per_op(ops.size());
+  for (const auto& s : steps) {
+    const long op = static_cast<long>(s.number_or("op", -1.0));
+    if (op < 0 || op >= static_cast<long>(per_op.size())) {
+      continue;
+    }
+    auto& row = per_op[static_cast<std::size_t>(op)];
+    const std::string& kind = s.at("kind").string;
+    if (kind == "map_field") {
+      row.maps += 1;
+    } else if (kind == "upload") {
+      row.uploads += 1;
+      if (const json::Value* a = s.find("async");
+          a != nullptr && a->boolean) {
+        row.prefetched += 1;
+      }
+    } else if (kind == "download") {
+      row.downloads += 1;
+    } else if (kind == "evict") {
+      row.evicts += 1;
+    }
+  }
+  std::printf("%-32s %-10s %6s %5s %7s %9s %5s %6s\n", "operator", "backend",
+              "accel", "maps", "uploads", "prefetch", "down", "evict");
+  std::printf("%.*s\n", 88,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const auto& op = ops[k];
+    const auto& row = per_op[k];
+    std::printf("%-32s %-10s %6s %5ld %7ld %9ld %5ld %6ld\n",
+                op.at("name").string.c_str(), op.at("backend").string.c_str(),
+                op.at("on_accel").boolean ? "yes" : "-", row.maps,
+                row.uploads, row.prefetched, row.downloads, row.evicts);
+  }
+
+  const json::Value& stats = doc.at("stats");
+  std::printf("\nstatic dataflow: %ld transfers planned vs %ld naive "
+              "(%ld avoided), %ld liveness evictions, %ld prefetch uploads\n",
+              static_cast<long>(stats.number_or("planned_transfers", 0.0)),
+              static_cast<long>(stats.number_or("naive_transfers", 0.0)),
+              static_cast<long>(stats.number_or("transfers_avoided", 0.0)),
+              static_cast<long>(stats.number_or("planned_evictions", 0.0)),
+              static_cast<long>(stats.number_or("prefetch_uploads", 0.0)));
+  return 0;
+}
+
 int cmd_diff(const std::string& path_a, const std::string& path_b) {
   const auto a = load_rows(path_a);
   const auto b = load_rows(path_b);
@@ -414,6 +497,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "faults" && argc == 3) {
       return cmd_faults(argv[2]);
+    }
+    if (cmd == "plan" && argc == 3) {
+      return cmd_plan(argv[2]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "toast-trace: %s\n", e.what());
