@@ -46,6 +46,7 @@ void write_json(const std::string& path, const toast::bench::BenchOptions& opt,
   w.kv("schema", "toastcase-bench-fig5-v1");
   w.kv("benchmark", "fig5_full_benchmark");
   w.kv("staging", opt.staging.empty() ? "pipelined" : opt.staging);
+  w.kv("comm", opt.comm.empty() ? "model" : opt.comm);
   w.kv("prefetch", opt.prefetch);
   w.arr_open("implementations");
   auto emit = [&](const std::string& label, const JobResult& r) {
@@ -109,6 +110,9 @@ int main(int argc, char** argv) {
                 opt.staging.empty() ? "pipelined" : opt.staging.c_str(),
                 opt.prefetch ? " + prefetch" : "");
   }
+  if (!opt.comm.empty()) {
+    std::printf("comm: %s\n", opt.comm.c_str());
+  }
   const auto run = [&](Backend backend) {
     JobConfig cfg;
     cfg.problem = large_problem();
@@ -116,6 +120,9 @@ int main(int argc, char** argv) {
     cfg.fault_plan = plan;
     if (opt.staging == "naive") {
       cfg.staging = toast::core::Pipeline::Staging::kNaive;
+    }
+    if (opt.comm == "engine") {
+      cfg.comm_mode = toast::mpisim::CommMode::kEngine;
     }
     cfg.prefetch = opt.prefetch;
     return run_benchmark_job(cfg);

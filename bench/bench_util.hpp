@@ -11,6 +11,8 @@
 //   --faults <path>  deterministic fault plan (toastcase-fault-plan-v1)
 //                    applied to the modelled runs; benchmarks that do not
 //                    model faults ignore it
+//   --comm <mode>    "model" (closed-form allreduce) or "engine"
+//                    (step-scheduled comm engine); job benchmarks only
 //
 // The writer is self-contained (no dependency on toast_obs) so the
 // LoC-counting benchmarks that only link toast_tools can use it too.
@@ -48,6 +50,7 @@ struct BenchOptions {
   std::string trace_path;   // empty = no trace export
   std::string faults_path;  // empty = no fault plan
   std::string staging;      // "naive" | "pipelined" | empty (bench default)
+  std::string comm;         // "model" | "engine" | empty (bench default)
   bool prefetch = false;    // plan-level transfer/compute overlap
 };
 
@@ -75,12 +78,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
                      argv[0], opt.staging.c_str());
         std::exit(2);
       }
+    } else if (arg == "--comm") {
+      opt.comm = need_value("--comm");
+      if (opt.comm != "model" && opt.comm != "engine") {
+        std::fprintf(stderr, "%s: --comm wants model|engine, got '%s'\n",
+                     argv[0], opt.comm.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--prefetch") {
       opt.prefetch = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--json <path>] [--trace <path>] [--faults <plan>] "
-          "[--staging naive|pipelined] [--prefetch]\n",
+          "[--staging naive|pipelined] [--comm model|engine] [--prefetch]\n",
           argv[0]);
       std::exit(0);
     } else {

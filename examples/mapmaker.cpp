@@ -84,8 +84,9 @@ int main(int argc, char** argv) {
   }
 
   // Combine across ranks.
-  const auto zmap = mpisim::LocalComm::allreduce_sum(rank_maps);
-  const auto hits = mpisim::LocalComm::allreduce_sum(rank_hits);
+  const mpisim::LocalComm world(n_ranks);
+  const auto zmap = world.allreduce_sum(rank_maps);
+  const auto hits = world.allreduce_sum(rank_hits);
 
   // Simple intensity estimate: zmap_I / (hits * inverse variance); the
   // noise-weighting applied the same weight to every sample of a

@@ -8,7 +8,7 @@ fail if a code change flips a JAX-vs-OpenMP conclusion.
 
 usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
                       [--overlap overlap.json] [--faults faults.json]
-                      [--plan plan.json]
+                      [--plan plan.json] [--comm comm.json]
 """
 
 import argparse
@@ -205,6 +205,49 @@ def check_plan(path):
               f"{name} job: peak mapped bytes recorded")
 
 
+def check_comm(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "toastcase-bench-comm-v1", doc.get("schema")
+    print(f"comm ({path}):")
+    points = doc["points"]
+
+    # The engine's oracle contract: ring allreduce on the uniform topology
+    # reproduces the CommModel closed form bit for bit at EVERY grid point.
+    check(all(p["ring_equals_formula"] for p in points),
+          "engine ring allreduce bitwise-equal to the closed form")
+
+    by_ranks = {}
+    for p in points:
+        by_ranks.setdefault(p["ranks"], []).append(p)
+    for ranks, group in sorted(by_ranks.items()):
+        group.sort(key=lambda p: p["bytes"])
+        big = group[-1]
+        # Bandwidth regime: reduce-scatter + all-gather sends the same
+        # volume over fewer rounds, so it never loses to the ring.
+        check(big["rsag_s"] <= big["ring_s"],
+              f"@{ranks} ranks: rs+ag <= ring at {big['bytes']:.0f} bytes")
+        # Latency regime: the log-round tree wins small messages once the
+        # ring's 2(n-1) rounds dominate.
+        if ranks >= 4:
+            small = group[0]
+            check(small["tree_s"] < small["ring_s"],
+                  f"@{ranks} ranks: tree < ring at {small['bytes']:.0f} bytes")
+
+    # Packed nodes share NICs: the cluster topology must cost more than
+    # the uniform one at the largest (multi-node, bandwidth-bound) point.
+    largest = max(points, key=lambda p: (p["ranks"], p["bytes"]))
+    check(largest["cluster_rsag_s"] > largest["rsag_s"],
+          f"@{largest['ranks']} ranks: shared NICs contend vs uniform")
+
+    det = doc["determinism"]
+    check(det["repeat_identical"],
+          "repeated engine schedule bitwise identical")
+    check(det["chaos_deterministic"],
+          "pinned chaos plan twice yields identical makespan")
+    check(det["chaos_slower"], "degraded links cost schedule time")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -213,6 +256,7 @@ def main():
     ap.add_argument("--overlap")
     ap.add_argument("--faults")
     ap.add_argument("--plan")
+    ap.add_argument("--comm")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -221,11 +265,12 @@ def main():
         (check_overlap, args.overlap),
         (check_faults, args.faults),
         (check_plan, args.plan),
+        (check_comm, args.comm),
     ]
     if not any(path for _, path in checks):
         ap.error(
             "pass at least one of "
-            "--fig4/--fig5/--fig6/--overlap/--faults/--plan")
+            "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm")
 
     for fn, path in checks:
         if path:

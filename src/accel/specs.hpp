@@ -59,10 +59,19 @@ struct HostSpec {
   double call_overhead = 2.0e-6;
 };
 
-/// Slingshot-like interconnect for the MPI model.
+/// Slingshot-like interconnect for the MPI model.  The first two fields
+/// describe one inter-node NIC (what the closed-form CommModel uses); the
+/// rest describe the cluster layout the step-scheduled comm engine builds
+/// its topology from (docs/MODEL.md §9).
 struct NetworkSpec {
   double bandwidth = 25.0e9;  // bytes/s per NIC
   double latency = 2.0e-6;    // seconds
+  /// Intra-node link (shared-memory transport between ranks on one node).
+  double intra_bandwidth = 100.0e9;
+  double intra_latency = 4.0e-7;
+  /// Slingshot NICs per node (Perlmutter GPU nodes carry 4); ranks packed
+  /// onto a node share them round-robin.
+  int nics_per_node = 4;
 };
 
 DeviceSpec a100_spec();

@@ -1,0 +1,40 @@
+#include "comm/topology.hpp"
+
+#include <stdexcept>
+
+namespace toast::comm {
+
+Topology::Topology(int ranks, int rpn, int nics_per_node, LinkSpec inter,
+                   LinkSpec intra)
+    : ranks_(ranks),
+      rpn_(rpn),
+      nics_per_node_(nics_per_node),
+      inter_(inter),
+      intra_(intra) {
+  if (ranks_ < 1) {
+    throw std::invalid_argument("Topology: need at least one rank");
+  }
+  if (rpn_ < 1 || nics_per_node_ < 1) {
+    throw std::invalid_argument(
+        "Topology: ranks_per_node and nics_per_node must be positive");
+  }
+  if (inter_.bandwidth <= 0.0 || intra_.bandwidth <= 0.0) {
+    throw std::invalid_argument("Topology: link bandwidth must be positive");
+  }
+}
+
+Topology Topology::uniform(int ranks, const accel::NetworkSpec& net) {
+  const LinkSpec nic{net.bandwidth, net.latency};
+  // One rank per node: the intra link can never be exercised, but keep it
+  // identical to the NIC link so every conceivable step costs the same.
+  return Topology(ranks, 1, 1, nic, nic);
+}
+
+Topology Topology::cluster(int ranks, int ranks_per_node,
+                           const accel::NetworkSpec& net) {
+  return Topology(ranks, ranks_per_node, net.nics_per_node,
+                  LinkSpec{net.bandwidth, net.latency},
+                  LinkSpec{net.intra_bandwidth, net.intra_latency});
+}
+
+}  // namespace toast::comm

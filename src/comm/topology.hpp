@@ -1,0 +1,82 @@
+#pragma once
+
+// Cluster topology for the collective-communication engine (docs/MODEL.md
+// §9): ranks packed onto nodes, nodes carrying a fixed set of Slingshot
+// NICs, and two link classes — the inter-node NIC link and the (faster)
+// intra-node shared-memory link.  Built from accel::NetworkSpec so the
+// same published interconnect figures feed both the closed-form CommModel
+// and the step-scheduled engine.
+//
+// Contention is structural, not parametric: every rank's inter-node
+// traffic is pinned to one of its node's NICs (round-robin by local
+// rank), and the engine serializes concurrent steps on a shared NIC lane.
+// The `uniform()` layout — one rank per node, one NIC each — has no
+// shared links anywhere; it is the congestion-free topology on which the
+// engine reproduces the closed-form costs bit for bit.
+
+#include "accel/specs.hpp"
+
+namespace toast::comm {
+
+/// One link class: per-message latency plus byte rate.
+struct LinkSpec {
+  double bandwidth = 0.0;  // bytes/s
+  double latency = 0.0;    // seconds
+};
+
+class Topology {
+ public:
+  /// One rank per node, one NIC each: no shared links anywhere.  Every
+  /// step costs `net.latency + bytes / net.bandwidth` — the closed-form
+  /// CommModel's step, which is what makes the engine's uniform schedule
+  /// its bit-for-bit equal.
+  static Topology uniform(int ranks,
+                          const accel::NetworkSpec& net =
+                              accel::slingshot_spec());
+
+  /// Packed cluster layout: `ranks_per_node` ranks per node sharing the
+  /// node's `net.nics_per_node` NICs round-robin; traffic between ranks
+  /// of one node uses the intra-node link and touches no NIC.
+  static Topology cluster(int ranks, int ranks_per_node,
+                          const accel::NetworkSpec& net =
+                              accel::slingshot_spec());
+
+  int n_ranks() const { return ranks_; }
+  int ranks_per_node() const { return rpn_; }
+  int nics_per_node() const { return nics_per_node_; }
+  int n_nodes() const { return (ranks_ + rpn_ - 1) / rpn_; }
+  int n_nics() const { return n_nodes() * nics_per_node_; }
+
+  int node_of(int rank) const { return rank / rpn_; }
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  /// Global index of the NIC engine `rank`'s inter-node traffic uses.
+  int nic_of(int rank) const {
+    return node_of(rank) * nics_per_node_ + (rank % rpn_) % nics_per_node_;
+  }
+  /// True when no two ranks can ever share a NIC lane.
+  bool congestion_free() const { return rpn_ <= nics_per_node_; }
+
+  const LinkSpec& inter_link() const { return inter_; }
+  const LinkSpec& intra_link() const { return intra_; }
+  const LinkSpec& link(int src, int dst) const {
+    return same_node(src, dst) ? intra_ : inter_;
+  }
+
+  /// Wire time of one point-to-point step between two ranks.
+  double step_seconds(int src, int dst, double bytes) const {
+    const LinkSpec& l = link(src, dst);
+    return l.latency + bytes / l.bandwidth;
+  }
+
+ private:
+  Topology(int ranks, int rpn, int nics_per_node, LinkSpec inter,
+           LinkSpec intra);
+
+  int ranks_;
+  int rpn_;
+  int nics_per_node_;
+  LinkSpec inter_;
+  LinkSpec intra_;
+};
+
+}  // namespace toast::comm

@@ -47,6 +47,10 @@ const char* to_string(FaultKind k) {
       return "straggler";
     case FaultKind::kRankFailure:
       return "rank";
+    case FaultKind::kLinkDegrade:
+      return "link";
+    case FaultKind::kChunkLoss:
+      return "chunk";
   }
   return "unknown";
 }
@@ -57,6 +61,8 @@ FaultKind kind_from_string(const std::string& s) {
   if (s == "oom") return FaultKind::kDeviceOom;
   if (s == "straggler") return FaultKind::kStraggler;
   if (s == "rank") return FaultKind::kRankFailure;
+  if (s == "link") return FaultKind::kLinkDegrade;
+  if (s == "chunk") return FaultKind::kChunkLoss;
   throw std::runtime_error("unknown fault kind: " + s);
 }
 
@@ -222,6 +228,27 @@ double FaultInjector::straggler_factor(const std::string& site) {
   ++rule_fires_[rule];
   add_count("fault_stragglers");
   return std::max(1.0, plan_.rules[rule].factor);
+}
+
+double FaultInjector::link_degrade_factor(const std::string& site) {
+  if (!armed_) {
+    return 1.0;
+  }
+  const int rule = match(FaultKind::kLinkDegrade, site);
+  if (rule < 0) {
+    return 1.0;
+  }
+  if (draw(FaultKind::kLinkDegrade, site) >= plan_.rules[rule].probability) {
+    return 1.0;
+  }
+  ++rule_fires_[rule];
+  add_count("fault_link_degrades");
+  return std::max(1.0, plan_.rules[rule].factor);
+}
+
+ProbeResult FaultInjector::chunk_loss(const std::string& site,
+                                      double op_seconds) {
+  return probe(FaultKind::kChunkLoss, site, op_seconds);
 }
 
 bool FaultInjector::rank_failure(const std::string& site) {

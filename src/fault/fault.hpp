@@ -40,11 +40,13 @@ enum class FaultKind {
   kDeviceOom,    ///< allocation failure under memory pressure
   kStraggler,    ///< stream op slowdown (multiplicative)
   kRankFailure,  ///< simulated rank death in mpisim
+  kLinkDegrade,  ///< comm-engine link slowdown (multiplicative)
+  kChunkLoss,    ///< comm-engine lost chunk (retransmit with backoff)
 };
 
 const char* to_string(FaultKind k);
-/// Parse "transfer" / "launch" / "oom" / "straggler" / "rank"; throws
-/// std::runtime_error on anything else.
+/// Parse "transfer" / "launch" / "oom" / "straggler" / "rank" / "link" /
+/// "chunk"; throws std::runtime_error on anything else.
 FaultKind kind_from_string(const std::string& s);
 
 /// One scheduled fault: fires with `probability` at every matching site
@@ -141,6 +143,15 @@ class FaultInjector final : public accel::FaultHook {
 
   /// Multiplicative slowdown for the stream op at `site` (1.0 = none).
   double straggler_factor(const std::string& site);
+
+  /// Multiplicative wire-time slowdown for the comm-engine link step at
+  /// `site` (1.0 = none) — the straggler draw on kLinkDegrade rules.
+  double link_degrade_factor(const std::string& site);
+
+  /// Lost-chunk probe for a comm-engine step: same retry accounting as
+  /// probe(); the engine places the penalty ahead of the step on its NIC
+  /// lanes (a lost chunk is re-sent on the same wire).
+  ProbeResult chunk_loss(const std::string& site, double op_seconds);
 
   /// Rank-failure draw for mpisim (true = this rank dies here).
   bool rank_failure(const std::string& site);

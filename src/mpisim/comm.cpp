@@ -2,36 +2,61 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace toast::mpisim {
+
+// Each model below accumulates its rounds with the same left-associative
+// fold the step-scheduled engine performs on a uniform topology, so the
+// two agree bitwise — see the header note and docs/MODEL.md §9.
 
 double CommModel::allreduce_seconds(double bytes, int ranks) const {
   if (ranks <= 1 || bytes <= 0.0) {
     return 0.0;
   }
-  const double n = static_cast<double>(ranks);
-  return 2.0 * (n - 1.0) / n * bytes / net_.bandwidth +
-         2.0 * (n - 1.0) * net_.latency;
+  const double chunk = bytes / static_cast<double>(ranks);
+  const double step = net_.latency + chunk / net_.bandwidth;
+  double t = 0.0;
+  for (int r = 0; r < 2 * (ranks - 1); ++r) {
+    t += step;
+  }
+  return t;
 }
 
 double CommModel::bcast_seconds(double bytes, int ranks) const {
   if (ranks <= 1 || bytes <= 0.0) {
     return 0.0;
   }
-  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
-  return rounds * (net_.latency + bytes / net_.bandwidth);
+  int rounds = 0;
+  while ((1 << rounds) < ranks) ++rounds;
+  const double step = net_.latency + bytes / net_.bandwidth;
+  double t = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    t += step;
+  }
+  return t;
 }
 
 double CommModel::gather_seconds(double bytes_per_rank, int ranks) const {
   if (ranks <= 1 || bytes_per_rank <= 0.0) {
     return 0.0;
   }
-  const double n = static_cast<double>(ranks);
-  return (n - 1.0) * (net_.latency + bytes_per_rank / net_.bandwidth);
+  const double step = net_.latency + bytes_per_rank / net_.bandwidth;
+  double t = 0.0;
+  for (int r = 0; r < ranks - 1; ++r) {
+    t += step;
+  }
+  return t;
 }
 
 std::vector<double> LocalComm::allreduce_sum(
-    const std::vector<std::vector<double>>& contributions) {
+    const std::vector<std::vector<double>>& contributions) const {
+  if (static_cast<int>(contributions.size()) != size_) {
+    throw std::invalid_argument(
+        "allreduce_sum: expected one contribution per rank (" +
+        std::to_string(size_) + "), got " +
+        std::to_string(contributions.size()));
+  }
   if (contributions.empty()) {
     return {};
   }

@@ -4,6 +4,13 @@
 // Slingshot-like network, plus a tiny functional communicator for ranks
 // simulated within one process (used by the examples and tests to
 // actually combine per-rank maps).
+//
+// CommModel is the *closed-form* view of the step-scheduled comm engine
+// (comm::Engine, docs/MODEL.md §9).  Each method is written as the
+// left-associative fold of its algorithm's per-round step cost — not the
+// factored algebraic formula — so that on a congestion-free uniform
+// topology the engine's scheduled makespan equals these values bit for
+// bit.  CommModel survives as the engine's test oracle.
 
 #include <cstdint>
 #include <span>
@@ -19,9 +26,10 @@ class CommModel {
   explicit CommModel(accel::NetworkSpec net = accel::slingshot_spec())
       : net_(net) {}
 
-  /// Ring allreduce: 2 (n-1)/n * bytes / bandwidth + 2 (n-1) * latency.
+  /// Ring allreduce: 2 (n-1) rounds, each moving a 1/n chunk — the fold
+  /// equals 2 (n-1)/n * bytes / bandwidth + 2 (n-1) * latency.
   double allreduce_seconds(double bytes, int ranks) const;
-  /// Binomial-tree broadcast.
+  /// Binomial-tree broadcast: ceil(log2 n) full-payload rounds.
   double bcast_seconds(double bytes, int ranks) const;
   /// Gather to root (root receives (n-1) chunks serially).
   double gather_seconds(double bytes_per_rank, int ranks) const;
@@ -38,9 +46,12 @@ class LocalComm {
   explicit LocalComm(int size) : size_(size) {}
   int size() const { return size_; }
 
-  /// Sum contributions elementwise; all spans must be equal length.
-  static std::vector<double> allreduce_sum(
-      const std::vector<std::vector<double>>& contributions);
+  /// Sum contributions elementwise; one buffer per rank of this
+  /// communicator, all equal length.  Throws std::invalid_argument when
+  /// the contribution count does not match the communicator size or the
+  /// buffer lengths disagree.
+  std::vector<double> allreduce_sum(
+      const std::vector<std::vector<double>>& contributions) const;
 
  private:
   int size_;

@@ -17,6 +17,10 @@ int procs_per_gpu(const bench_model::ProblemSize& p) {
                          p.gpus_per_node);
 }
 
+/// First Tracer stream id for comm-engine NIC lanes, clear of the sched
+/// compute/copy stream ids the pipeline uses.
+constexpr int kCommLaneBase = 16;
+
 }  // namespace
 
 MemoryFootprint estimate_memory(const JobConfig& cfg) {
@@ -235,14 +239,34 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
 
   // Final map reduction across the job at paper scale (nside 512-class
   // production maps).
-  CommModel comm;
   const double paper_map_bytes = 12.0 * 512.0 * 512.0 * 3.0 * 8.0;
-  result.comm_seconds =
-      comm.allreduce_seconds(paper_map_bytes, p.total_procs());
+  if (cfg.comm_mode == CommMode::kEngine) {
+    // Step-scheduled allreduce on the packed cluster topology: per-step
+    // chunk transfers on the ranks' shared NIC lanes, with link/chunk
+    // fault hooks.  NIC-lane spans start above the compute/copy streams.
+    const comm::Engine engine(comm::Topology::cluster(
+        p.total_procs(), p.procs_per_node, cfg.network));
+    comm::RunOptions copt;
+    copt.epoch = ctx.clock().now();
+    copt.tracer = &ctx.tracer();
+    copt.lane_base = kCommLaneBase;
+    // Single-node jobs would otherwise have nothing to show: intra-node
+    // steps get lanes too (after the NIC block).
+    copt.trace_intra = true;
+    copt.site = "map_allreduce";
+    copt.faults = &ctx.faults();
+    result.comm_seconds = engine.allreduce_seconds(
+        paper_map_bytes, cfg.comm_algorithm, copt);
+  } else {
+    const CommModel comm(cfg.network);
+    result.comm_seconds =
+        comm.allreduce_seconds(paper_map_bytes, p.total_procs());
+  }
   const obs::SpanId comm_span = ctx.tracer().record_at(
       "map_allreduce", "comm", ctx.clock().now(), result.comm_seconds, "",
       nullptr, /*logged=*/false);
   ctx.tracer().add_counter(comm_span, "bytes", paper_map_bytes);
+  ctx.tracer().add_counter(comm_span, "ranks", p.total_procs());
 
   result.rank_spans = ctx.tracer().spans();
   result.fault_counters = ctx.faults().counters();

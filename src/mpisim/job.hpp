@@ -21,8 +21,10 @@
 #include <string>
 
 #include "accel/sim_device.hpp"
+#include "accel/specs.hpp"
 #include "accel/timelog.hpp"
 #include "bench_model/calibration.hpp"
+#include "comm/engine.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "bench_model/problem.hpp"
@@ -31,6 +33,12 @@
 #include "sim/workflow.hpp"
 
 namespace toast::mpisim {
+
+/// How the end-of-run map allreduce is costed.
+enum class CommMode {
+  kModel,   ///< closed-form CommModel (the seed behaviour)
+  kEngine,  ///< step-scheduled comm::Engine on the cluster topology
+};
 
 struct JobConfig {
   bench_model::ProblemSize problem;
@@ -53,6 +61,13 @@ struct JobConfig {
   accel::DeviceSpec device_spec = accel::a100_spec();
   /// OpenMP-target dispatch overhead (compiler-runtime dependent).
   double omp_dispatch_overhead = 6.0e-6;
+  /// Interconnect the end-of-run map allreduce is costed on (both the
+  /// closed-form model and the engine topology build from it).
+  accel::NetworkSpec network = accel::slingshot_spec();
+  /// Closed-form model (seed behaviour) or step-scheduled engine; with the
+  /// engine, per-step NIC-lane spans land in rank_spans.
+  CommMode comm_mode = CommMode::kModel;
+  comm::Algorithm comm_algorithm = comm::Algorithm::kRing;
   std::uint64_t seed = 2023;
   /// Deterministic fault schedule (empty plan = no fault layer at all;
   /// the run is bit-for-bit identical to a plan-free build).  Rank

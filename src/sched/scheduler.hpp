@@ -83,6 +83,36 @@ struct BatchPlacement {
 BatchPlacement schedule_batch(const std::vector<BatchOp>& ops, int n_streams,
                               double lead_in);
 
+// --- generic multi-lane DAG scheduling (the comm path) ---------------------
+
+/// One op occupying a *set* of engine lanes for its whole duration — e.g.
+/// a point-to-point chunk transfer holding the sender's TX and the
+/// receiver's RX NIC engine — with DAG dependencies on earlier ops.
+struct LaneOp {
+  double seconds = 0.0;
+  /// Extra delay charged on the op's lanes ahead of it (fault-retry
+  /// penalty placed by the caller).
+  double lead = 0.0;
+  std::vector<int> lanes;
+  std::vector<int> deps;  // indices of earlier LaneOps
+};
+
+struct LanePlacement {
+  std::vector<double> start;  // absolute (>= epoch)
+  std::vector<double> end;
+  double makespan = 0.0;  // max end, or epoch for an empty op list
+};
+
+/// Place `ops` (submission order; deps must point backwards) onto their
+/// lanes, all idle at `epoch`: an op starts once its dependencies are done
+/// and every lane it occupies is free, then holds those lanes until it
+/// ends.  A chain of ops on one lane degenerates to the left-associative
+/// serial sum `epoch + t_0 + t_1 + ...`, exactly — the equivalence the
+/// comm engine's uniform-topology guarantee rests on (docs/MODEL.md §9).
+/// Throws std::invalid_argument on negative lane ids or out-of-order deps.
+LanePlacement schedule_lanes(const std::vector<LaneOp>& ops,
+                             double epoch = 0.0);
+
 // --- absolute-time engine (the omptarget path) -----------------------------
 
 class Scheduler {

@@ -147,6 +147,24 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
 
 }  // namespace
 
+void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
+                                 const char* label) const {
+  if (config_.comm_ranks <= 1) {
+    return;
+  }
+  const comm::Engine engine(comm::Topology::cluster(
+      config_.comm_ranks, std::max(1, config_.comm_ranks_per_node),
+      config_.network));
+  comm::RunOptions opt;
+  opt.epoch = ctx.clock().now();
+  opt.site = label;
+  opt.faults = &ctx.faults();
+  const double t =
+      engine.allreduce_seconds(bytes, config_.comm_algorithm, opt);
+  ctx.clock().advance(t);
+  ctx.tracer().record(label, "comm", t);
+}
+
 void Destriper::signal_subtract_binned(core::Observation& ob,
                                        std::vector<double>& tod,
                                        core::ExecContext& ctx,
@@ -190,6 +208,9 @@ void Destriper::signal_subtract_binned(core::Observation& ob,
         zmap, ctx);
   k_bin(backend, pixels, ones, invvar_tod, det_scale, n_pix, ivals, n_det,
         n_samp, whits, ctx);
+  // Distributed binning sums the signal and hit maps across ranks.
+  charge_allreduce(ctx, 2.0 * static_cast<double>(n_pix) * 8.0,
+                   "destriper_allreduce_map");
 
   for (std::int64_t p = 0; p < n_pix; ++p) {
     const auto i = static_cast<std::size_t>(p);
@@ -300,7 +321,9 @@ DestriperResult Destriper::solve(core::Observation& ob,
   std::vector<double> z = apply_precond(r);
   std::vector<double> p = z;
   double rz = dot(r, z);
+  charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
   result.residuals.push_back(std::sqrt(dot(r, r)));
+  charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
   const double target = config_.tolerance * result.residuals.front();
 
   // Checkpoint/restart: with an armed fault injector the solver snapshots
@@ -349,6 +372,7 @@ DestriperResult Destriper::solve(core::Observation& ob,
     }
     const auto ap = normal_matrix(ob, p, ctx, backend);
     const double pap = dot(p, ap);
+    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
     if (pap <= 0.0) {
       break;  // matrix numerically singular along p
     }
@@ -358,6 +382,7 @@ DestriperResult Destriper::solve(core::Observation& ob,
       r[i] -= alpha * ap[i];
     }
     const double rnorm = std::sqrt(dot(r, r));
+    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
     result.residuals.push_back(rnorm);
     result.iterations = iter + 1;
     if (rnorm <= target) {
@@ -366,6 +391,7 @@ DestriperResult Destriper::solve(core::Observation& ob,
     }
     z = apply_precond(r);
     const double rz_new = dot(r, z);
+    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
     const double beta = rz_new / rz;
     rz = rz_new;
     for (std::size_t i = 0; i < n_amp; ++i) {

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "accel/specs.hpp"
+#include "comm/engine.hpp"
 #include "core/context.hpp"
 #include "core/observation.hpp"
 #include "kernels/operators.hpp"
@@ -40,6 +42,18 @@ struct DestriperConfig {
   /// recharging the replayed kernels honestly, instead of recomputing
   /// the whole solve).
   int checkpoint_interval = 5;
+  /// Simulated communicator for a distributed solve: with comm_ranks > 1
+  /// every binned-map reduction and every CG dot product is followed by a
+  /// step-scheduled allreduce (comm::Engine) on the cluster topology,
+  /// charged to the context clock as logged "destriper_allreduce_*"
+  /// spans.  The amplitudes are untouched — all ranks are statistically
+  /// identical, so only the communication *cost* is modelled.  The
+  /// default (1 rank) skips the engine entirely: bit-for-bit the
+  /// single-rank solve.
+  int comm_ranks = 1;
+  int comm_ranks_per_node = 1;
+  accel::NetworkSpec network = accel::slingshot_spec();
+  comm::Algorithm comm_algorithm = comm::Algorithm::kRing;
 };
 
 struct DestriperResult {
@@ -85,6 +99,11 @@ class Destriper {
                               std::vector<double>& tod,
                               core::ExecContext& ctx,
                               core::Backend backend) const;
+
+  /// Charge a step-scheduled allreduce of `bytes` across the simulated
+  /// communicator to the context clock (no-op for a single rank).
+  void charge_allreduce(core::ExecContext& ctx, double bytes,
+                        const char* label) const;
 
   DestriperConfig config_;
 };

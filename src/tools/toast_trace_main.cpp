@@ -5,6 +5,7 @@
 //   toast-trace diff <a> <b>        per-category comparison of two files
 //   toast-trace lanes <file>        per-stream occupancy and overlap
 //   toast-trace faults <file>       fault/recovery events and totals
+//   toast-trace comm <file>         per-rank NIC-lane occupancy (comm engine)
 //   toast-trace plan <file>         ExecutionPlan dump (toastcase-plan-v1)
 //
 // summarize/top/diff accept either a metrics file ("toastcase-metrics-v1",
@@ -36,6 +37,7 @@ int usage() {
                "       toast-trace diff <a> <b>\n"
                "       toast-trace lanes <trace-file>\n"
                "       toast-trace faults <file>\n"
+               "       toast-trace comm <trace-file>\n"
                "       toast-trace plan <plan-file>\n"
                "\n"
                "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
@@ -330,6 +332,126 @@ int cmd_faults(const std::string& path) {
   return 0;
 }
 
+/// Comm-engine view: the per-rank NIC lanes the collective engine emits
+/// ("comm"-category spans on tid >= 2).  Shows per-lane chunk counts,
+/// busy time and occupancy over the collective's window, plus per-
+/// collective totals (bytes moved, steps).
+int cmd_comm(const std::string& path) {
+  const json::Value doc = json::load_file(path);
+  if (!doc.is_object() || doc.find("traceEvents") == nullptr) {
+    std::fprintf(stderr,
+                 "toast-trace: %s is not a Chrome trace-event file "
+                 "(comm needs one; pass the --trace output)\n",
+                 path.c_str());
+    return 1;
+  }
+  struct Lane {
+    std::string name;
+    long steps = 0;
+    double bytes = 0.0;
+    std::vector<std::pair<double, double>> intervals;  // seconds
+  };
+  std::map<long, Lane> lanes;
+  struct Collective {
+    long steps = 0;
+    double bytes = 0.0;
+    double seconds = 0.0;
+  };
+  std::map<std::string, Collective> collectives;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  bool any = false;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr) {
+      continue;
+    }
+    const long tid = static_cast<long>(ev.number_or("tid", 0.0));
+    if (ph->string == "M") {
+      const json::Value* name = ev.find("name");
+      const json::Value* args = ev.find("args");
+      if (name != nullptr && name->string == "thread_name" &&
+          args != nullptr && args->find("name") != nullptr) {
+        lanes[tid].name = args->at("name").string;
+      }
+      continue;
+    }
+    if (ph->string != "X") {
+      continue;
+    }
+    const json::Value* cat = ev.find("cat");
+    if (cat == nullptr || cat->string != "comm") {
+      continue;
+    }
+    const double start = ev.number_or("ts", 0.0) * 1e-6;
+    const double dur = ev.number_or("dur", 0.0) * 1e-6;
+    const double bytes =
+        ev.find("args") != nullptr ? ev.at("args").number_or("bytes", 0.0)
+                                   : 0.0;
+    auto& lane = lanes[tid];
+    lane.steps += 1;
+    lane.bytes += bytes;
+    lane.intervals.emplace_back(start, start + dur);
+    auto& coll = collectives[ev.at("name").string];
+    coll.steps += 1;
+    coll.bytes += bytes;
+    coll.seconds += dur;
+    t_min = any ? std::min(t_min, start) : start;
+    t_max = any ? std::max(t_max, start + dur) : start + dur;
+    any = true;
+  }
+  if (!any) {
+    std::printf("%s: no comm-engine spans (run a job with --comm engine or "
+                "bench_comm --trace)\n",
+                path.c_str());
+    return 0;
+  }
+
+  const auto merged_length = [](std::vector<std::pair<double, double>> iv) {
+    std::sort(iv.begin(), iv.end());
+    double busy = 0.0;
+    double hi = -1.0;
+    for (const auto& [a, b] : iv) {
+      if (a > hi) {
+        busy += b - a;
+        hi = b;
+      } else if (b > hi) {
+        busy += b - hi;
+        hi = b;
+      }
+    }
+    return busy;
+  };
+
+  const double window = t_max - t_min;
+  std::printf("%s: comm window %.6fs\n\n", path.c_str(), window);
+  std::printf("%-4s %-24s %7s %12s %12s %10s\n", "tid", "lane", "steps",
+              "busy", "bytes", "occupancy");
+  std::printf("%.*s\n", 74,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  for (const auto& [tid, lane] : lanes) {
+    if (lane.steps == 0) {
+      continue;  // named but carried no comm spans
+    }
+    const double busy = merged_length(lane.intervals);
+    std::printf("%-4ld %-24s %7ld %11.6fs %12s %9.1f%%\n", tid,
+                lane.name.empty() ? "(unnamed)" : lane.name.c_str(),
+                lane.steps, busy, fmt_bytes(lane.bytes).c_str(),
+                window > 0.0 ? 100.0 * busy / window : 0.0);
+  }
+  std::printf("\n%-36s %7s %12s %12s\n", "collective", "steps", "bytes",
+              "lane-sec");
+  std::printf("%.*s\n", 70,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  for (const auto& [name, coll] : collectives) {
+    std::printf("%-36s %7ld %12s %11.6fs\n", name.c_str(), coll.steps,
+                fmt_bytes(coll.bytes).c_str(), coll.seconds);
+  }
+  return 0;
+}
+
 /// Compiled-pipeline view: the step schedule a bench dumped with
 /// --dump-plan (bench_plan) or tests wrote via ExecutionPlan::write_json.
 int cmd_plan(const std::string& path) {
@@ -497,6 +619,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "faults" && argc == 3) {
       return cmd_faults(argv[2]);
+    }
+    if (cmd == "comm" && argc == 3) {
+      return cmd_comm(argv[2]);
     }
     if (cmd == "plan" && argc == 3) {
       return cmd_plan(argv[2]);

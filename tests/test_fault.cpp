@@ -229,6 +229,43 @@ TEST(FaultInjector, StragglerFactorAndRankFailure) {
   EXPECT_DOUBLE_EQ(inj.counters().at("fault_stragglers"), 1.0);
 }
 
+TEST(FaultInjector, CommKindsRoundTripAndPlanParse) {
+  EXPECT_EQ(fault::kind_from_string("link"), FaultKind::kLinkDegrade);
+  EXPECT_EQ(fault::kind_from_string("chunk"), FaultKind::kChunkLoss);
+  EXPECT_STREQ(fault::to_string(FaultKind::kLinkDegrade), "link");
+  EXPECT_STREQ(fault::to_string(FaultKind::kChunkLoss), "chunk");
+  const FaultPlan plan = FaultPlan::parse(
+      R"({"schema": "toastcase-fault-plan-v1",
+          "rules": [{"kind": "link", "probability": 0.5, "factor": 3.0},
+                    {"kind": "chunk", "site": "comm", "probability": 0.1}]})");
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kChunkLoss);
+}
+
+TEST(FaultInjector, LinkDegradeFactorIsDeterministic) {
+  // Disarmed injector never degrades.
+  FaultInjector inert(FaultPlan{}, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(inert.link_degrade_factor("comm/link/0>1"), 1.0);
+
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.rules = {FaultRule{FaultKind::kLinkDegrade, "link", 1.0, -1, 2.5}};
+  FaultInjector inj(plan, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(inj.link_degrade_factor("comm/link/0>1"), 2.5);
+  EXPECT_DOUBLE_EQ(inj.link_degrade_factor("comm/chunk/0>1"), 1.0)
+      << "site filter must apply";
+  EXPECT_DOUBLE_EQ(inj.counters().at("fault_link_degrades"), 1.0);
+
+  // Same seed, fresh injector: identical factor sequence.
+  plan.rules[0].probability = 0.5;
+  FaultInjector a(plan, nullptr, nullptr);
+  FaultInjector b(plan, nullptr, nullptr);
+  for (int i = 0; i < 16; ++i) {
+    const std::string site = "comm/link/" + std::to_string(i) + ">0";
+    EXPECT_EQ(a.link_degrade_factor(site), b.link_degrade_factor(site));
+  }
+}
+
 // --- structured OOM --------------------------------------------------------
 
 TEST(DeviceOom, RealOverflowCarriesStructuredFields) {

@@ -41,14 +41,53 @@ TEST(CommModel, BcastLogScaling) {
   EXPECT_NEAR(t8 / t2, 3.0, 0.01);  // log2(8)/log2(2)
 }
 
+TEST(CommModel, ClosedFormGoldenValues) {
+  // slingshot_spec: 25 GB/s per NIC, 2 us latency.
+  mpisim::CommModel comm;
+  // allreduce: 2(n-1) rounds of latency + (bytes/n)/bandwidth.
+  EXPECT_NEAR(comm.allreduce_seconds(1e6, 8),
+              2.0 * 7.0 / 8.0 * 1e6 / 25.0e9 + 14.0 * 2.0e-6, 1e-12);
+  // bcast: ceil(log2 n) rounds of latency + bytes/bandwidth; n=5 pays
+  // the same 3 rounds as n=8.
+  const double bcast_round = 2.0e-6 + 1e6 / 25.0e9;
+  EXPECT_NEAR(comm.bcast_seconds(1e6, 8), 3.0 * bcast_round, 1e-12);
+  EXPECT_NEAR(comm.bcast_seconds(1e6, 5), 3.0 * bcast_round, 1e-12);
+  // gather: n-1 serial arrivals at the root.
+  EXPECT_NEAR(comm.gather_seconds(1e6, 8), 7.0 * bcast_round, 1e-12);
+}
+
+TEST(CommModel, BoundariesAreExactlyZero) {
+  mpisim::CommModel comm;
+  EXPECT_EQ(comm.allreduce_seconds(1e6, 1), 0.0);
+  EXPECT_EQ(comm.allreduce_seconds(1e6, 0), 0.0);
+  EXPECT_EQ(comm.allreduce_seconds(0.0, 8), 0.0);
+  EXPECT_EQ(comm.allreduce_seconds(-1.0, 8), 0.0);
+  EXPECT_EQ(comm.bcast_seconds(1e6, 1), 0.0);
+  EXPECT_EQ(comm.bcast_seconds(0.0, 8), 0.0);
+  EXPECT_EQ(comm.bcast_seconds(-5.0, 8), 0.0);
+  EXPECT_EQ(comm.gather_seconds(1e6, 1), 0.0);
+  EXPECT_EQ(comm.gather_seconds(0.0, 8), 0.0);
+  EXPECT_EQ(comm.gather_seconds(-5.0, 8), 0.0);
+}
+
 TEST(LocalComm, AllreduceSumValues) {
-  const auto out = mpisim::LocalComm::allreduce_sum(
-      {{1.0, 2.0}, {10.0, 20.0}, {100.0, 200.0}});
+  const mpisim::LocalComm comm(3);
+  const auto out =
+      comm.allreduce_sum({{1.0, 2.0}, {10.0, 20.0}, {100.0, 200.0}});
   ASSERT_EQ(out.size(), 2u);
   EXPECT_DOUBLE_EQ(out[0], 111.0);
   EXPECT_DOUBLE_EQ(out[1], 222.0);
-  EXPECT_THROW(mpisim::LocalComm::allreduce_sum({{1.0}, {1.0, 2.0}}),
+  EXPECT_THROW(comm.allreduce_sum({{1.0}, {1.0, 2.0}, {3.0}}),
                std::invalid_argument);
+}
+
+TEST(LocalComm, AllreduceSumValidatesWorldSize) {
+  const mpisim::LocalComm comm(3);
+  EXPECT_THROW(comm.allreduce_sum({{1.0}, {2.0}}), std::invalid_argument);
+  EXPECT_THROW(comm.allreduce_sum({}), std::invalid_argument);
+  EXPECT_THROW(
+      comm.allreduce_sum({{1.0}, {2.0}, {3.0}, {4.0}}),
+      std::invalid_argument);
 }
 
 TEST(JobMemory, Figure4OomPattern) {
@@ -170,4 +209,40 @@ TEST(JobModel, CommIncludedAndSmall) {
   const auto r = run_benchmark_job(medium_cfg(Backend::kOmpTarget, 16));
   EXPECT_GT(r.comm_seconds, 0.0);
   EXPECT_LT(r.comm_seconds, 0.05 * r.runtime);
+}
+
+TEST(JobModel, NetworkSpecPlumbsThroughJobConfig) {
+  auto fast = medium_cfg(Backend::kCpu, 16);
+  auto slow = medium_cfg(Backend::kCpu, 16);
+  slow.network.bandwidth /= 10.0;
+  slow.network.latency *= 10.0;
+  const auto rf = run_benchmark_job(fast);
+  const auto rs = run_benchmark_job(slow);
+  EXPECT_GT(rs.comm_seconds, 5.0 * rf.comm_seconds);
+  // The default spec is the slingshot model the seed hard-coded.
+  mpisim::CommModel seed_model;
+  const double map_bytes = 12.0 * 512.0 * 512.0 * 3.0 * 8.0;
+  EXPECT_EQ(rf.comm_seconds,
+            seed_model.allreduce_seconds(map_bytes,
+                                         fast.problem.total_procs()));
+}
+
+TEST(JobModel, EngineCommModeIsDeterministicAndTraced) {
+  auto cfg = medium_cfg(Backend::kCpu, 16);
+  cfg.comm_mode = mpisim::CommMode::kEngine;
+  const auto a = run_benchmark_job(cfg);
+  const auto b = run_benchmark_job(cfg);
+  ASSERT_FALSE(a.oom);
+  EXPECT_GT(a.comm_seconds, 0.0);
+  // Bitwise deterministic for a fixed seed/config.
+  EXPECT_EQ(a.comm_seconds, b.comm_seconds);
+  EXPECT_EQ(a.runtime, b.runtime);
+  // Per-step chunk spans land on NIC lanes above the compute streams.
+  int lane_spans = 0;
+  for (const auto& s : a.rank_spans) {
+    if (s.category == "comm" && s.stream >= 16) {
+      ++lane_spans;
+    }
+  }
+  EXPECT_GT(lane_spans, 0);
 }

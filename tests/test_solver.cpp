@@ -172,6 +172,58 @@ TEST(Destriper, RequiresPointing) {
                std::invalid_argument);
 }
 
+TEST(Destriper, DistributedCommChargesTimeNotValues) {
+  // Running the solve with a simulated multi-rank comm config must charge
+  // allreduce time on the virtual clock without perturbing the numerics:
+  // every rank computes the same global dot products, so amplitudes and
+  // residuals stay bitwise identical to the single-rank solve.
+  auto solo = make_scenario(33);
+  core::ExecConfig ec;
+  core::ExecContext ctx_solo(ec);
+  const auto r_solo =
+      Destriper(solo.cfg).solve(solo.ob, ctx_solo, Backend::kCpu);
+
+  auto dist = make_scenario(33);
+  dist.cfg.comm_ranks = 4;
+  dist.cfg.comm_ranks_per_node = 2;
+  core::ExecContext ctx_dist(ec);
+  const auto r_dist =
+      Destriper(dist.cfg).solve(dist.ob, ctx_dist, Backend::kCpu);
+
+  ASSERT_EQ(r_solo.amplitudes.size(), r_dist.amplitudes.size());
+  for (std::size_t i = 0; i < r_solo.amplitudes.size(); ++i) {
+    ASSERT_EQ(r_solo.amplitudes[i], r_dist.amplitudes[i]) << i;
+  }
+  ASSERT_EQ(r_solo.residuals.size(), r_dist.residuals.size());
+  for (std::size_t i = 0; i < r_solo.residuals.size(); ++i) {
+    ASSERT_EQ(r_solo.residuals[i], r_dist.residuals[i]) << i;
+  }
+
+  // The comm charges show up on the clock and in the trace.
+  EXPECT_GT(ctx_dist.elapsed(), ctx_solo.elapsed());
+  int dot_spans = 0;
+  int map_spans = 0;
+  for (const auto& s : ctx_dist.tracer().spans()) {
+    if (s.name == "destriper_allreduce_dot") ++dot_spans;
+    if (s.name == "destriper_allreduce_map") ++map_spans;
+  }
+  EXPECT_GT(dot_spans, 0);
+  EXPECT_GT(map_spans, 0);
+
+  // And the distributed run itself is deterministic.
+  auto again = make_scenario(33);
+  again.cfg.comm_ranks = 4;
+  again.cfg.comm_ranks_per_node = 2;
+  core::ExecContext ctx_again(ec);
+  const auto r_again =
+      Destriper(again.cfg).solve(again.ob, ctx_again, Backend::kCpu);
+  EXPECT_EQ(ctx_dist.elapsed(), ctx_again.elapsed());
+  ASSERT_EQ(r_dist.amplitudes.size(), r_again.amplitudes.size());
+  for (std::size_t i = 0; i < r_dist.amplitudes.size(); ++i) {
+    ASSERT_EQ(r_dist.amplitudes[i], r_again.amplitudes[i]) << i;
+  }
+}
+
 TEST(Destriper, PriorStabilizesUnhitSteps) {
   // With a tiny prior the solve must still converge even though flagged
   // samples leave some steps weakly constrained.
