@@ -9,6 +9,7 @@ fail if a code change flips a JAX-vs-OpenMP conclusion.
 usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
                       [--overlap overlap.json] [--faults faults.json]
                       [--plan plan.json] [--comm comm.json]
+                      [--executor executor.json]
 """
 
 import argparse
@@ -25,14 +26,33 @@ def check(cond, msg):
         FAILURES.append(msg)
 
 
+def expect_schema(doc, want):
+    got = doc.get("schema")
+    if got != want:
+        raise ValueError(f"schema is {got!r}, expected {want!r}")
+
+
+def non_empty(seq, what):
+    """Guard against vacuous passes: a checker iterating an empty list
+    would report success without checking anything.  An empty section
+    means the benchmark emitted a truncated file and must fail CI."""
+    if not seq:
+        raise ValueError(f"section {what!r} is empty (truncated output?)")
+    return seq
+
+
 def run_check(fn, path):
-    """Run one file checker; a missing key is a clear failure, not a
-    traceback (a benchmark that wrote a malformed/truncated file must fail
-    CI with a message that names the key and the file)."""
+    """Run one file checker; a missing key, a malformed document or a
+    failed structural assertion is a clear failure, not a traceback (a
+    benchmark that wrote a malformed/truncated file must fail CI with a
+    message that names the problem and the file)."""
     try:
         fn(path)
     except KeyError as e:
         print(f"check_bench.py: missing key {e.args[0]!r} in {path}")
+        sys.exit(1)
+    except (AssertionError, ValueError) as e:
+        print(f"check_bench.py: malformed document {path}: {e}")
         sys.exit(1)
     except (OSError, json.JSONDecodeError) as e:
         print(f"check_bench.py: cannot read {path}: {e}")
@@ -42,9 +62,9 @@ def run_check(fn, path):
 def check_fig6(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-fig6-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-fig6-v1")
     print(f"fig6 ({path}):")
-    kernels = {k["name"]: k for k in doc["kernels"]}
+    kernels = {k["name"]: k for k in non_empty(doc["kernels"], "kernels")}
 
     for name, k in kernels.items():
         check(
@@ -69,9 +89,9 @@ def check_fig6(path):
 def check_fig4(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-fig4-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-fig4-v1")
     print(f"fig4 ({path}):")
-    points = {p["procs"]: p for p in doc["points"]}
+    points = {p["procs"]: p for p in non_empty(doc["points"], "points")}
 
     # Paper §4.1 memory behaviour: JAX cannot run at 1 or 64 processes,
     # the OpenMP port fits at 1 but not 64, the CPU baseline always fits.
@@ -102,9 +122,10 @@ def check_fig4(path):
 def check_fig5(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-fig5-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-fig5-v1")
     print(f"fig5 ({path}):")
-    impls = {i["name"]: i for i in doc["implementations"]}
+    impls = {i["name"]: i
+             for i in non_empty(doc["implementations"], "implementations")}
 
     check(not any(i["oom"] for i in impls.values()),
           "large problem fits for all implementations")
@@ -118,9 +139,10 @@ def check_fig5(path):
 def check_overlap(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-overlap-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-overlap-v1")
     print(f"overlap ({path}):")
-    points = {p["streams"]: p["runtime_s"] for p in doc["points"]}
+    points = {p["streams"]: p["runtime_s"]
+              for p in non_empty(doc["points"], "points")}
     sync = doc["sync_runtime_s"]
 
     # One stream must reproduce the synchronous timeline exactly (the
@@ -139,9 +161,9 @@ def check_overlap(path):
 def check_faults(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-faults-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-faults-v1")
     print(f"faults ({path}):")
-    backends = {b["name"]: b for b in doc["backends"]}
+    backends = {b["name"]: b for b in non_empty(doc["backends"], "backends")}
 
     for name, b in sorted(backends.items()):
         # The contract of the fault layer: an empty plan changes nothing,
@@ -169,13 +191,13 @@ def check_faults(path):
 def check_plan(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-plan-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-plan-v1")
     print(f"plan ({path}):")
 
     # The compilation contract: the default sync plan reproduces the
     # interpreter bit for bit — runtime, TimeLog and science products —
     # for both staging modes, both backends and under chaos plans.
-    for row in doc["direct"]:
+    for row in non_empty(doc["direct"], "direct"):
         name = row["name"]
         check(row["runtime_equal"],
               f"{name}: plan runtime bitwise-equal to interpreter")
@@ -184,7 +206,7 @@ def check_plan(path):
         check(row["products_equal"],
               f"{name}: science products identical to interpreter")
 
-    jobs = {j["name"]: j for j in doc["jobs"]}
+    jobs = {j["name"]: j for j in non_empty(doc["jobs"], "jobs")}
     for name, j in sorted(jobs.items()):
         check(j["sync_equal"],
               f"{name} job: sync plan bitwise-equal to interpreter")
@@ -208,9 +230,9 @@ def check_plan(path):
 def check_comm(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc["schema"] == "toastcase-bench-comm-v1", doc.get("schema")
+    expect_schema(doc, "toastcase-bench-comm-v1")
     print(f"comm ({path}):")
-    points = doc["points"]
+    points = non_empty(doc["points"], "points")
 
     # The engine's oracle contract: ring allreduce on the uniform topology
     # reproduces the CommModel closed form bit for bit at EVERY grid point.
@@ -248,6 +270,61 @@ def check_comm(path):
     check(det["chaos_slower"], "degraded links cost schedule time")
 
 
+# The compiled executor must not just be correct — it must be worth its
+# complexity.  The fig5 chain (the paper's headline workload) has to beat
+# the interpreter by at least this factor on real wall clock.
+EXECUTOR_MIN_SPEEDUP = 1.3
+
+
+def check_executor(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect_schema(doc, "toastcase-bench-executor-v1")
+    print(f"executor ({path}):")
+    rows = {r["name"]: r for r in non_empty(doc["rows"], "rows")}
+
+    # The oracle contract: for every workload the compiled executor must
+    # reproduce the interpreter bit for bit — science products, TimeLog
+    # and the virtual-clock trajectory.
+    for name, r in sorted(rows.items()):
+        check(r["products_equal"],
+              f"{name}: products bitwise-equal to the interpreter")
+        check(r["timelog_equal"],
+              f"{name}: TimeLog identical to the interpreter")
+        check(r["vclock_equal"],
+              f"{name}: virtual clock identical to the interpreter")
+        check(r["compiled_wall_s"] > 0,
+              f"{name}: compiled wall time recorded")
+
+    if "fig5_chain" not in rows:
+        raise ValueError("row 'fig5_chain' missing from rows")
+    chain = rows["fig5_chain"]
+    check(chain["speedup"] >= EXECUTOR_MIN_SPEEDUP,
+          f"fig5 chain: compiled {chain['speedup']:.2f}x over interpreter "
+          f">= {EXECUTOR_MIN_SPEEDUP}x floor")
+
+    # Chaos parity: a pinned persistent-launch plan must hit both
+    # executors identically — same failure, same fault counters, same
+    # untouched products, same clock.
+    chaos = doc["chaos"]
+    check(chaos["both_failed"],
+          "chaos: persistent launch fault raised under both executors")
+    check(chaos["counters_equal"], "chaos: fault counters identical")
+    check(chaos["products_equal"], "chaos: products untouched identically")
+    check(chaos["vclock_equal"], "chaos: virtual clock identical")
+    check(chaos["fault_events"] > 0, "chaos: fault events recorded")
+
+    # The lowering must actually fuse: fewer loops than instructions and
+    # fewer materialized values than instructions.
+    fused = doc["fused"]
+    check(0 < fused["loops"] < fused["instructions"],
+          f"fused lowering compresses {fused['instructions']} instructions "
+          f"into {fused['loops']} loops")
+    check(0 < fused["materialized"] < fused["instructions"],
+          f"only {fused['materialized']} of {fused['instructions']} values "
+          "materialized")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -257,6 +334,7 @@ def main():
     ap.add_argument("--faults")
     ap.add_argument("--plan")
     ap.add_argument("--comm")
+    ap.add_argument("--executor")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -266,11 +344,13 @@ def main():
         (check_faults, args.faults),
         (check_plan, args.plan),
         (check_comm, args.comm),
+        (check_executor, args.executor),
     ]
     if not any(path for _, path in checks):
         ap.error(
             "pass at least one of "
-            "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm")
+            "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm"
+            "/--executor")
 
     for fn, path in checks:
         if path:

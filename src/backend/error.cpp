@@ -1,0 +1,36 @@
+#include "backend/error.hpp"
+
+#include "backend/manifest.hpp"
+
+namespace toast::backend {
+
+namespace {
+
+// Built with append() rather than chained operator+: GCC 12's -O3
+// -Wrestrict mis-analyzes the temporary chain in libstdc++ and the
+// werror CI leg rejects it.
+std::string format_message(const std::string& kernel, core::Backend b) {
+  const std::size_t idx = index_of(b);
+  std::string msg = "backend registry: kernel '";
+  msg.append(kernel);
+  msg.append("' has no implementation for backend '");
+  if (idx == npos) {
+    msg.append("<backend ");
+    msg.append(std::to_string(static_cast<int>(b)));
+    msg.append(" not in the manifest>");
+  } else {
+    msg.append(name_of(idx));
+  }
+  msg.append("' (no registration on the tag or its base chain)");
+  return msg;
+}
+
+}  // namespace
+
+UnknownKernelError::UnknownKernelError(std::string kernel,
+                                       core::Backend backend)
+    : std::runtime_error(format_message(kernel, backend)),
+      kernel_(std::move(kernel)),
+      backend_(backend) {}
+
+}  // namespace toast::backend

@@ -1,0 +1,25 @@
+#pragma once
+
+// Structured dispatch failure: a kernel was requested for a backend with
+// no registered implementation anywhere along its tag base chain.
+
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace toast::backend {
+
+class UnknownKernelError : public std::runtime_error {
+ public:
+  UnknownKernelError(std::string kernel, core::Backend backend);
+
+  const std::string& kernel() const { return kernel_; }
+  core::Backend backend() const { return backend_; }
+
+ private:
+  std::string kernel_;
+  core::Backend backend_;
+};
+
+}  // namespace toast::backend

@@ -20,8 +20,13 @@ ExecContext::ExecContext(const ExecConfig& config)
   omp_rt_.set_dispatch_overhead(config.omp_dispatch_overhead);
   omp_rt_.set_work_scale(config.work_scale);
   jax_rt_.set_work_scale(config.work_scale);
-  if (config.backend == Backend::kJax && config.jax_preallocate) {
+  if ((config.backend == Backend::kJax ||
+       config.backend == Backend::kJaxCompiled) &&
+      config.jax_preallocate) {
     jax_rt_.enable_preallocation();
+  }
+  if (config.backend == Backend::kJaxCompiled) {
+    jax_rt_.set_executor(xla::ExecMode::kCompiled);
   }
   if (config.backend == Backend::kJaxCpu) {
     jax_rt_.set_cpu_backend(config.host_spec, config.threads,

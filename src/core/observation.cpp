@@ -14,6 +14,8 @@ const char* to_string(Backend b) {
       return "jax";
     case Backend::kJaxCpu:
       return "jax-cpu";
+    case Backend::kJaxCompiled:
+      return "jax-compiled";
   }
   return "?";
 }

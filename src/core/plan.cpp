@@ -75,6 +75,13 @@ class Planner {
       plan_.op_names.push_back(meta_[k].name);
       plan_.op_backends.push_back(backends_[k]);
       plan_.op_on_accel.push_back(on_accel_[k]);
+      // Bind the launch body now: the plan owns the operator reference,
+      // the executing group supplies store + runtime backend.
+      plan_.launches.push_back(
+          [op = meta_[k].op](Observation& ob, ExecContext& ctx,
+                             AccelStore* store, Backend b) {
+            op->exec(ob, ctx, store, b);
+          });
     }
     compute_liveness();
     bool prev_hoisted = false;
@@ -136,6 +143,7 @@ class Planner {
     PlanGroup g;
     g.op = k;
     g.backend = backends_[static_cast<std::size_t>(k)];
+    g.tag = backend::index_of(g.backend);
     g.on_accel = on_accel_[static_cast<std::size_t>(k)] != 0;
     g.begin = static_cast<int>(plan_.steps.size());
     plan_.steps.push_back({StepKind::kChargeOverhead, k});
@@ -413,8 +421,10 @@ void execute_plan(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
       }
       case StepKind::kLaunch: {
         const OpMeta& m = meta[static_cast<std::size_t>(s.op)];
+        const LaunchFn& launch =
+            plan.launches[static_cast<std::size_t>(s.op)];
         if (s.on_device) {
-          m.op->exec(ob, ctx, &store, cur_backend);
+          launch(ob, ctx, &store, cur_backend);
           for (const auto& name : m.writes) {
             if (!ob.has_field(name)) {
               continue;
@@ -424,7 +434,7 @@ void execute_plan(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
             state[&f].host_valid = false;
           }
         } else {
-          m.op->exec(ob, ctx, nullptr, cur_backend);
+          launch(ob, ctx, nullptr, cur_backend);
           for (const auto& name : m.writes) {
             if (!ob.has_field(name)) {
               continue;
@@ -615,8 +625,21 @@ void ExecutionPlan::write_json(std::ostream& out) const {
     }
     out << "\n    {\"name\":" << json_str(op_names[k])
         << ",\"backend\":" << json_str(core::to_string(op_backends[k]))
+        << ",\"tag\":"
+        << json_str(backend::name_of(backend::index_of(op_backends[k])))
         << ",\"on_accel\":" << (op_on_accel[k] != 0 ? "true" : "false")
         << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"groups\":[";
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (g != 0) {
+      out << ",";
+    }
+    const PlanGroup& pg = groups[g];
+    out << "\n    {\"op\":" << pg.op << ",\"tag\":"
+        << json_str(backend::name_of(pg.tag))
+        << ",\"on_accel\":" << (pg.on_accel ? "true" : "false") << "}";
   }
   out << "\n  ],\n";
   out << "  \"field_names\":[";

@@ -24,6 +24,7 @@
 // device footprint.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -31,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/manifest.hpp"
 #include "core/context.hpp"
 #include "core/observation.hpp"
 #include "core/operator.hpp"
@@ -103,6 +105,10 @@ struct PlanStep {
 struct PlanGroup {
   int op = -1;  ///< -1: epilogue (end-of-pipeline output downloads)
   Backend backend = Backend::kCpu;  ///< dispatch result at plan time
+  /// Manifest slot of `backend` (backend::index_of); backend::npos for
+  /// the epilogue group.  Gives the dump and any consumer the tag name
+  /// without re-deriving the enum mapping.
+  std::size_t tag = backend::npos;
   bool on_accel = false;            ///< staged for the device at plan time
   int begin = 0;
   int try_begin = 0;
@@ -113,6 +119,11 @@ struct PlanGroup {
   int alt_end = 0;
 };
 
+/// A kLaunch body bound at plan time: invokes one operator's exec with
+/// whatever store/backend the executing group resolved at runtime.
+using LaunchFn =
+    std::function<void(Observation&, ExecContext&, AccelStore*, Backend)>;
+
 struct ExecutionPlan {
   std::string key;
   PlanOptions options;
@@ -120,6 +131,11 @@ struct ExecutionPlan {
   std::vector<PlanStep> steps;
   std::vector<PlanStep> alt_steps;
   std::vector<PlanGroup> groups;
+  /// Plan-time-bound launch callables, one per operator.  execute_plan
+  /// threads kLaunch steps through these instead of re-resolving the
+  /// operator object per step, so the plan carries everything a launch
+  /// needs except the runtime dispatch decision.
+  std::vector<LaunchFn> launches;
   /// Names/backends baked at plan time, for the dump (index = op).
   std::vector<std::string> op_names;
   std::vector<Backend> op_backends;

@@ -1,6 +1,8 @@
 // Operator wrappers for the map-domain kernels: scan_map, noise_weight,
-// build_noise_weighted, plus the UnportedHostOp stand-in.
+// build_noise_weighted, plus the UnportedHostOp stand-in.  Backend
+// selection goes through the tag-dispatch registry (backend/registry.hpp).
 
+#include "backend/registry.hpp"
 #include "kernels/cpu.hpp"
 #include "kernels/jax.hpp"
 #include "kernels/omptarget.hpp"
@@ -36,36 +38,66 @@ void ScanMapOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct ScanMapArgs {
+  const double* sky_map;
+  std::int64_t n_pix;
+  std::int64_t nnz;
+  const std::int64_t* pixels;
+  const double* weights;
+  double data_scale;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* signal;
+  bool on_device;
+};
+
+const backend::OpRegistry<ScanMapArgs>& scan_map_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<ScanMapArgs> r("scan_map");
+    r.add<backend::cpu_tag>([](const ScanMapArgs& a, core::ExecContext& ctx) {
+      cpu::scan_map(
+          {a.sky_map, static_cast<std::size_t>(a.n_pix * a.nnz)}, a.nnz,
+          {a.pixels, static_cast<std::size_t>(a.n_det * a.n_samp)},
+          {a.weights, static_cast<std::size_t>(a.nnz * a.n_det * a.n_samp)},
+          a.data_scale, a.ivals, a.n_det, a.n_samp,
+          {a.signal, static_cast<std::size_t>(a.n_det * a.n_samp)}, ctx);
+    });
+    r.add<backend::omptarget_tag>(
+        [](const ScanMapArgs& a, core::ExecContext& ctx) {
+          omp::scan_map(a.sky_map, a.nnz, a.pixels, a.weights, a.data_scale,
+                        a.ivals, a.n_det, a.n_samp, a.signal, ctx,
+                        a.on_device);
+        });
+    r.add<backend::jax_tag>([](const ScanMapArgs& a, core::ExecContext& ctx) {
+      jax::scan_map(a.sky_map, a.n_pix, a.nnz, a.pixels, a.weights,
+                    a.data_scale, a.ivals, a.n_det, a.n_samp, a.signal, ctx);
+    });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void ScanMapOp::exec(core::Observation& ob, core::ExecContext& ctx,
                      core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
+  ScanMapArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
   const core::Field& map_field = ob.field(kSkyMap);
-  const std::int64_t n_pix = map_field.count() / nnz_;
-  const double* sky_map = buf<double>(ob, kSkyMap, accel);
-  const std::int64_t* pixels = buf<std::int64_t>(ob, kPixels, accel);
-  const double* weights = buf<double>(ob, kWeights, accel);
-  double* signal = buf<double>(ob, kSignal, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::scan_map({sky_map, static_cast<std::size_t>(n_pix * nnz_)}, nnz_,
-                    {pixels, static_cast<std::size_t>(n_det * n_samp)},
-                    {weights, static_cast<std::size_t>(nnz_ * n_det * n_samp)},
-                    data_scale_, ivals, n_det, n_samp,
-                    {signal, static_cast<std::size_t>(n_det * n_samp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::scan_map(sky_map, nnz_, pixels, weights, data_scale_, ivals,
-                    n_det, n_samp, signal, ctx, accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::scan_map(sky_map, n_pix, nnz_, pixels, weights, data_scale_,
-                    ivals, n_det, n_samp, signal, ctx);
-      break;
-  }
+  a.n_pix = map_field.count() / nnz_;
+  a.nnz = nnz_;
+  a.data_scale = data_scale_;
+  a.sky_map = buf<double>(ob, kSkyMap, accel);
+  a.pixels = buf<std::int64_t>(ob, kPixels, accel);
+  a.weights = buf<double>(ob, kWeights, accel);
+  a.signal = buf<double>(ob, kSignal, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  scan_map_registry().invoke(backend, a, ctx);
 }
 
 // --- NoiseWeightOp ----------------------------------------------------------
@@ -85,30 +117,55 @@ void NoiseWeightOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct NoiseWeightArgs {
+  const double* det_weights;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* signal;
+  bool on_device;
+};
+
+const backend::OpRegistry<NoiseWeightArgs>& noise_weight_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<NoiseWeightArgs> r("noise_weight");
+    r.add<backend::cpu_tag>(
+        [](const NoiseWeightArgs& a, core::ExecContext& ctx) {
+          cpu::noise_weight(
+              {a.det_weights, static_cast<std::size_t>(a.n_det)}, a.ivals,
+              a.n_det, a.n_samp,
+              {a.signal, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const NoiseWeightArgs& a, core::ExecContext& ctx) {
+          omp::noise_weight(a.det_weights, a.ivals, a.n_det, a.n_samp,
+                            a.signal, ctx, a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const NoiseWeightArgs& a, core::ExecContext& ctx) {
+          jax::noise_weight(a.det_weights, a.ivals, a.n_det, a.n_samp,
+                            a.signal, ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void NoiseWeightOp::exec(core::Observation& ob, core::ExecContext& ctx,
                          core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const double* det_weights = buf<double>(ob, aux_fields::kDetWeights, accel);
-  double* signal = buf<double>(ob, kSignal, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::noise_weight({det_weights, static_cast<std::size_t>(n_det)},
-                        ivals, n_det, n_samp,
-                        {signal, static_cast<std::size_t>(n_det * n_samp)},
-                        ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::noise_weight(det_weights, ivals, n_det, n_samp, signal, ctx,
-                        accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::noise_weight(det_weights, ivals, n_det, n_samp, signal, ctx);
-      break;
-  }
+  NoiseWeightArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.det_weights = buf<double>(ob, aux_fields::kDetWeights, accel);
+  a.signal = buf<double>(ob, kSignal, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  noise_weight_registry().invoke(backend, a, ctx);
 }
 
 // --- BuildNoiseWeightedOp ---------------------------------------------------
@@ -129,45 +186,80 @@ void BuildNoiseWeightedOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct BuildNoiseWeightedArgs {
+  const std::int64_t* pixels;
+  const double* weights;
+  std::int64_t n_pix;
+  std::int64_t nnz;
+  const double* signal;
+  const double* det_scale;
+  const std::uint8_t* flags;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* zmap;
+  bool on_device;
+};
+
+const backend::OpRegistry<BuildNoiseWeightedArgs>&
+build_noise_weighted_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<BuildNoiseWeightedArgs> r("build_noise_weighted");
+    r.add<backend::cpu_tag>(
+        [](const BuildNoiseWeightedArgs& a, core::ExecContext& ctx) {
+          cpu::build_noise_weighted(
+              {a.pixels, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              {a.weights,
+               static_cast<std::size_t>(a.nnz * a.n_det * a.n_samp)},
+              a.nnz, {a.signal, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              {a.det_scale, static_cast<std::size_t>(a.n_det)},
+              a.flags == nullptr
+                  ? std::span<const std::uint8_t>()
+                  : std::span<const std::uint8_t>(
+                        a.flags, static_cast<std::size_t>(a.n_samp)),
+              kDefaultFlagMask, a.ivals, a.n_det, a.n_samp,
+              {a.zmap, static_cast<std::size_t>(a.n_pix * a.nnz)}, ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const BuildNoiseWeightedArgs& a, core::ExecContext& ctx) {
+          omp::build_noise_weighted(a.pixels, a.weights, a.nnz, a.signal,
+                                    a.det_scale, a.flags, kDefaultFlagMask,
+                                    a.ivals, a.n_det, a.n_samp, a.zmap, ctx,
+                                    a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const BuildNoiseWeightedArgs& a, core::ExecContext& ctx) {
+          jax::build_noise_weighted(a.pixels, a.weights, a.n_pix, a.nnz,
+                                    a.signal, a.det_scale, a.flags,
+                                    kDefaultFlagMask, a.ivals, a.n_det,
+                                    a.n_samp, a.zmap, ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void BuildNoiseWeightedOp::exec(core::Observation& ob,
                                 core::ExecContext& ctx,
                                 core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const std::int64_t n_pix = 12 * nside_ * nside_;
-  const std::int64_t* pixels = buf<std::int64_t>(ob, kPixels, accel);
-  const double* weights = buf<double>(ob, kWeights, accel);
-  const double* signal = buf<double>(ob, kSignal, accel);
-  const double* det_scale = buf<double>(ob, aux_fields::kDetScale, accel);
-  const std::uint8_t* flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
-  double* zmap = buf<double>(ob, kZmap, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::build_noise_weighted(
-          {pixels, static_cast<std::size_t>(n_det * n_samp)},
-          {weights, static_cast<std::size_t>(nnz_ * n_det * n_samp)}, nnz_,
-          {signal, static_cast<std::size_t>(n_det * n_samp)},
-          {det_scale, static_cast<std::size_t>(n_det)},
-          flags == nullptr ? std::span<const std::uint8_t>()
-                           : std::span<const std::uint8_t>(
-                                 flags, static_cast<std::size_t>(n_samp)),
-          kDefaultFlagMask, ivals, n_det, n_samp,
-          {zmap, static_cast<std::size_t>(n_pix * nnz_)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::build_noise_weighted(pixels, weights, nnz_, signal, det_scale,
-                                flags, kDefaultFlagMask, ivals, n_det,
-                                n_samp, zmap, ctx, accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::build_noise_weighted(pixels, weights, n_pix, nnz_, signal,
-                                det_scale, flags, kDefaultFlagMask, ivals,
-                                n_det, n_samp, zmap, ctx);
-      break;
-  }
+  BuildNoiseWeightedArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.n_pix = 12 * nside_ * nside_;
+  a.nnz = nnz_;
+  a.pixels = buf<std::int64_t>(ob, kPixels, accel);
+  a.weights = buf<double>(ob, kWeights, accel);
+  a.signal = buf<double>(ob, kSignal, accel);
+  a.det_scale = buf<double>(ob, aux_fields::kDetScale, accel);
+  a.flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
+  a.zmap = buf<double>(ob, kZmap, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  build_noise_weighted_registry().invoke(backend, a, ctx);
 }
 
 // --- UnportedHostOp ---------------------------------------------------------

@@ -1,6 +1,10 @@
 // Operator wrappers for the pointing-expansion chain: pointing_detector,
-// pixels_healpix, stokes_weights_{IQU,I}.
+// pixels_healpix, stokes_weights_{IQU,I}.  Backend selection goes through
+// the tag-dispatch registry (backend/registry.hpp): each kernel registers
+// one implementation per manifest tag and the jax registration serves
+// jax, jax-cpu and jax-compiled through the tag base chain.
 
+#include "backend/registry.hpp"
 #include "kernels/cpu.hpp"
 #include "kernels/jax.hpp"
 #include "kernels/omptarget.hpp"
@@ -49,34 +53,63 @@ void PointingDetectorOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct PointingDetectorArgs {
+  const double* fpq;
+  const double* bore;
+  const std::uint8_t* flags;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* quats;
+  bool on_device;
+};
+
+const backend::OpRegistry<PointingDetectorArgs>&
+pointing_detector_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<PointingDetectorArgs> r("pointing_detector");
+    r.add<backend::cpu_tag>(
+        [](const PointingDetectorArgs& a, core::ExecContext& ctx) {
+          cpu::pointing_detector(
+              {a.fpq, static_cast<std::size_t>(4 * a.n_det)},
+              {a.bore, static_cast<std::size_t>(4 * a.n_samp)},
+              flag_span(a.flags, a.n_samp), kDefaultFlagMask, a.ivals,
+              a.n_det, a.n_samp,
+              {a.quats, static_cast<std::size_t>(4 * a.n_det * a.n_samp)},
+              ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const PointingDetectorArgs& a, core::ExecContext& ctx) {
+          omp::pointing_detector(a.fpq, a.bore, a.flags, kDefaultFlagMask,
+                                 a.ivals, a.n_det, a.n_samp, a.quats, ctx,
+                                 a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const PointingDetectorArgs& a, core::ExecContext& ctx) {
+          jax::pointing_detector(a.fpq, a.bore, a.flags, kDefaultFlagMask,
+                                 a.ivals, a.n_det, a.n_samp, a.quats, ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void PointingDetectorOp::exec(core::Observation& ob, core::ExecContext& ctx,
                               core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const double* fpq = buf<double>(ob, aux_fields::kFpQuats, accel);
-  const double* bore = buf<double>(ob, kBoresight, accel);
-  const std::uint8_t* flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
-  double* quats = buf<double>(ob, kQuats, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::pointing_detector(
-          {fpq, static_cast<std::size_t>(4 * n_det)},
-          {bore, static_cast<std::size_t>(4 * n_samp)},
-          flag_span(flags, n_samp), kDefaultFlagMask, ivals, n_det, n_samp,
-          {quats, static_cast<std::size_t>(4 * n_det * n_samp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::pointing_detector(fpq, bore, flags, kDefaultFlagMask, ivals,
-                             n_det, n_samp, quats, ctx, accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::pointing_detector(fpq, bore, flags, kDefaultFlagMask, ivals,
-                             n_det, n_samp, quats, ctx);
-      break;
-  }
+  PointingDetectorArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.fpq = buf<double>(ob, aux_fields::kFpQuats, accel);
+  a.bore = buf<double>(ob, kBoresight, accel);
+  a.flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
+  a.quats = buf<double>(ob, kQuats, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  pointing_detector_registry().invoke(backend, a, ctx);
 }
 
 // --- PixelsHealpixOp --------------------------------------------------------
@@ -95,34 +128,64 @@ void PixelsHealpixOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct PixelsHealpixArgs {
+  const double* quats;
+  const std::uint8_t* flags;
+  std::int64_t nside;
+  bool nest;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  std::int64_t* pixels;
+  bool on_device;
+};
+
+const backend::OpRegistry<PixelsHealpixArgs>& pixels_healpix_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<PixelsHealpixArgs> r("pixels_healpix");
+    r.add<backend::cpu_tag>(
+        [](const PixelsHealpixArgs& a, core::ExecContext& ctx) {
+          cpu::pixels_healpix(
+              {a.quats, static_cast<std::size_t>(4 * a.n_det * a.n_samp)},
+              flag_span(a.flags, a.n_samp), kDefaultFlagMask, a.nside,
+              a.nest, a.ivals, a.n_det, a.n_samp,
+              {a.pixels, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const PixelsHealpixArgs& a, core::ExecContext& ctx) {
+          omp::pixels_healpix(a.quats, a.flags, kDefaultFlagMask, a.nside,
+                              a.nest, a.ivals, a.n_det, a.n_samp, a.pixels,
+                              ctx, a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const PixelsHealpixArgs& a, core::ExecContext& ctx) {
+          jax::pixels_healpix(a.quats, a.flags, kDefaultFlagMask, a.nside,
+                              a.nest, a.ivals, a.n_det, a.n_samp, a.pixels,
+                              ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void PixelsHealpixOp::exec(core::Observation& ob, core::ExecContext& ctx,
                            core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const double* quats = buf<double>(ob, kQuats, accel);
-  const std::uint8_t* flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
-  std::int64_t* pixels = buf<std::int64_t>(ob, kPixels, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::pixels_healpix(
-          {quats, static_cast<std::size_t>(4 * n_det * n_samp)},
-          flag_span(flags, n_samp), kDefaultFlagMask, nside_, nest_, ivals,
-          n_det, n_samp,
-          {pixels, static_cast<std::size_t>(n_det * n_samp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::pixels_healpix(quats, flags, kDefaultFlagMask, nside_, nest_,
-                          ivals, n_det, n_samp, pixels, ctx,
-                          accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::pixels_healpix(quats, flags, kDefaultFlagMask, nside_, nest_,
-                          ivals, n_det, n_samp, pixels, ctx);
-      break;
-  }
+  PixelsHealpixArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.quats = buf<double>(ob, kQuats, accel);
+  a.flags = buf_opt<std::uint8_t>(ob, kSharedFlags, accel);
+  a.pixels = buf<std::int64_t>(ob, kPixels, accel);
+  a.nside = nside_;
+  a.nest = nest_;
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  pixels_healpix_registry().invoke(backend, a, ctx);
 }
 
 // --- StokesWeightsIquOp -----------------------------------------------------
@@ -142,37 +205,67 @@ void StokesWeightsIquOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct StokesWeightsIquArgs {
+  const double* quats;
+  const double* hwp;
+  const double* pol_eff;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* weights;
+  bool on_device;
+};
+
+const backend::OpRegistry<StokesWeightsIquArgs>&
+stokes_weights_iqu_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<StokesWeightsIquArgs> r("stokes_weights_iqu");
+    r.add<backend::cpu_tag>(
+        [](const StokesWeightsIquArgs& a, core::ExecContext& ctx) {
+          cpu::stokes_weights_iqu(
+              {a.quats, static_cast<std::size_t>(4 * a.n_det * a.n_samp)},
+              a.hwp == nullptr
+                  ? std::span<const double>()
+                  : std::span<const double>(
+                        a.hwp, static_cast<std::size_t>(a.n_samp)),
+              {a.pol_eff, static_cast<std::size_t>(a.n_det)}, a.ivals,
+              a.n_det, a.n_samp,
+              {a.weights,
+               static_cast<std::size_t>(3 * a.n_det * a.n_samp)},
+              ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const StokesWeightsIquArgs& a, core::ExecContext& ctx) {
+          omp::stokes_weights_iqu(a.quats, a.hwp, a.pol_eff, a.ivals,
+                                  a.n_det, a.n_samp, a.weights, ctx,
+                                  a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const StokesWeightsIquArgs& a, core::ExecContext& ctx) {
+          jax::stokes_weights_iqu(a.quats, a.hwp, a.pol_eff, a.ivals,
+                                  a.n_det, a.n_samp, a.weights, ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void StokesWeightsIquOp::exec(core::Observation& ob, core::ExecContext& ctx,
                               core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const double* quats = buf<double>(ob, kQuats, accel);
-  const double* hwp =
-      use_hwp_ ? buf_opt<double>(ob, kHwpAngle, accel) : nullptr;
-  const double* pol_eff = buf<double>(ob, aux_fields::kPolEff, accel);
-  double* weights = buf<double>(ob, kWeights, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::stokes_weights_iqu(
-          {quats, static_cast<std::size_t>(4 * n_det * n_samp)},
-          hwp == nullptr
-              ? std::span<const double>()
-              : std::span<const double>(hwp, static_cast<std::size_t>(n_samp)),
-          {pol_eff, static_cast<std::size_t>(n_det)}, ivals, n_det, n_samp,
-          {weights, static_cast<std::size_t>(3 * n_det * n_samp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::stokes_weights_iqu(quats, hwp, pol_eff, ivals, n_det, n_samp,
-                              weights, ctx, accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::stokes_weights_iqu(quats, hwp, pol_eff, ivals, n_det, n_samp,
-                              weights, ctx);
-      break;
-  }
+  StokesWeightsIquArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.quats = buf<double>(ob, kQuats, accel);
+  a.hwp = use_hwp_ ? buf_opt<double>(ob, kHwpAngle, accel) : nullptr;
+  a.pol_eff = buf<double>(ob, aux_fields::kPolEff, accel);
+  a.weights = buf<double>(ob, kWeights, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  stokes_weights_iqu_registry().invoke(backend, a, ctx);
 }
 
 // --- StokesWeightsIOp -------------------------------------------------------
@@ -187,28 +280,51 @@ void StokesWeightsIOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct StokesWeightsIArgs {
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* weights;
+  bool on_device;
+};
+
+const backend::OpRegistry<StokesWeightsIArgs>& stokes_weights_i_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<StokesWeightsIArgs> r("stokes_weights_i");
+    r.add<backend::cpu_tag>(
+        [](const StokesWeightsIArgs& a, core::ExecContext& ctx) {
+          cpu::stokes_weights_i(
+              a.ivals, a.n_det, a.n_samp,
+              {a.weights, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const StokesWeightsIArgs& a, core::ExecContext& ctx) {
+          omp::stokes_weights_i(a.ivals, a.n_det, a.n_samp, a.weights, ctx,
+                                a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const StokesWeightsIArgs& a, core::ExecContext& ctx) {
+          jax::stokes_weights_i(a.ivals, a.n_det, a.n_samp, a.weights, ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void StokesWeightsIOp::exec(core::Observation& ob, core::ExecContext& ctx,
                             core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  double* weights = buf<double>(ob, kWeights, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::stokes_weights_i(
-          ivals, n_det, n_samp,
-          {weights, static_cast<std::size_t>(n_det * n_samp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::stokes_weights_i(ivals, n_det, n_samp, weights, ctx,
-                            accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::stokes_weights_i(ivals, n_det, n_samp, weights, ctx);
-      break;
-  }
+  StokesWeightsIArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.weights = buf<double>(ob, kWeights, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  stokes_weights_i_registry().invoke(backend, a, ctx);
 }
 
 }  // namespace toast::kernels

@@ -1,5 +1,7 @@
-// Operator wrappers for the offset-template kernels.
+// Operator wrappers for the offset-template kernels.  Backend selection
+// goes through the tag-dispatch registry (backend/registry.hpp).
 
+#include "backend/registry.hpp"
 #include "kernels/cpu.hpp"
 #include "kernels/jax.hpp"
 #include "kernels/omptarget.hpp"
@@ -67,35 +69,64 @@ void TemplateOffsetAddOp::ensure_fields(core::Observation& ob) {
   }
 }
 
+namespace {
+
+struct OffsetAddArgs {
+  std::int64_t step_length;
+  const double* amplitudes;
+  std::int64_t n_amp_det;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* signal;
+  bool on_device;
+};
+
+const backend::OpRegistry<OffsetAddArgs>& offset_add_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<OffsetAddArgs> r("template_offset_add_to_signal");
+    r.add<backend::cpu_tag>(
+        [](const OffsetAddArgs& a, core::ExecContext& ctx) {
+          cpu::template_offset_add_to_signal(
+              a.step_length,
+              {a.amplitudes,
+               static_cast<std::size_t>(a.n_det * a.n_amp_det)},
+              a.n_amp_det, a.ivals, a.n_det, a.n_samp,
+              {a.signal, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const OffsetAddArgs& a, core::ExecContext& ctx) {
+          omp::template_offset_add_to_signal(a.step_length, a.amplitudes,
+                                             a.n_amp_det, a.ivals, a.n_det,
+                                             a.n_samp, a.signal, ctx,
+                                             a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const OffsetAddArgs& a, core::ExecContext& ctx) {
+          jax::template_offset_add_to_signal(a.step_length, a.amplitudes,
+                                             a.n_amp_det, a.ivals, a.n_det,
+                                             a.n_samp, a.signal, ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void TemplateOffsetAddOp::exec(core::Observation& ob, core::ExecContext& ctx,
                                core::AccelStore* accel, Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const std::int64_t n_amp_det = cfg_.n_amp_det(n_samp);
-  const double* amplitudes = buf<double>(ob, kAmplitudes, accel);
-  double* signal = buf<double>(ob, kSignal, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::template_offset_add_to_signal(
-          cfg_.step_length,
-          {amplitudes, static_cast<std::size_t>(n_det * n_amp_det)},
-          n_amp_det, ivals, n_det, n_samp,
-          {signal, static_cast<std::size_t>(n_det * n_samp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::template_offset_add_to_signal(cfg_.step_length, amplitudes,
-                                         n_amp_det, ivals, n_det, n_samp,
-                                         signal, ctx, accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::template_offset_add_to_signal(cfg_.step_length, amplitudes,
-                                         n_amp_det, ivals, n_det, n_samp,
-                                         signal, ctx);
-      break;
-  }
+  OffsetAddArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.n_amp_det = cfg_.n_amp_det(a.n_samp);
+  a.step_length = cfg_.step_length;
+  a.amplitudes = buf<double>(ob, kAmplitudes, accel);
+  a.signal = buf<double>(ob, kSignal, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  offset_add_registry().invoke(backend, a, ctx);
 }
 
 // --- TemplateOffsetProjectOp ------------------------------------------------
@@ -112,37 +143,68 @@ void TemplateOffsetProjectOp::ensure_fields(core::Observation& ob) {
   ensure_amplitudes(ob, cfg_);
 }
 
+namespace {
+
+struct OffsetProjectArgs {
+  std::int64_t step_length;
+  const double* signal;
+  std::span<const core::Interval> ivals;
+  std::int64_t n_det;
+  std::int64_t n_samp;
+  double* amplitudes;
+  std::int64_t n_amp_det;
+  bool on_device;
+};
+
+const backend::OpRegistry<OffsetProjectArgs>& offset_project_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<OffsetProjectArgs> r(
+        "template_offset_project_signal");
+    r.add<backend::cpu_tag>(
+        [](const OffsetProjectArgs& a, core::ExecContext& ctx) {
+          cpu::template_offset_project_signal(
+              a.step_length,
+              {a.signal, static_cast<std::size_t>(a.n_det * a.n_samp)},
+              a.ivals, a.n_det, a.n_samp,
+              {a.amplitudes,
+               static_cast<std::size_t>(a.n_det * a.n_amp_det)},
+              a.n_amp_det, ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const OffsetProjectArgs& a, core::ExecContext& ctx) {
+          omp::template_offset_project_signal(a.step_length, a.signal,
+                                              a.ivals, a.n_det, a.n_samp,
+                                              a.amplitudes, a.n_amp_det, ctx,
+                                              a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const OffsetProjectArgs& a, core::ExecContext& ctx) {
+          jax::template_offset_project_signal(a.step_length, a.signal,
+                                              a.ivals, a.n_det, a.n_samp,
+                                              a.amplitudes, a.n_amp_det,
+                                              ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void TemplateOffsetProjectOp::exec(core::Observation& ob,
                                    core::ExecContext& ctx,
                                    core::AccelStore* accel,
                                    Backend backend) {
-  const std::int64_t n_det = ob.n_detectors();
-  const std::int64_t n_samp = ob.n_samples();
-  const std::int64_t n_amp_det = cfg_.n_amp_det(n_samp);
-  const double* signal = buf<double>(ob, kSignal, accel);
-  double* amplitudes = buf<double>(ob, kAmplitudes, accel);
-  const auto& ivals = ob.intervals();
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::template_offset_project_signal(
-          cfg_.step_length,
-          {signal, static_cast<std::size_t>(n_det * n_samp)}, ivals, n_det,
-          n_samp, {amplitudes, static_cast<std::size_t>(n_det * n_amp_det)},
-          n_amp_det, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::template_offset_project_signal(cfg_.step_length, signal, ivals,
-                                          n_det, n_samp, amplitudes,
-                                          n_amp_det, ctx, accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::template_offset_project_signal(cfg_.step_length, signal, ivals,
-                                          n_det, n_samp, amplitudes,
-                                          n_amp_det, ctx);
-      break;
-  }
+  OffsetProjectArgs a;
+  a.n_det = ob.n_detectors();
+  a.n_samp = ob.n_samples();
+  a.n_amp_det = cfg_.n_amp_det(a.n_samp);
+  a.step_length = cfg_.step_length;
+  a.signal = buf<double>(ob, kSignal, accel);
+  a.amplitudes = buf<double>(ob, kAmplitudes, accel);
+  a.ivals = ob.intervals();
+  a.on_device = accel != nullptr;
+  offset_project_registry().invoke(backend, a, ctx);
 }
 
 // --- TemplateOffsetPrecondOp --------------------------------------------------
@@ -160,33 +222,55 @@ void TemplateOffsetPrecondOp::ensure_fields(core::Observation& ob) {
   ensure_offset_var(ob, cfg_);
 }
 
+namespace {
+
+struct OffsetPrecondArgs {
+  const double* offset_var;
+  double* amplitudes;
+  std::int64_t n_amp;
+  bool on_device;
+};
+
+const backend::OpRegistry<OffsetPrecondArgs>& offset_precond_registry() {
+  static const auto reg = [] {
+    backend::OpRegistry<OffsetPrecondArgs> r(
+        "template_offset_apply_diag_precond");
+    r.add<backend::cpu_tag>(
+        [](const OffsetPrecondArgs& a, core::ExecContext& ctx) {
+          cpu::template_offset_apply_diag_precond(
+              {a.offset_var, static_cast<std::size_t>(a.n_amp)},
+              {a.amplitudes, static_cast<std::size_t>(a.n_amp)},
+              {a.amplitudes, static_cast<std::size_t>(a.n_amp)}, ctx);
+        });
+    r.add<backend::omptarget_tag>(
+        [](const OffsetPrecondArgs& a, core::ExecContext& ctx) {
+          omp::template_offset_apply_diag_precond(a.offset_var, a.amplitudes,
+                                                  a.n_amp, a.amplitudes, ctx,
+                                                  a.on_device);
+        });
+    r.add<backend::jax_tag>(
+        [](const OffsetPrecondArgs& a, core::ExecContext& ctx) {
+          jax::template_offset_apply_diag_precond(a.offset_var, a.amplitudes,
+                                                  a.n_amp, a.amplitudes,
+                                                  ctx);
+        });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
 void TemplateOffsetPrecondOp::exec(core::Observation& ob,
                                    core::ExecContext& ctx,
                                    core::AccelStore* accel,
                                    Backend backend) {
-  const std::int64_t n_amp =
-      ob.n_detectors() * cfg_.n_amp_det(ob.n_samples());
-  const double* offset_var = buf<double>(ob, aux_fields::kOffsetVar, accel);
-  double* amplitudes = buf<double>(ob, kAmplitudes, accel);
-
-  switch (backend) {
-    case Backend::kCpu:
-      cpu::template_offset_apply_diag_precond(
-          {offset_var, static_cast<std::size_t>(n_amp)},
-          {amplitudes, static_cast<std::size_t>(n_amp)},
-          {amplitudes, static_cast<std::size_t>(n_amp)}, ctx);
-      break;
-    case Backend::kOmpTarget:
-      omp::template_offset_apply_diag_precond(offset_var, amplitudes, n_amp,
-                                              amplitudes, ctx,
-                                              accel != nullptr);
-      break;
-    case Backend::kJax:
-    case Backend::kJaxCpu:
-      jax::template_offset_apply_diag_precond(offset_var, amplitudes, n_amp,
-                                              amplitudes, ctx);
-      break;
-  }
+  OffsetPrecondArgs a;
+  a.n_amp = ob.n_detectors() * cfg_.n_amp_det(ob.n_samples());
+  a.offset_var = buf<double>(ob, aux_fields::kOffsetVar, accel);
+  a.amplitudes = buf<double>(ob, kAmplitudes, accel);
+  a.on_device = accel != nullptr;
+  offset_precond_registry().invoke(backend, a, ctx);
 }
 
 }  // namespace toast::kernels

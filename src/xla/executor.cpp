@@ -1,10 +1,10 @@
 #include "xla/executor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <stdexcept>
-#include <limits>
 #include <unordered_set>
 
 #include "xla/eval.hpp"
@@ -44,14 +44,12 @@ Compiled compile(HloModule module) {
   return c;
 }
 
-std::vector<Literal> execute(const Compiled& compiled,
-                             std::span<const Literal> args,
-                             ExecutionReport* report) {
-  const HloModule& m = compiled.module;
+namespace detail {
+
+void validate_args(const HloModule& m, std::span<const Literal> args) {
   if (args.size() != m.params.size()) {
     throw std::invalid_argument("xla: argument count mismatch");
   }
-  // Verify argument shapes against the traced signature.
   for (std::size_t p = 0; p < m.params.size(); ++p) {
     const auto& param = m.at(m.params[p]);
     if (args[p].shape() != param.shape || args[p].dtype() != param.dtype) {
@@ -59,6 +57,11 @@ std::vector<Literal> execute(const Compiled& compiled,
                                   " shape/dtype mismatch");
     }
   }
+}
+
+ExecutionReport build_report(const Compiled& compiled,
+                             const ScatterIdxFn& scatter_idx) {
+  const HloModule& m = compiled.module;
 
   ExecutionReport local;
   local.group_work.assign(static_cast<std::size_t>(compiled.n_groups), {});
@@ -92,7 +95,6 @@ std::vector<Literal> execute(const Compiled& compiled,
   }
   std::unordered_set<InstrId> root_set(m.roots.begin(), m.roots.end());
 
-  std::vector<Literal> values(n);
   std::vector<int> group_instr_count(
       static_cast<std::size_t>(compiled.n_groups), 0);
   std::size_t temp_bytes = 0;
@@ -102,18 +104,9 @@ std::vector<Literal> execute(const Compiled& compiled,
     const int g = compiled.group_of[i];
 
     if (in.opcode == Opcode::kParam) {
-      values[i] = args[static_cast<std::size_t>(in.i0)];
       continue;
     }
-    std::vector<const Literal*> ops;
-    ops.reserve(in.operands.size());
-    for (const auto op : in.operands) {
-      ops.push_back(&values[static_cast<std::size_t>(op)]);
-    }
-    values[i] = (in.opcode == Opcode::kConstant)
-                    ? *in.literal
-                    : evaluate_instruction(in, ops);
-    temp_bytes += values[i].byte_size();
+    temp_bytes += static_cast<std::size_t>(literal_bytes(in));
     local.peak_temp_bytes = std::max(local.peak_temp_bytes, temp_bytes);
     if (g < 0) {
       continue;
@@ -143,16 +136,17 @@ std::vector<Literal> execute(const Compiled& compiled,
         break;
       case Opcode::kScatterAdd:
       case Opcode::kScatterSet: {
-        const Literal& idx = *ops[1];
-        const double updates = static_cast<double>(idx.num_elements());
+        const double updates = static_cast<double>(
+            m.at(in.operands[1]).shape.num_elements());
         work.flops += 2.0 * updates;
         work.parallel_items = std::max(work.parallel_items, updates);
         // Lowering decision from the data, scatter-add only: sorted valid
         // indices -> segmented reduction (no atomics); unsorted ->
         // atomics with the measured conflict rate.  scatter-set never
         // needs atomics (plain stores).
-        const auto span = idx.i64();
-        const std::int64_t scatter_base_n = ops[0]->num_elements();
+        const auto span = scatter_idx(static_cast<InstrId>(i));
+        const std::int64_t scatter_base_n =
+            m.at(in.operands[0]).shape.num_elements();
         bool sorted = true;
         double unique_targets = 0.0;
         std::int64_t prev = std::numeric_limits<std::int64_t>::min();
@@ -176,7 +170,7 @@ std::vector<Literal> execute(const Compiled& compiled,
           // actual update stream.
           constexpr std::size_t kWarp = 32;
           std::map<std::int64_t, int> hist;
-          const std::int64_t base_n = ops[0]->num_elements();
+          const std::int64_t base_n = scatter_base_n;
           double valid = 0.0;
           double conflicts = 0.0;
           for (std::size_t w0 = 0; w0 < span.size(); w0 += kWarp) {
@@ -255,14 +249,49 @@ std::vector<Literal> execute(const Compiled& compiled,
   for (const auto& w : local.group_work) {
     local.total += w;
   }
+  return local;
+}
+
+}  // namespace detail
+
+std::vector<Literal> execute(const Compiled& compiled,
+                             std::span<const Literal> args,
+                             ExecutionReport* report) {
+  const HloModule& m = compiled.module;
+  detail::validate_args(m, args);
+
+  const std::size_t n = m.size();
+  std::vector<Literal> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const HloInstruction& in = m.instructions[i];
+    if (in.opcode == Opcode::kParam) {
+      values[i] = args[static_cast<std::size_t>(in.i0)];
+      continue;
+    }
+    if (in.opcode == Opcode::kConstant) {
+      values[i] = *in.literal;
+      continue;
+    }
+    std::vector<const Literal*> ops;
+    ops.reserve(in.operands.size());
+    for (const auto op : in.operands) {
+      ops.push_back(&values[static_cast<std::size_t>(op)]);
+    }
+    values[i] = evaluate_instruction(in, ops);
+  }
+
+  if (report != nullptr) {
+    *report = detail::build_report(
+        compiled, [&values, &m](InstrId scatter) {
+          const auto idx = m.at(scatter).operands[1];
+          return values[static_cast<std::size_t>(idx)].i64();
+        });
+  }
 
   std::vector<Literal> outputs;
   outputs.reserve(m.roots.size());
   for (const auto r : m.roots) {
     outputs.push_back(values[static_cast<std::size_t>(r)]);
-  }
-  if (report != nullptr) {
-    *report = std::move(local);
   }
   return outputs;
 }

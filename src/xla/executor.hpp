@@ -11,6 +11,8 @@
 // (segment) scatters become a conflict-free segmented reduction; unsorted
 // scatters pay atomics with the measured conflict rate.
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +22,16 @@
 
 namespace toast::xla {
 
+/// How a Compiled module computes its values.  Both modes produce
+/// bitwise-identical products and ExecutionReports; only the real
+/// wall-clock cost of the value computation differs.
+enum class ExecMode {
+  kInterpreted,  ///< per-op evaluation, one Literal per instruction
+  kCompiled,     ///< fused-loop executable (xla/compiled.hpp)
+};
+
+class FusedExecutable;
+
 struct Compiled {
   HloModule module;
   std::vector<int> group_of;  // fusion group per instruction, -1 = memory
@@ -27,6 +39,9 @@ struct Compiled {
   PassStats pass_stats;
   /// Modelled XLA compile time (charged once per cache entry).
   double compile_seconds = 0.0;
+  /// Lazily-built fused-loop executable (execute_compiled's cache; the
+  /// lowering runs once per Compiled, on first compiled execution).
+  mutable std::shared_ptr<const FusedExecutable> fused;
 };
 
 Compiled compile(HloModule module);
@@ -51,5 +66,36 @@ struct ExecutionReport {
 std::vector<Literal> execute(const Compiled& compiled,
                              std::span<const Literal> args,
                              ExecutionReport* report = nullptr);
+
+/// Evaluate via the fused-loop executable (xla/compiled.hpp): one
+/// specialized loop per materialized value instead of one Literal per
+/// instruction.  Products and report are bitwise-identical to execute();
+/// throws LoweringError when the module cannot be lowered (the Jit falls
+/// back to the interpreter).
+std::vector<Literal> execute_compiled(const Compiled& compiled,
+                                      std::span<const Literal> args,
+                                      ExecutionReport* report = nullptr);
+
+namespace detail {
+
+/// Check args against the traced signature (count, shapes, dtypes);
+/// throws std::invalid_argument on mismatch.  Shared by both executors.
+void validate_args(const HloModule& m, std::span<const Literal> args);
+
+/// Returns the executed index stream of a scatter instruction (the value
+/// of its operands[1]).  The only data dependence of the metering model:
+/// everything else in the report derives from shapes and the group
+/// assignment, but the scatter lowering decision (segmented reduction vs
+/// atomics, and the conflict rate) is taken from the actual indices.
+using ScatterIdxFn =
+    std::function<std::span<const std::int64_t>(InstrId scatter)>;
+
+/// Build the full ExecutionReport for a module.  Both executors call
+/// this with their own ScatterIdxFn, which is what makes the reports —
+/// and hence the modelled TimeLog — bitwise identical across modes.
+ExecutionReport build_report(const Compiled& compiled,
+                             const ScatterIdxFn& scatter_idx);
+
+}  // namespace detail
 
 }  // namespace toast::xla

@@ -8,7 +8,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <tuple>
 #include <vector>
+
+#include "xla/compiled.hpp"
 
 namespace xla = toast::xla;
 namespace accel = toast::accel;
@@ -481,4 +485,260 @@ TEST(XlaLiteral, TypedAccessAndValidation) {
   EXPECT_THROW(Literal::from_f64(Shape{3}, std::vector<double>{1.0}),
                std::invalid_argument);
   EXPECT_THROW(Shape({1, 2, 3}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-loop executor (xla/compiled.hpp): the interpreter is the oracle.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void expect_literal_bits(const Literal& a, const Literal& b) {
+  ASSERT_EQ(a.dtype(), b.dtype());
+  ASSERT_TRUE(a.shape() == b.shape());
+  switch (a.dtype()) {
+    case DType::kF64:
+      ASSERT_EQ(std::memcmp(a.f64().data(), b.f64().data(), a.byte_size()),
+                0);
+      break;
+    case DType::kI64:
+      ASSERT_EQ(std::memcmp(a.i64().data(), b.i64().data(), a.byte_size()),
+                0);
+      break;
+    case DType::kPred:
+      ASSERT_EQ(std::memcmp(a.pred().data(), b.pred().data(), a.byte_size()),
+                0);
+      break;
+  }
+}
+
+void expect_report_equal(const xla::ExecutionReport& a,
+                         const xla::ExecutionReport& b) {
+  EXPECT_EQ(a.peak_temp_bytes, b.peak_temp_bytes);
+  EXPECT_EQ(a.segment_lowering_used, b.segment_lowering_used);
+  EXPECT_EQ(a.group_heavy, b.group_heavy);
+  EXPECT_EQ(a.group_deps, b.group_deps);
+  ASSERT_EQ(a.group_work.size(), b.group_work.size());
+  const auto expect_work_equal = [](const accel::WorkEstimate& x,
+                                    const accel::WorkEstimate& y) {
+    EXPECT_EQ(x.flops, y.flops);
+    EXPECT_EQ(x.bytes_read, y.bytes_read);
+    EXPECT_EQ(x.bytes_written, y.bytes_written);
+    EXPECT_EQ(x.launches, y.launches);
+    EXPECT_EQ(x.parallel_items, y.parallel_items);
+    EXPECT_EQ(x.divergence, y.divergence);
+    EXPECT_EQ(x.atomic_ops, y.atomic_ops);
+    EXPECT_EQ(x.atomic_conflict_rate, y.atomic_conflict_rate);
+    EXPECT_EQ(x.cpu_vector_eff, y.cpu_vector_eff);
+  };
+  for (std::size_t g = 0; g < a.group_work.size(); ++g) {
+    expect_work_equal(a.group_work[g], b.group_work[g]);
+  }
+  expect_work_equal(a.total, b.total);
+}
+
+/// Run the module both ways and require bitwise-identical products and
+/// bitwise-identical ExecutionReports.
+void expect_bitwise_parity(xla::Jit& fn, const std::vector<Literal>& args) {
+  Fixture f;
+  fn.call(f.rt, args);
+  const auto* compiled = fn.lookup(args);
+  ASSERT_NE(compiled, nullptr);
+  xla::ExecutionReport ri;
+  xla::ExecutionReport rc;
+  const auto oi = xla::execute(*compiled, args, &ri);
+  const auto oc = xla::execute_compiled(*compiled, args, &rc);
+  ASSERT_EQ(oi.size(), oc.size());
+  for (std::size_t k = 0; k < oi.size(); ++k) {
+    expect_literal_bits(oi[k], oc[k]);
+  }
+  expect_report_equal(ri, rc);
+}
+
+}  // namespace
+
+TEST(XlaCompiled, ParityElementwiseChain) {
+  xla::Jit fn("chain", [](const std::vector<Array>& in) {
+    const Array t = xla::sqrt(xla::abs(in[0] * 2.0 + 1.0));
+    return std::vector<Array>{xla::sin(t) * xla::cos(t) + xla::tanh(t),
+                              xla::atan2(t, in[0]) - xla::exp(-t)};
+  });
+  expect_bitwise_parity(fn, {vec({0.3, -1.7, 2.9, 4.2, -0.01})});
+}
+
+TEST(XlaCompiled, ParityBroadcastSliceReduce) {
+  xla::Jit fn("bc", [](const std::vector<Array>& in) {
+    const Array m = xla::broadcast_col(in[0], 3) + xla::broadcast_row(in[1], 2);
+    return std::vector<Array>{xla::slice_col(m, 1), xla::reduce_sum(m, 1),
+                              xla::reduce_sum(m), xla::reduce_max(m)};
+  });
+  expect_bitwise_parity(fn, {vec({10.0, 20.0}), vec({1.0, 2.0, 3.0})});
+}
+
+TEST(XlaCompiled, ParityGatherScatter) {
+  xla::Jit fn("gs", [](const std::vector<Array>& in) {
+    const Array g = xla::gather(in[0], in[1]) * 2.0;
+    return std::vector<Array>{xla::scatter_add(in[0], in[1], g),
+                              xla::scatter_set(in[0], in[1], g)};
+  });
+  // Unsorted indices with out-of-range lanes: atomics path + dropped lanes.
+  expect_bitwise_parity(
+      fn, {vec({1.0, 2.0, 3.0, 4.0}), ivec({2, 0, 2, 9, -1, 1})});
+  // Sorted indices: segment-reduction path.
+  expect_bitwise_parity(
+      fn, {vec({1.0, 2.0, 3.0, 4.0}), ivec({0, 0, 1, 2, 3, 3})});
+}
+
+TEST(XlaCompiled, ParityIntegerAndPredOps) {
+  xla::Jit fn("bits", [](const std::vector<Array>& in) {
+    const Array two = xla::constant_i64(2);
+    const Array p = xla::lt(in[0], xla::constant_i64(5));
+    const Array q = xla::ge(in[0], xla::constant_i64(0));
+    return std::vector<Array>{
+        xla::bitwise_xor(xla::shift_left(in[0], two),
+                         xla::shift_right(in[0], xla::constant_i64(1))),
+        xla::select(xla::logical_and(p, xla::logical_not(q)),
+                    in[0] + xla::constant_i64(100), xla::mod(in[0], two)),
+        xla::to_f64(xla::logical_or(p, q))};
+  });
+  expect_bitwise_parity(fn, {ivec({1, -3, 7, 0, 12, -8})});
+}
+
+TEST(XlaCompiled, ParityIotaCastClampSign) {
+  xla::Jit fn("misc", [](const std::vector<Array>& in) {
+    const Array i = xla::iota(6);
+    const Array f = xla::to_f64(i) - 2.5;
+    return std::vector<Array>{
+        xla::clamp(in[0], xla::constant(-1.0), xla::constant(1.0)),
+        xla::sign(f) * xla::floor(xla::abs(f)),
+        xla::to_i64(in[0] * 10.0) + i};
+  });
+  expect_bitwise_parity(fn, {vec({-2.0, -0.5, 0.0, 0.3, 1.7, 9.0})});
+}
+
+TEST(XlaCompiled, ParityDotAndScalarBroadcast) {
+  xla::Jit fn("dotty", [](const std::vector<Array>& in) {
+    // reduce_sum(a*b) is rewritten to dot; the scalar result then
+    // broadcasts into the next elementwise group.
+    const Array d = xla::reduce_sum(in[0] * in[1]);
+    return std::vector<Array>{in[0] * d + xla::maximum(in[1], in[0]),
+                              xla::minimum(in[0], in[1]) / d};
+  });
+  expect_bitwise_parity(
+      fn, {vec({1.0, 2.0, 3.0, 4.0}), vec({0.5, -0.25, 8.0, 1.0 / 3.0})});
+}
+
+TEST(XlaCompiled, ParityLargeDomainCrossesBlocks) {
+  // > 1024 elements so the blocked loop takes more than one pass, and an
+  // odd size so the last block is partial.
+  xla::Jit fn("big", [](const std::vector<Array>& in) {
+    const Array t = in[0] * 1.0000001 + 0.5;
+    return std::vector<Array>{xla::sqrt(xla::abs(t)),
+                              xla::reduce_sum(t * t),
+                              xla::reduce_max(t)};
+  });
+  std::vector<double> big(3000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = std::sin(static_cast<double>(i) * 0.7) * 100.0;
+  }
+  expect_bitwise_parity(
+      fn, {Literal::from_f64(Shape{static_cast<std::int64_t>(big.size())},
+                             big)});
+}
+
+TEST(XlaCompiled, ParamOnlyAndConstantOnlyRoots) {
+  // Roots that are leaves (a parameter, a folded constant) produce no
+  // loops at all; the executable just forwards the materialized values.
+  xla::Jit fn("leaves", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0], xla::constant(2.0) * xla::constant(3.0)};
+  });
+  expect_bitwise_parity(fn, {vec({1.0, 2.0, 3.0})});
+}
+
+TEST(XlaCompiled, SingleOpGroup) {
+  xla::Jit fn("one", [](const std::vector<Array>& in) {
+    return std::vector<Array>{in[0] + in[1]};
+  });
+  expect_bitwise_parity(fn, {vec({1.0, 2.0}), vec({3.0, 4.0})});
+}
+
+TEST(XlaCompiled, FusedStatsExposedAndCached) {
+  Fixture f;
+  xla::Jit fn("stats", [](const std::vector<Array>& in) {
+    return std::vector<Array>{xla::reduce_sum(xla::sqrt(in[0]) * 2.0 + 1.0)};
+  });
+  const std::vector<Literal> args = {vec({1.0, 4.0, 9.0})};
+  fn.call(f.rt, args);
+  const auto* compiled = fn.lookup(args);
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(compiled->fused, nullptr);  // lowering is lazy
+  xla::execute_compiled(*compiled, args);
+  ASSERT_NE(compiled->fused, nullptr);
+  const auto exe = compiled->fused;
+  EXPECT_GE(exe->loop_count(), 1u);
+  EXPECT_GE(exe->step_count(), exe->loop_count());
+  EXPECT_GE(exe->materialized_count(), exe->loop_count());
+  // The lowering runs once per Compiled; later calls reuse it.
+  xla::execute_compiled(*compiled, args);
+  EXPECT_EQ(compiled->fused, exe);
+}
+
+TEST(XlaCompiled, DtypeMixedModuleRaisesLoweringError) {
+  // Hand-built module (the tracer cannot produce this): f64 + i64.  The
+  // interpreter would die on it too; the fused lowering must reject it
+  // with LoweringError so the Jit knows to fall back.
+  xla::HloModule m;
+  m.name = "mixed";
+  xla::HloInstruction p0;
+  p0.opcode = xla::Opcode::kParam;
+  p0.dtype = DType::kF64;
+  p0.shape = Shape{2};
+  p0.i0 = 0;
+  xla::HloInstruction p1;
+  p1.opcode = xla::Opcode::kParam;
+  p1.dtype = DType::kI64;
+  p1.shape = Shape{2};
+  p1.i0 = 1;
+  xla::HloInstruction add;
+  add.opcode = xla::Opcode::kAdd;
+  add.dtype = DType::kF64;
+  add.shape = Shape{2};
+  add.operands = {0, 1};
+  m.instructions = {p0, p1, add};
+  m.params = {0, 1};
+  m.roots = {2};
+  const xla::Compiled compiled = xla::compile(std::move(m));
+  const std::vector<Literal> args = {vec({1.0, 2.0}), ivec({3, 4})};
+  EXPECT_THROW(xla::execute_compiled(compiled, args), xla::LoweringError);
+  // Rejection must not poison the cache slot with a bad executable.
+  EXPECT_EQ(compiled.fused, nullptr);
+}
+
+TEST(XlaCompiled, JitCompiledModeMatchesInterpretedTimeline) {
+  // End to end through the Jit: same products, same virtual clock, same
+  // tracer totals — the executor mode must be invisible to the model.
+  const auto run = [](xla::ExecMode mode) {
+    Fixture f;
+    f.rt.set_executor(mode);
+    xla::Jit fn("e2e", [](const std::vector<Array>& in) {
+      const Array g = xla::gather(in[0], in[1]) * 2.0 + 1.0;
+      const Array r = xla::reduce_sum(g);
+      return std::vector<Array>{xla::scatter_add(in[0], in[1], g + r)};
+    });
+    const std::vector<Literal> args = {vec({1.0, 2.0, 3.0}),
+                                       ivec({2, 0, 1, 5})};
+    auto out = fn.call(f.rt, args);
+    out = fn.call(f.rt, args);  // cached-call timing too
+    return std::make_tuple(std::move(out), f.clock.now(),
+                           f.tracer.seconds("e2e"), f.tracer.calls("e2e"));
+  };
+  const auto [oi, ti, si, ci] = run(xla::ExecMode::kInterpreted);
+  const auto [oc, tc, sc, cc] = run(xla::ExecMode::kCompiled);
+  ASSERT_EQ(oi.size(), oc.size());
+  for (std::size_t k = 0; k < oi.size(); ++k) {
+    expect_literal_bits(oi[k], oc[k]);
+  }
+  EXPECT_EQ(ti, tc);
+  EXPECT_EQ(si, sc);
+  EXPECT_EQ(ci, cc);
 }
