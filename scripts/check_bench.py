@@ -32,6 +32,15 @@ def expect_schema(doc, want):
         raise ValueError(f"schema is {got!r}, expected {want!r}")
 
 
+def warn_unknown_keys(doc, known, path):
+    """Warn (without failing) about top-level keys the checker does not
+    understand: usually a renamed section, where silently ignoring it
+    would turn every assertion on the old name into a vacuous pass."""
+    for key in sorted(set(doc) - set(known) - {"schema", "benchmark"}):
+        print(f"  [warn] {path}: unknown top-level key {key!r} "
+              "(checker out of date?)")
+
+
 def non_empty(seq, what):
     """Guard against vacuous passes: a checker iterating an empty list
     would report success without checking anything.  An empty section
@@ -193,6 +202,7 @@ def check_plan(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-plan-v1")
     print(f"plan ({path}):")
+    warn_unknown_keys(doc, {"direct", "jobs"}, path)
 
     # The compilation contract: the default sync plan reproduces the
     # interpreter bit for bit — runtime, TimeLog and science products —
@@ -281,6 +291,7 @@ def check_executor(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-executor-v1")
     print(f"executor ({path}):")
+    warn_unknown_keys(doc, {"rows", "chaos", "fused"}, path)
     rows = {r["name"]: r for r in non_empty(doc["rows"], "rows")}
 
     # The oracle contract: for every workload the compiled executor must
@@ -325,6 +336,56 @@ def check_executor(path):
           "materialized")
 
 
+# Pipelining the destriper's collectives behind the next matvec has to
+# actually hide latency, not just reshuffle spans: the overlap solve must
+# beat the staged solve by at least this factor.
+ASYNC_MIN_OVERLAP = 1.1
+
+
+def check_async(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect_schema(doc, "toastcase-bench-async-v1")
+    print(f"async ({path}):")
+    warn_unknown_keys(doc, {"plan", "solver", "chaos"}, path)
+
+    # The task-graph oracle contract: the serial schedule of the lowered
+    # graph reproduces staged plan replay bit for bit — virtual runtime,
+    # TimeLog and science products — including under the launch-chaos
+    # plan that forces a mid-run degrade onto the patch tasks.
+    for row in non_empty(doc["plan"], "plan"):
+        name = row["name"]
+        check(row["runtime_equal"],
+              f"{name}: task-graph runtime bitwise-equal to staged replay")
+        check(row["timelog_equal"],
+              f"{name}: task-graph TimeLog identical to staged replay")
+        check(row["products_equal"],
+              f"{name}: science products identical to staged replay")
+        check(row["n_tasks"] > 0, f"{name}: tasks actually executed")
+        check(0.0 < row["critical_path_s"] <= row["total_busy_s"],
+              f"{name}: critical path within (0, busy] seconds")
+        check(0.0 <= row["overlap_fraction"] < 1.0,
+              f"{name}: overlap fraction in [0, 1)")
+    chaos_rows = [r for r in doc["plan"] if "chaos" in r["name"]]
+    check(bool(chaos_rows) and all(r["patched"] > 0 for r in chaos_rows),
+          "chaos plan rows re-routed groups to their patch tasks")
+
+    solver = doc["solver"]
+    check(solver["sync_equal"],
+          "solver: serial engine bitwise-equal to staged collectives")
+    check(solver["overlap_products_equal"],
+          "solver: overlap mode leaves amplitudes/residuals bitwise")
+    check(solver["overlap_speedup"] >= ASYNC_MIN_OVERLAP,
+          f"solver: overlap {solver['overlap_speedup']:.2f}x over staged "
+          f">= {ASYNC_MIN_OVERLAP}x floor")
+
+    chaos = doc["chaos"]
+    check(chaos["sync_equal"],
+          "chaos: staged/sync bitwise-equal under pinned rank failures")
+    check(chaos["checkpoint_restores"] > 0,
+          "chaos: checkpoint restores actually fired")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -335,6 +396,7 @@ def main():
     ap.add_argument("--plan")
     ap.add_argument("--comm")
     ap.add_argument("--executor")
+    ap.add_argument("--async", dest="async_path")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -345,12 +407,13 @@ def main():
         (check_plan, args.plan),
         (check_comm, args.comm),
         (check_executor, args.executor),
+        (check_async, args.async_path),
     ]
     if not any(path for _, path in checks):
         ap.error(
             "pass at least one of "
             "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm"
-            "/--executor")
+            "/--executor/--async")
 
     for fn, path in checks:
         if path:

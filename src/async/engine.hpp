@@ -1,0 +1,142 @@
+#pragma once
+
+// Deterministic async task engine (docs/MODEL.md §11).
+//
+// One runtime, two faces, one virtual clock:
+//
+//  - run(TaskGraph&): execute a lowered pipeline graph.  The serial
+//    schedule visits tasks in id order inside each group's driver
+//    ranges — by construction the exact step order of staged replay
+//    (core::execute_plan), so products, TimeLog and final clock are
+//    bitwise identical, including when a group faults and re-routes to
+//    its patch tasks.  The report then computes what the dependency
+//    structure would allow: critical path over the data deps, lane
+//    busy time, achievable overlap.
+//
+//  - submit()/await(): incremental dataflow for ad-hoc work (the
+//    destriper's pipelined CG).  In Mode::kSerial a submit charges the
+//    clock immediately — bit-for-bit what the blocking code did.  In
+//    Mode::kOverlap a submit places the task on its lane at
+//    max(now, lane ready, dep futures ready) and only await() advances
+//    the clock, charging the remaining slack as an explicit "wait"
+//    span — latency the caller failed to hide.
+//
+// Determinism: placement is a pure fold over submission order (the
+// fixed tie-break is task id, i.e. submission order); costs are pure
+// functions of the start time; no wall clock, no randomness.  Replays
+// are bitwise.
+
+#include <array>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "accel/sim_device.hpp"
+#include "async/future.hpp"
+#include "async/task.hpp"
+#include "obs/trace.hpp"
+
+namespace toast::async {
+
+enum class Mode {
+  kSerial,   ///< bitwise oracle: submit == charge immediately
+  kOverlap,  ///< dataflow: submit places, await charges slack
+};
+
+struct Options {
+  Mode mode = Mode::kSerial;
+  /// First Tracer stream id for engine lanes (clear of the sched
+  /// stream ids, which start at 0).
+  int lane_base = 32;
+  /// Emit per-task structural spans on their lane during graph runs
+  /// (trace-only; never enters the TimeLog).
+  bool trace_tasks = true;
+};
+
+/// Cost of a task as a pure function of its start time (virtual
+/// seconds).  Purity is what makes overlap placement replayable.
+using CostFn = std::function<double(double start)>;
+
+struct LaneStat {
+  std::string name;
+  int tasks = 0;
+  double busy_s = 0.0;
+};
+
+struct GraphReport {
+  int n_tasks = 0;   ///< tasks executed (including patch tasks)
+  int n_groups = 0;
+  int patched = 0;   ///< groups re-routed to their patch
+  std::array<int, kNumTaskKinds> by_kind{};
+  double total_busy_s = 0.0;      ///< sum of executed task durations
+  double makespan_s = 0.0;        ///< clock delta across the run
+  double critical_path_s = 0.0;   ///< longest data-dep chain
+  /// 1 - critical/busy: the fraction of busy time the dependency
+  /// structure allows off the critical path (0 = fully serial).
+  double overlap_fraction = 0.0;
+  std::vector<LaneStat> lanes;
+
+  /// Fold another observation's report into this one (serial
+  /// composition: busy/makespan/critical path add, counts add).
+  void merge(const GraphReport& other);
+};
+
+/// Dump "toastcase-tasks-v1" JSON: the report plus every executed
+/// task with kind/lane/start/seconds/deps (toast-trace tasks reads
+/// this).
+void write_tasks_json(std::ostream& out, const TaskGraph& graph,
+                      const GraphReport& report);
+
+class Engine {
+ public:
+  Engine(accel::VirtualClock& clock, obs::Tracer* tracer,
+         Options opt = {});
+
+  Mode mode() const { return opt_.mode; }
+
+  // --- incremental face -------------------------------------------------
+
+  /// Find-or-create a named lane; names the tracer stream on creation.
+  int lane(const std::string& name);
+
+  /// Submit one task.  Serial: charge now (bitwise equal to the
+  /// blocking call).  Overlap: place at max(now, lane ready, deps
+  /// ready) without advancing the clock.
+  Future submit(int lane, const std::string& name,
+                const std::string& category, const CostFn& cost,
+                const std::vector<Future>& deps = {});
+
+  /// Block on a future: advance the clock to its ready time, charging
+  /// the slack as a logged "wait" span named `label`.  No-op (returns
+  /// 0) when the future already resolved.
+  double await(const Future& f, const std::string& label);
+
+  /// Block on every lane (checkpoint barriers, end of solve).
+  double drain(const std::string& label);
+
+  /// Submitted tasks whose completion lies after the current clock.
+  int pending_count() const;
+
+  // --- graph face -------------------------------------------------------
+
+  /// Execute a lowered pipeline graph (serial schedule; see file
+  /// comment).  Throws std::logic_error in overlap mode — graph runs
+  /// are the bitwise oracle.
+  GraphReport run(TaskGraph& graph);
+
+ private:
+  void run_task(Task& t, bool recovering);
+  void run_range(std::vector<Task>& tasks, int begin, int end,
+                 bool recovering);
+  GraphReport report(const TaskGraph& graph) const;
+
+  accel::VirtualClock& clock_;
+  obs::Tracer* tracer_;
+  Options opt_;
+  std::vector<std::string> lane_names_;
+  std::vector<double> lane_ready_;
+  std::vector<double> submitted_ends_;
+};
+
+}  // namespace toast::async

@@ -1,0 +1,194 @@
+#include "async/lower.hpp"
+
+#include <string>
+#include <vector>
+
+#include "async/registry.hpp"
+
+namespace toast::async {
+
+namespace {
+
+TaskKind kind_of(core::StepKind k) {
+  switch (k) {
+    case core::StepKind::kChargeOverhead:
+      return TaskKind::kOverhead;
+    case core::StepKind::kEnsureFields:
+      return TaskKind::kEnsure;
+    case core::StepKind::kMapField:
+      return TaskKind::kMap;
+    case core::StepKind::kUpload:
+      return TaskKind::kUpload;
+    case core::StepKind::kLaunch:
+      return TaskKind::kLaunch;
+    case core::StepKind::kDownload:
+      return TaskKind::kDownload;
+    case core::StepKind::kEvict:
+      return TaskKind::kEvict;
+    case core::StepKind::kSyncTransfers:
+      return TaskKind::kSyncTransfers;
+  }
+  return TaskKind::kLaunch;
+}
+
+int lane_of(const core::PlanStep& s) {
+  switch (s.kind) {
+    case core::StepKind::kChargeOverhead:
+    case core::StepKind::kEnsureFields:
+      return kLaneHost;
+    case core::StepKind::kMapField:
+    case core::StepKind::kEvict:
+      return kLaneCompute;
+    case core::StepKind::kLaunch:
+      return s.on_device ? kLaneCompute : kLaneHost;
+    case core::StepKind::kUpload:
+    case core::StepKind::kDownload:
+    case core::StepKind::kSyncTransfers:
+      return kLaneCopy;
+  }
+  return kLaneHost;
+}
+
+/// Declared resource uses of one step.  Versions of "host:<field>" and
+/// "dev:<field>" carry the data dependencies; "host" serializes the
+/// driver thread; "copy_engine" orders prefetched uploads before the
+/// drain that awaits them.
+std::vector<ResourceUse> uses_of(const core::ExecutionPlan& plan,
+                                 const std::vector<core::OpMeta>& meta,
+                                 const core::PlanStep& s) {
+  std::vector<ResourceUse> uses;
+  auto field = [&](int idx) {
+    return plan.field_names[static_cast<std::size_t>(idx)];
+  };
+  switch (s.kind) {
+    case core::StepKind::kChargeOverhead:
+      uses.push_back(writes("host"));
+      break;
+    case core::StepKind::kEnsureFields:
+      uses.push_back(writes("host"));
+      for (const std::string& f :
+           meta[static_cast<std::size_t>(s.op)].touched) {
+        uses.push_back(writes("host:" + f));
+      }
+      break;
+    case core::StepKind::kMapField:
+      uses.push_back(writes("dev:" + field(s.field)));
+      break;
+    case core::StepKind::kUpload:
+      uses.push_back(reads("host:" + field(s.field)));
+      uses.push_back(writes("dev:" + field(s.field)));
+      if (s.async) {
+        uses.push_back(writes("copy_engine"));
+      }
+      break;
+    case core::StepKind::kLaunch: {
+      const core::OpMeta& m = meta[static_cast<std::size_t>(s.op)];
+      const char* space = s.on_device ? "dev:" : "host:";
+      for (const std::string& f : m.reads) {
+        uses.push_back(reads(space + f));
+      }
+      for (const std::string& f : m.writes) {
+        uses.push_back(writes(space + f));
+      }
+      if (!s.on_device) {
+        uses.push_back(writes("host"));
+      }
+      break;
+    }
+    case core::StepKind::kDownload:
+      uses.push_back(reads("dev:" + field(s.field)));
+      uses.push_back(writes("host:" + field(s.field)));
+      break;
+    case core::StepKind::kEvict:
+      uses.push_back(writes("dev:" + field(s.field)));
+      break;
+    case core::StepKind::kSyncTransfers:
+      uses.push_back(reads("copy_engine"));
+      break;
+  }
+  return uses;
+}
+
+std::string name_of(const core::ExecutionPlan& plan,
+                    const std::vector<core::OpMeta>& meta,
+                    const core::PlanStep& s) {
+  if (s.field >= 0) {
+    return plan.field_names[static_cast<std::size_t>(s.field)];
+  }
+  if (s.op >= 0) {
+    return meta[static_cast<std::size_t>(s.op)].name;
+  }
+  return "pipeline";
+}
+
+}  // namespace
+
+TaskGraph lower_plan(const core::ExecutionPlan& plan,
+                     const std::vector<core::OpMeta>& meta,
+                     core::PlanExecutor& pe) {
+  TaskGraph graph;
+  graph.lane_names = {"host", "compute", "copy", "comm"};
+  TaskRegistry reg(graph);
+
+  for (const core::PlanStep& s : plan.steps) {
+    Task t;
+    t.kind = kind_of(s.kind);
+    t.name = name_of(plan, meta, s);
+    t.lane = lane_of(s);
+    const core::PlanStep* sp = &s;
+    t.run = [&pe, sp](bool recovering) { pe.run_step(*sp, recovering); };
+    reg.add(std::move(t), uses_of(plan, meta, s));
+  }
+  for (const core::PlanStep& s : plan.alt_steps) {
+    Task t;
+    t.kind = kind_of(s.kind);
+    t.name = name_of(plan, meta, s);
+    t.lane = kLaneHost;  // patches run on the serial host driver
+    const core::PlanStep* sp = &s;
+    t.run = [&pe, sp](bool recovering) { pe.run_step(*sp, recovering); };
+    reg.add_alt(std::move(t));
+  }
+
+  graph.groups.reserve(plan.groups.size());
+  for (const core::PlanGroup& g : plan.groups) {
+    TaskGroup tg;
+    tg.begin = g.begin;
+    tg.body_begin = g.try_begin;
+    tg.post_begin = g.post_begin;
+    tg.tail_begin = g.post_end;
+    tg.end = g.end;
+    tg.alt_begin = g.alt_begin;
+    tg.alt_end = g.alt_end;
+    if (g.op >= 0) {
+      tg.name = meta[static_cast<std::size_t>(g.op)].name;
+      tg.expect_accel = g.on_accel;
+      const core::PlanGroup* gp = &g;
+      tg.decide = [&pe, gp] { return pe.decide(*gp); };
+      tg.attempt = [&pe](const std::function<void()>& body) {
+        return pe.attempt(body);
+      };
+      tg.on_fault = [&pe, gp](const char* reason) {
+        pe.mark_degraded(*gp, reason);
+      };
+    }
+    graph.groups.push_back(std::move(tg));
+  }
+  return graph;
+}
+
+GraphReport run_plan_async(core::Pipeline& pipeline, core::Observation& ob,
+                           core::ExecContext& ctx, core::PlanStats& stats,
+                           const Options& opt) {
+  const auto plan = pipeline.plan_for(ob, ctx);
+  obs::ScopedSpan pipeline_span(ctx.tracer(), "pipeline:" + ob.name(),
+                                "pipeline");
+  core::PlanExecutor pe(*plan, pipeline.metadata(), ob, ctx,
+                        pipeline.backend_override(), stats);
+  TaskGraph graph = lower_plan(*plan, pipeline.metadata(), pe);
+  Engine engine(ctx.clock(), &ctx.tracer(), opt);
+  GraphReport report = engine.run(graph);
+  pe.finish(pipeline_span.id());
+  return report;
+}
+
+}  // namespace toast::async

@@ -1,0 +1,47 @@
+#pragma once
+
+// Lowering cached ExecutionPlans into the task graph (MODEL.md §11).
+//
+// lower_plan() maps every plan step 1:1 onto a Task bound to a
+// core::PlanExecutor — the shared step-semantics layer both runtimes
+// use — and derives data dependencies from each step's declared
+// resource uses (host/device field versions, the serial host driver,
+// the prefetch copy engine).  Task indices equal step indices, so
+// PlanGroup ranges carry over unchanged, and each group's
+// decide/attempt/on_fault callbacks bind to the same executor.
+//
+// run_plan_async() is the drop-in planned-exec entry point: compile
+// (cached) via Pipeline::plan_for, lower, run on an async::Engine.
+// In serial mode it is bitwise identical to Pipeline::exec —
+// products, TimeLog and final clock — including under pinned fault
+// plans, and additionally returns the GraphReport (task counts,
+// critical path, achievable overlap).
+
+#include "async/engine.hpp"
+#include "async/task.hpp"
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
+
+namespace toast::async {
+
+/// Lane indices of the lowered graph (TaskGraph::lane_names order).
+enum : int {
+  kLaneHost = 0,     ///< serial driver: overhead, ensure, host patches
+  kLaneCompute = 1,  ///< device kernels, device alloc/evict
+  kLaneCopy = 2,     ///< H2D/D2H transfers, prefetch drains
+  kLaneComm = 3,     ///< collectives (reserved for the solver face)
+};
+
+/// Build the task graph for one (plan, observation) run.  `pe` must
+/// outlive the graph: every task body calls back into it.
+TaskGraph lower_plan(const core::ExecutionPlan& plan,
+                     const std::vector<core::OpMeta>& meta,
+                     core::PlanExecutor& pe);
+
+/// Planned execution through the task-graph runtime.  Accumulates into
+/// `stats` exactly what execute_plan would (replans, evictions, ...).
+GraphReport run_plan_async(core::Pipeline& pipeline, core::Observation& ob,
+                           core::ExecContext& ctx, core::PlanStats& stats,
+                           const Options& opt = {});
+
+}  // namespace toast::async

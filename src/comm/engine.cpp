@@ -333,94 +333,107 @@ StepDag allreduce_dag(Algorithm alg, int ranks, double bytes,
 
 // --- scheduling -------------------------------------------------------------
 
-ScheduleResult Engine::schedule(const StepDag& dag,
-                                const RunOptions& opt) const {
-  const int n_nics = topo_.n_nics();
-  const bool faulty = opt.faults != nullptr && opt.faults->armed();
+StepScheduler::StepScheduler(const Engine& engine, const StepDag& dag,
+                             const RunOptions& opt)
+    : engine_(engine),
+      dag_(dag),
+      opt_(opt),
+      faulty_(opt.faults != nullptr && opt.faults->armed()),
+      lanes_(opt.epoch) {
+  seconds_.reserve(dag.steps.size());
+}
 
-  struct FaultNote {
-    std::size_t step = 0;
-    std::string site;
-    double extra = 0.0;  // link-degrade stretch of the wire time
-    fault::ProbeResult probe;
-  };
-  std::vector<FaultNote> notes;
-
-  std::vector<sched::LaneOp> ops;
-  ops.reserve(dag.steps.size());
-  for (std::size_t i = 0; i < dag.steps.size(); ++i) {
-    const Step& st = dag.steps[i];
-    sched::LaneOp op;
-    double t = topo_.step_seconds(st.src, st.dst, st.bytes);
-    if (faulty) {
-      const std::string edge =
-          std::to_string(st.src) + ">" + std::to_string(st.dst);
-      const double factor =
-          opt.faults->link_degrade_factor(opt.site + "/link/" + edge);
-      FaultNote note;
-      note.step = i;
-      if (factor > 1.0) {
-        note.extra = t * (factor - 1.0);
-        note.site = opt.site + "/link/" + edge;
-        t *= factor;
-      }
-      note.probe = opt.faults->chunk_loss(opt.site + "/chunk/" + edge, t);
-      if (note.probe.failures > 0) {
-        op.lead = note.probe.penalty;
-        if (note.site.empty()) {
-          note.site = opt.site + "/chunk/" + edge;
-        }
-      }
-      if (note.extra > 0.0 || note.probe.failures > 0) {
-        notes.push_back(std::move(note));
-      }
-    }
-    op.seconds = t;
-    if (topo_.same_node(st.src, st.dst)) {
-      op.lanes = {2 * n_nics + 2 * st.src, 2 * n_nics + 2 * st.dst + 1};
-    } else {
-      op.lanes = {2 * topo_.nic_of(st.src), 2 * topo_.nic_of(st.dst) + 1};
-    }
-    op.deps = st.deps;
-    ops.push_back(std::move(op));
+double StepScheduler::place_next() {
+  const Topology& topo = engine_.topology();
+  const int n_nics = topo.n_nics();
+  const std::size_t i = placed();
+  if (i >= dag_.steps.size()) {
+    throw std::runtime_error("StepScheduler: all steps already placed");
   }
+  const Step& st = dag_.steps[i];
+  sched::LaneOp op;
+  double t = topo.step_seconds(st.src, st.dst, st.bytes);
+  if (faulty_) {
+    // The fault draws come from per-(kind, site) counter streams, so
+    // drawing per placement (instead of all up front) reads the exact
+    // same values: per-site draw order is the step order either way.
+    const std::string edge =
+        std::to_string(st.src) + ">" + std::to_string(st.dst);
+    const double factor =
+        opt_.faults->link_degrade_factor(opt_.site + "/link/" + edge);
+    FaultNote note;
+    note.step = i;
+    if (factor > 1.0) {
+      note.extra = t * (factor - 1.0);
+      note.site = opt_.site + "/link/" + edge;
+      t *= factor;
+    }
+    note.probe = opt_.faults->chunk_loss(opt_.site + "/chunk/" + edge, t);
+    if (note.probe.failures > 0) {
+      op.lead = note.probe.penalty;
+      if (note.site.empty()) {
+        note.site = opt_.site + "/chunk/" + edge;
+      }
+    }
+    if (note.extra > 0.0 || note.probe.failures > 0) {
+      notes_.push_back(std::move(note));
+    }
+  }
+  op.seconds = t;
+  if (topo.same_node(st.src, st.dst)) {
+    op.lanes = {2 * n_nics + 2 * st.src, 2 * n_nics + 2 * st.dst + 1};
+  } else {
+    op.lanes = {2 * topo.nic_of(st.src), 2 * topo.nic_of(st.dst) + 1};
+  }
+  op.deps = st.deps;
+  seconds_.push_back(t);
+  const int idx = lanes_.push(op);
+  return lanes_.end(idx);
+}
 
-  const sched::LanePlacement placed = sched::schedule_lanes(ops, opt.epoch);
+ScheduleResult StepScheduler::finish() {
+  if (!done()) {
+    throw std::runtime_error("StepScheduler: finish() before all steps");
+  }
+  const Topology& topo = engine_.topology();
+  const int n_nics = topo.n_nics();
 
-  if (opt.tracer != nullptr) {
-    const std::string name = std::string("comm_") + dag.collective + "_" +
-                             to_string(dag.algorithm);
-    for (std::size_t i = 0; i < dag.steps.size(); ++i) {
-      const Step& st = dag.steps[i];
-      const bool intra = topo_.same_node(st.src, st.dst);
-      if (intra && !opt.trace_intra) {
+  if (opt_.tracer != nullptr) {
+    const std::string name = std::string("comm_") + dag_.collective + "_" +
+                             to_string(dag_.algorithm);
+    for (std::size_t i = 0; i < dag_.steps.size(); ++i) {
+      const Step& st = dag_.steps[i];
+      const bool intra = topo.same_node(st.src, st.dst);
+      if (intra && !opt_.trace_intra) {
         continue;
       }
-      const obs::SpanId id =
-          opt.tracer->record_at(name, "comm", placed.start[i], ops[i].seconds,
-                                /*backend=*/{}, nullptr, /*logged=*/false);
-      opt.tracer->add_counter(id, "bytes", st.bytes);
-      opt.tracer->add_counter(id, "src", st.src);
-      opt.tracer->add_counter(id, "dst", st.dst);
-      opt.tracer->add_counter(id, "round", st.round);
-      opt.tracer->set_stream(
-          id, opt.lane_base +
-                  (intra ? n_nics + st.src : topo_.nic_of(st.src)));
+      const obs::SpanId id = opt_.tracer->record_at(
+          name, "comm", lanes_.start(static_cast<int>(i)), seconds_[i],
+          /*backend=*/{}, nullptr, /*logged=*/false);
+      opt_.tracer->add_counter(id, "bytes", st.bytes);
+      opt_.tracer->add_counter(id, "src", st.src);
+      opt_.tracer->add_counter(id, "dst", st.dst);
+      opt_.tracer->add_counter(id, "round", st.round);
+      opt_.tracer->set_stream(
+          id, opt_.lane_base +
+                  (intra ? n_nics + st.src : topo.nic_of(st.src)));
     }
   }
 
-  if (faulty) {
+  if (faulty_) {
     const FaultNote* dead = nullptr;
-    for (const FaultNote& note : notes) {
+    for (const FaultNote& note : notes_) {
       if (note.extra > 0.0) {
-        opt.faults->note_straggler(note.site, placed.start[note.step],
-                                   note.extra);
+        opt_.faults->note_straggler(
+            note.site, lanes_.start(static_cast<int>(note.step)),
+            note.extra);
       }
       if (note.probe.failures > 0) {
         // The retry penalty sits on the step's lanes just ahead of it.
-        opt.faults->note_async_retries(
+        opt_.faults->note_async_retries(
             fault::FaultKind::kChunkLoss, note.site,
-            placed.start[note.step] - note.probe.penalty, note.probe);
+            lanes_.start(static_cast<int>(note.step)) - note.probe.penalty,
+            note.probe);
       }
       if (note.probe.persistent && dead == nullptr) {
         dead = &note;
@@ -433,10 +446,23 @@ ScheduleResult Engine::schedule(const StepDag& dag,
   }
 
   ScheduleResult out;
-  out.start = placed.start;
-  out.end = placed.end;
-  out.makespan = placed.makespan - opt.epoch;
+  out.start.resize(dag_.steps.size());
+  out.end.resize(dag_.steps.size());
+  for (std::size_t i = 0; i < dag_.steps.size(); ++i) {
+    out.start[i] = lanes_.start(static_cast<int>(i));
+    out.end[i] = lanes_.end(static_cast<int>(i));
+  }
+  out.makespan = lanes_.makespan() - opt_.epoch;
   return out;
+}
+
+ScheduleResult Engine::schedule(const StepDag& dag,
+                                const RunOptions& opt) const {
+  StepScheduler cursor(*this, dag, opt);
+  while (!cursor.done()) {
+    cursor.place_next();
+  }
+  return cursor.finish();
 }
 
 double Engine::allreduce_seconds(double bytes, Algorithm alg,

@@ -34,6 +34,7 @@
 #include "comm/topology.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
 
 namespace toast::comm {
 
@@ -131,6 +132,8 @@ class Engine {
 
   /// Place a step DAG on the topology's NIC/memory lanes.  Cost only: no
   /// payload moves.  Emits lane spans and draws fault hooks per RunOptions.
+  /// Implemented as a StepScheduler loop, so one-shot and step-at-a-time
+  /// scheduling are bit-for-bit the same placement.
   ScheduleResult schedule(const StepDag& dag, const RunOptions& opt = {}) const;
 
   // --- collective costs (makespan seconds, relative to opt.epoch) --------
@@ -174,6 +177,44 @@ class Engine {
   std::size_t check_world(const std::vector<std::vector<double>>& bufs) const;
 
   Topology topo_;
+};
+
+/// Step-at-a-time scheduling of one DAG: place_next() places exactly one
+/// step (drawing that step's link/chunk fault hooks as it goes) with the
+/// same arithmetic as Engine::schedule — which is itself a place_next()
+/// loop, so incremental and one-shot execution are bit-for-bit identical.
+/// The async task runtime drives this cursor to treat individual
+/// collective steps as tasks.  finish() emits the trace spans and fault
+/// notes (and throws PersistentFaultError when a chunk retry budget was
+/// exhausted), then returns the placement; call it once, after every step
+/// is placed.  The engine, DAG and option pointers must outlive the
+/// scheduler.
+class StepScheduler {
+ public:
+  StepScheduler(const Engine& engine, const StepDag& dag,
+                const RunOptions& opt);
+
+  std::size_t placed() const { return lanes_.size(); }
+  bool done() const { return placed() >= dag_.steps.size(); }
+  /// Place the next step; returns its absolute end time on the timeline.
+  double place_next();
+  ScheduleResult finish();
+
+ private:
+  struct FaultNote {
+    std::size_t step = 0;
+    std::string site;
+    double extra = 0.0;  // link-degrade stretch of the wire time
+    fault::ProbeResult probe;
+  };
+
+  const Engine& engine_;
+  const StepDag& dag_;
+  RunOptions opt_;
+  bool faulty_ = false;
+  sched::LaneSchedule lanes_;
+  std::vector<double> seconds_;  ///< placed wire time, per step
+  std::vector<FaultNote> notes_;
 };
 
 }  // namespace toast::comm

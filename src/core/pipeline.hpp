@@ -60,6 +60,9 @@ class Pipeline {
     backend_override_ = backend;
     plan_cache_.clear();
   }
+  const std::optional<Backend>& backend_override() const {
+    return backend_override_;
+  }
 
   /// Opt into prefetch / liveness eviction (the naive_staging bit is
   /// derived from the Staging mode and ignored here).

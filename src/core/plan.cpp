@@ -325,14 +325,213 @@ ExecutionPlan build_plan(const std::vector<OpMeta>& meta,
 
 // --- executor --------------------------------------------------------------
 
-namespace {
+PlanExecutor::PlanExecutor(const ExecutionPlan& plan,
+                           const std::vector<OpMeta>& meta, Observation& ob,
+                           ExecContext& ctx,
+                           const std::optional<Backend>& backend_override,
+                           PlanStats& stats)
+    : plan_(plan),
+      meta_(meta),
+      ob_(ob),
+      ctx_(ctx),
+      backend_override_(backend_override),
+      stats_(stats),
+      store_(ctx) {
+  if (plan_.options.prefetch) {
+    engine_.emplace(ctx_.device(), ctx_.clock(), &ctx_.tracer(), 1,
+                    std::string(to_string(ctx_.config().backend)));
+    if (ctx_.faults().armed()) {
+      engine_->set_fault_injector(&ctx_.faults());
+    }
+  }
+}
 
-struct FieldRt {
-  bool host_valid = true;
-  bool device_valid = false;
-};
+Field* PlanExecutor::field_ptr(int idx) {
+  const std::string& name =
+      plan_.field_names[static_cast<std::size_t>(idx)];
+  return ob_.has_field(name) ? &ob_.field(name) : nullptr;
+}
 
-}  // namespace
+// The one download dance (host-consumed, naive cleanup, recovery and
+// live-out all share it): copy back if the host copy is stale; a
+// persistent transfer fault after the functional copy only loses the
+// charge when the caller may swallow it.
+void PlanExecutor::download(Field& f, bool swallow) {
+  const auto it = state_.find(&f);
+  if (it == state_.end() || it->second.host_valid || !store_.present(f)) {
+    return;
+  }
+  try {
+    store_.update_host(f);
+  } catch (const fault::PersistentFaultError&) {
+    if (!swallow) {
+      throw;
+    }
+  }
+  it->second.host_valid = true;
+}
+
+void PlanExecutor::run_step(const PlanStep& s, bool recovering) {
+  switch (s.kind) {
+    case StepKind::kChargeOverhead:
+      ctx_.charge_serial("pipeline_overhead", kPipelineOverheadSeconds);
+      break;
+    case StepKind::kEnsureFields:
+      meta_[static_cast<std::size_t>(s.op)].op->ensure_fields(ob_);
+      break;
+    case StepKind::kMapField: {
+      Field* f = field_ptr(s.field);
+      if (f != nullptr && !store_.present(*f)) {
+        store_.create(*f);
+        state_[f];  // host_valid=true, device_valid=false
+      }
+      break;
+    }
+    case StepKind::kUpload: {
+      Field* f = field_ptr(s.field);
+      if (f == nullptr) {
+        break;
+      }
+      FieldRt& fs = state_[f];
+      if (fs.device_valid) {
+        break;
+      }
+      if (s.async && engine_.has_value()) {
+        try {
+          store_.update_device_async(*f, *engine_);
+          fs.device_valid = true;
+          stats_.prefetched_uploads += 1.0;
+        } catch (const fault::PersistentFaultError&) {
+          // Prefetch failed persistently: leave the device copy stale
+          // so the owning operator's synchronous upload retries (and
+          // degrades *that* operator, not the one it overlapped).
+        }
+      } else {
+        store_.update_device(*f);
+        fs.device_valid = true;
+      }
+      break;
+    }
+    case StepKind::kLaunch: {
+      const OpMeta& m = meta_[static_cast<std::size_t>(s.op)];
+      const LaunchFn& launch =
+          plan_.launches[static_cast<std::size_t>(s.op)];
+      if (s.on_device) {
+        launch(ob_, ctx_, &store_, cur_backend_);
+        for (const auto& name : m.writes) {
+          if (!ob_.has_field(name)) {
+            continue;
+          }
+          Field& f = ob_.field(name);
+          state_[&f].device_valid = true;
+          state_[&f].host_valid = false;
+        }
+      } else {
+        launch(ob_, ctx_, nullptr, cur_backend_);
+        for (const auto& name : m.writes) {
+          if (!ob_.has_field(name)) {
+            continue;
+          }
+          Field& f = ob_.field(name);
+          const auto it = state_.find(&f);
+          if (it != state_.end()) {
+            it->second.host_valid = true;
+            it->second.device_valid = false;
+          }
+        }
+      }
+      break;
+    }
+    case StepKind::kDownload: {
+      Field* f = field_ptr(s.field);
+      if (f != nullptr) {
+        download(*f, s.swallow_persistent || recovering);
+      }
+      break;
+    }
+    case StepKind::kEvict: {
+      Field* f = field_ptr(s.field);
+      if (f != nullptr && store_.present(*f)) {
+        store_.remove(*f);
+        state_.erase(f);
+        if (s.liveness) {
+          stats_.evictions += 1.0;
+        }
+      }
+      break;
+    }
+    case StepKind::kSyncTransfers:
+      if (engine_.has_value()) {
+        engine_->sync_transfers("accel_prefetch_wait");
+      }
+      break;
+  }
+}
+
+void PlanExecutor::run_patch(const PlanGroup& g, bool recovering) {
+  for (int i = g.alt_begin; i < g.alt_end; ++i) {
+    run_step(plan_.alt_steps[static_cast<std::size_t>(i)], recovering);
+  }
+}
+
+bool PlanExecutor::decide(const PlanGroup& g) {
+  const OpMeta& m = meta_[static_cast<std::size_t>(g.op)];
+  cur_backend_ = backend_override_.has_value() ? *backend_override_
+                                               : ctx_.backend_for(m.name);
+  const bool on_accel = m.supports_accel && is_accel(cur_backend_) &&
+                        !ctx_.faults().degraded(m.name);
+  if (!on_accel && g.on_accel) {
+    // The cached plan staged this operator for the device, but the
+    // kernel degraded since plan build: patch to the host fallback.
+    stats_.replans += 1.0;
+    ctx_.faults().note_replan(m.name);
+  }
+  return on_accel;
+}
+
+const char* PlanExecutor::attempt(const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const fault::PersistentFaultError&) {
+    // Retry budget exhausted on a launch or transfer: the plan's
+    // host-fallback patch re-runs this operator on the CPU.  The
+    // functional work in both runtimes happens on shadow copies
+    // before the time charge throws, so host data is untouched.
+    return "persistent_fault";
+  } catch (const accel::DeviceOomError& e) {
+    if (!e.info().injected) {
+      throw;  // real capacity overflow: the fig4 OOM points rely on it
+    }
+    return "device_oom";
+  }
+  return nullptr;
+}
+
+void PlanExecutor::mark_degraded(const PlanGroup& g, const char* reason) {
+  const OpMeta& m = meta_[static_cast<std::size_t>(g.op)];
+  ctx_.faults().note_fallback(m.name, reason);
+  ctx_.set_kernel_backend(m.name, Backend::kCpu);
+  ctx_.faults().note_replan(m.name);
+  stats_.replans += 1.0;
+  cur_backend_ = Backend::kCpu;
+}
+
+void PlanExecutor::finish(obs::SpanId pipeline_span) {
+  if (engine_.has_value()) {
+    // Prefetches issued for an operator that then degraded may still be
+    // in flight; account for them before the pipeline closes.
+    engine_->sync_transfers("accel_prefetch_wait");
+  }
+  stats_.transfers_avoided += static_cast<double>(plan_.transfers_avoided);
+  stats_.peak_mapped_bytes =
+      std::max(stats_.peak_mapped_bytes,
+               static_cast<double>(store_.peak_mapped_bytes()));
+  ctx_.tracer().add_counter(pipeline_span, "transfers_avoided",
+                            static_cast<double>(plan_.transfers_avoided));
+  ctx_.tracer().add_counter(pipeline_span, "peak_mapped_bytes",
+                            static_cast<double>(store_.peak_mapped_bytes()));
+  store_.clear();
+}
 
 void execute_plan(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
                   Observation& ob, ExecContext& ctx,
@@ -340,225 +539,46 @@ void execute_plan(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
                   PlanStats& stats) {
   obs::ScopedSpan pipeline_span(ctx.tracer(), "pipeline:" + ob.name(),
                                 "pipeline");
-  AccelStore store(ctx);
-  std::map<Field*, FieldRt> state;
-  std::optional<sched::Scheduler> engine;
-  if (plan.options.prefetch) {
-    engine.emplace(ctx.device(), ctx.clock(), &ctx.tracer(), 1,
-                   std::string(to_string(ctx.config().backend)));
-    if (ctx.faults().armed()) {
-      engine->set_fault_injector(&ctx.faults());
-    }
-  }
-
-  auto field_ptr = [&](int idx) -> Field* {
-    const std::string& name =
-        plan.field_names[static_cast<std::size_t>(idx)];
-    return ob.has_field(name) ? &ob.field(name) : nullptr;
-  };
-
-  // The one download dance (host-consumed, naive cleanup, recovery and
-  // live-out all share it): copy back if the host copy is stale; a
-  // persistent transfer fault after the functional copy only loses the
-  // charge when the caller may swallow it.
-  auto download = [&](Field& f, bool swallow) {
-    const auto it = state.find(&f);
-    if (it == state.end() || it->second.host_valid || !store.present(f)) {
-      return;
-    }
-    try {
-      store.update_host(f);
-    } catch (const fault::PersistentFaultError&) {
-      if (!swallow) {
-        throw;
-      }
-    }
-    it->second.host_valid = true;
-  };
-
-  Backend cur_backend = Backend::kCpu;
-
-  auto exec_step = [&](const PlanStep& s, bool recovering) {
-    switch (s.kind) {
-      case StepKind::kChargeOverhead:
-        ctx.charge_serial("pipeline_overhead", kPipelineOverheadSeconds);
-        break;
-      case StepKind::kEnsureFields:
-        meta[static_cast<std::size_t>(s.op)].op->ensure_fields(ob);
-        break;
-      case StepKind::kMapField: {
-        Field* f = field_ptr(s.field);
-        if (f != nullptr && !store.present(*f)) {
-          store.create(*f);
-          state[f];  // host_valid=true, device_valid=false
-        }
-        break;
-      }
-      case StepKind::kUpload: {
-        Field* f = field_ptr(s.field);
-        if (f == nullptr) {
-          break;
-        }
-        FieldRt& fs = state[f];
-        if (fs.device_valid) {
-          break;
-        }
-        if (s.async && engine.has_value()) {
-          try {
-            store.update_device_async(*f, *engine);
-            fs.device_valid = true;
-            stats.prefetched_uploads += 1.0;
-          } catch (const fault::PersistentFaultError&) {
-            // Prefetch failed persistently: leave the device copy stale
-            // so the owning operator's synchronous upload retries (and
-            // degrades *that* operator, not the one it overlapped).
-          }
-        } else {
-          store.update_device(*f);
-          fs.device_valid = true;
-        }
-        break;
-      }
-      case StepKind::kLaunch: {
-        const OpMeta& m = meta[static_cast<std::size_t>(s.op)];
-        const LaunchFn& launch =
-            plan.launches[static_cast<std::size_t>(s.op)];
-        if (s.on_device) {
-          launch(ob, ctx, &store, cur_backend);
-          for (const auto& name : m.writes) {
-            if (!ob.has_field(name)) {
-              continue;
-            }
-            Field& f = ob.field(name);
-            state[&f].device_valid = true;
-            state[&f].host_valid = false;
-          }
-        } else {
-          launch(ob, ctx, nullptr, cur_backend);
-          for (const auto& name : m.writes) {
-            if (!ob.has_field(name)) {
-              continue;
-            }
-            Field& f = ob.field(name);
-            const auto it = state.find(&f);
-            if (it != state.end()) {
-              it->second.host_valid = true;
-              it->second.device_valid = false;
-            }
-          }
-        }
-        break;
-      }
-      case StepKind::kDownload: {
-        Field* f = field_ptr(s.field);
-        if (f != nullptr) {
-          download(*f, s.swallow_persistent || recovering);
-        }
-        break;
-      }
-      case StepKind::kEvict: {
-        Field* f = field_ptr(s.field);
-        if (f != nullptr && store.present(*f)) {
-          store.remove(*f);
-          state.erase(f);
-          if (s.liveness) {
-            stats.evictions += 1.0;
-          }
-        }
-        break;
-      }
-      case StepKind::kSyncTransfers:
-        if (engine.has_value()) {
-          engine->sync_transfers("accel_prefetch_wait");
-        }
-        break;
-    }
-  };
+  PlanExecutor pe(plan, meta, ob, ctx, backend_override, stats);
 
   for (const PlanGroup& g : plan.groups) {
     if (g.op < 0) {
       for (int i = g.begin; i < g.end; ++i) {
-        exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+        pe.run_step(plan.steps[static_cast<std::size_t>(i)], false);
       }
       continue;
     }
     const OpMeta& m = meta[static_cast<std::size_t>(g.op)];
     obs::ScopedSpan op_span(ctx.tracer(), m.name, "operator");
     for (int i = g.begin; i < g.try_begin; ++i) {
-      exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+      pe.run_step(plan.steps[static_cast<std::size_t>(i)], false);
     }
-    cur_backend = backend_override.has_value() ? *backend_override
-                                               : ctx.backend_for(m.name);
-    const bool on_accel = m.supports_accel && is_accel(cur_backend) &&
-                          !ctx.faults().degraded(m.name);
-    auto run_patch = [&](bool recovering) {
-      for (int i = g.alt_begin; i < g.alt_end; ++i) {
-        exec_step(plan.alt_steps[static_cast<std::size_t>(i)], recovering);
-      }
-    };
-    if (!on_accel) {
-      if (g.on_accel) {
-        // The cached plan staged this operator for the device, but the
-        // kernel degraded since plan build: patch to the host fallback.
-        stats.replans += 1.0;
-        ctx.faults().note_replan(m.name);
-      }
-      run_patch(/*recovering=*/false);
+    if (!pe.decide(g)) {
+      pe.run_patch(g, /*recovering=*/false);
     } else {
-      bool accel_ok = true;
-      auto degrade = [&](const char* reason) {
-        accel_ok = false;
-        ctx.faults().note_fallback(m.name, reason);
-        ctx.set_kernel_backend(m.name, Backend::kCpu);
-        ctx.faults().note_replan(m.name);
-        stats.replans += 1.0;
-        cur_backend = Backend::kCpu;
-        run_patch(/*recovering=*/true);
-      };
-      try {
+      const char* reason = pe.attempt([&] {
         for (int i = g.try_begin; i < g.post_begin; ++i) {
-          exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+          pe.run_step(plan.steps[static_cast<std::size_t>(i)], false);
         }
-      } catch (const fault::PersistentFaultError&) {
-        // Retry budget exhausted on a launch or transfer: the plan's
-        // host-fallback patch re-runs this operator on the CPU.  The
-        // functional work in both runtimes happens on shadow copies
-        // before the time charge throws, so host data is untouched.
-        degrade("persistent_fault");
-      } catch (const accel::DeviceOomError& e) {
-        if (!e.info().injected) {
-          throw;  // real capacity overflow: the fig4 OOM points rely on it
-        }
-        degrade("device_oom");
-      }
-      if (accel_ok) {
+      });
+      if (reason != nullptr) {
+        pe.mark_degraded(g, reason);
+        pe.run_patch(g, /*recovering=*/true);
+      } else {
         // Naive-staging cleanup runs outside the recovery try: the op
         // already completed, so a persistent transfer fault here must
         // not re-run it (in-place ops would double-apply).
         for (int i = g.post_begin; i < g.post_end; ++i) {
-          exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+          pe.run_step(plan.steps[static_cast<std::size_t>(i)], false);
         }
       }
     }
     for (int i = g.post_end; i < g.end; ++i) {
-      exec_step(plan.steps[static_cast<std::size_t>(i)], false);
+      pe.run_step(plan.steps[static_cast<std::size_t>(i)], false);
     }
   }
 
-  if (engine.has_value()) {
-    // Prefetches issued for an operator that then degraded may still be
-    // in flight; account for them before the pipeline closes.
-    engine->sync_transfers("accel_prefetch_wait");
-  }
-  stats.transfers_avoided += static_cast<double>(plan.transfers_avoided);
-  stats.peak_mapped_bytes =
-      std::max(stats.peak_mapped_bytes,
-               static_cast<double>(store.peak_mapped_bytes()));
-  ctx.tracer().add_counter(pipeline_span.id(), "transfers_avoided",
-                           static_cast<double>(plan.transfers_avoided));
-  ctx.tracer().add_counter(pipeline_span.id(), "peak_mapped_bytes",
-                           static_cast<double>(store.peak_mapped_bytes()));
-  store.clear();
+  pe.finish(pipeline_span.id());
 }
 
 // --- dump ------------------------------------------------------------------

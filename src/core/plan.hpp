@@ -33,10 +33,12 @@
 #include <vector>
 
 #include "backend/manifest.hpp"
+#include "core/accel_store.hpp"
 #include "core/context.hpp"
 #include "core/observation.hpp"
 #include "core/operator.hpp"
 #include "core/types.hpp"
+#include "sched/scheduler.hpp"
 
 namespace toast::core {
 
@@ -187,5 +189,68 @@ void execute_plan(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
                   Observation& ob, ExecContext& ctx,
                   const std::optional<Backend>& backend_override,
                   PlanStats& stats);
+
+/// Step-level executor for one (plan, observation) run: owns the device
+/// store, per-field validity state, the optional prefetch copy engine and
+/// the degrade bookkeeping.  Both drivers — execute_plan's staged replay
+/// loop and the async task-graph lowering (src/async/lower.*) — run every
+/// step through this class, so "what a step does" is defined exactly once
+/// and the two runtimes stay bit-for-bit interchangeable; a driver only
+/// decides *when* each step runs.
+class PlanExecutor {
+ public:
+  PlanExecutor(const ExecutionPlan& plan, const std::vector<OpMeta>& meta,
+               Observation& ob, ExecContext& ctx,
+               const std::optional<Backend>& backend_override,
+               PlanStats& stats);
+
+  /// Run one plan (or alt) step.  `recovering` lets downloads swallow
+  /// persistent transfer faults, as the interpreter's recovery path did.
+  void run_step(const PlanStep& s, bool recovering);
+
+  /// Run a group's host-fallback patch [alt_begin, alt_end).
+  void run_patch(const PlanGroup& g, bool recovering);
+
+  /// Resolve the group's dispatch at run time; returns whether the accel
+  /// body should execute.  When the plan staged the group for the device
+  /// but the kernel has since degraded, the replan is counted here.
+  bool decide(const PlanGroup& g);
+
+  /// Run `body` under the recovery filter: returns nullptr when it ran
+  /// clean, else the degrade reason of the recoverable fault (persistent
+  /// retry exhaustion, injected OOM) that aborted it.  Non-recoverable
+  /// exceptions propagate.
+  const char* attempt(const std::function<void()>& body);
+
+  /// Mid-body degrade bookkeeping: fallback + replan notes, pin the
+  /// kernel to the CPU.  The caller then runs the patch (recovering).
+  void mark_degraded(const PlanGroup& g, const char* reason);
+
+  /// Drain in-flight prefetches, fold the plan counters into the stats
+  /// and the pipeline span, release the device store.
+  void finish(obs::SpanId pipeline_span);
+
+  const ExecutionPlan& plan() const { return plan_; }
+
+ private:
+  Field* field_ptr(int idx);
+  void download(Field& f, bool swallow);
+
+  struct FieldRt {
+    bool host_valid = true;
+    bool device_valid = false;
+  };
+
+  const ExecutionPlan& plan_;
+  const std::vector<OpMeta>& meta_;
+  Observation& ob_;
+  ExecContext& ctx_;
+  const std::optional<Backend> backend_override_;
+  PlanStats& stats_;
+  AccelStore store_;
+  std::map<Field*, FieldRt> state_;
+  std::optional<sched::Scheduler> engine_;
+  Backend cur_backend_ = Backend::kCpu;
+};
 
 }  // namespace toast::core

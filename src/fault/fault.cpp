@@ -393,4 +393,17 @@ void FaultInjector::note_async_retries(FaultKind kind,
   }
 }
 
+void FaultInjector::note_task_requeue(const std::string& site, int count) {
+  if (count <= 0) {
+    return;
+  }
+  add_count("fault_task_requeues", count);
+  if (tracer_ != nullptr) {
+    const obs::SpanId id =
+        tracer_->record("fault_task_requeue", "fault", 0.0);
+    tracer_->add_counter(id, "site_" + site, 1.0);
+    tracer_->add_counter(id, "tasks", count);
+  }
+}
+
 }  // namespace toast::fault

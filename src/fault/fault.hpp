@@ -186,6 +186,9 @@ class FaultInjector final : public accel::FaultHook {
   /// Async retries placed by a scheduler at [start, start+penalty].
   void note_async_retries(FaultKind kind, const std::string& site,
                           double start, const ProbeResult& r);
+  /// A recovery rolled back `count` in-flight async tasks, which were
+  /// re-enqueued for replay (task-graph runtime).  Trace-only.
+  void note_task_requeue(const std::string& site, int count);
 
   // --- degradation bookkeeping --------------------------------------------
 

@@ -71,7 +71,8 @@ std::map<std::string, MetricRow> aggregate_metrics(
 }
 
 void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
-                        const std::string& process_name) {
+                        const std::string& process_name,
+                        const std::map<int, std::string>& stream_names) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{"
          "\"name\":\""
@@ -86,9 +87,15 @@ void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
     max_stream = std::max(max_stream, s.stream);
   }
   for (int st = 0; st <= max_stream; ++st) {
+    const auto named = stream_names.find(st);
     out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << (2 + st)
-        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"stream " << st
-        << "\"}}";
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (named != stream_names.end()) {
+      out << json::escape(named->second);
+    } else {
+      out << "stream " << st;
+    }
+    out << "\"}}";
   }
   for (const auto& s : spans) {
     const int tid = s.stream >= 0 ? 2 + s.stream : (s.device ? 1 : 0);
@@ -128,10 +135,11 @@ void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
 
 void write_chrome_trace_file(const std::vector<Span>& spans,
                              const std::string& path,
-                             const std::string& process_name) {
+                             const std::string& process_name,
+                             const std::map<int, std::string>& stream_names) {
   std::ofstream out;
   open_or_throw(out, path);
-  write_chrome_trace(spans, out, process_name);
+  write_chrome_trace(spans, out, process_name, stream_names);
 }
 
 void write_metrics_json(const std::vector<Span>& spans, std::ostream& out,

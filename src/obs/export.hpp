@@ -37,11 +37,16 @@ std::map<std::string, MetricRow> aggregate_metrics(
 /// Complete ("ph":"X") events, microsecond timestamps on the virtual
 /// timeline; framework spans on tid 0, device-emitted spans on tid 1,
 /// stream-scheduled spans on tid 2+stream (one overlap lane per stream).
+/// `stream_names` (Tracer::stream_names()) labels lanes; unnamed
+/// streams render as "stream N".
 void write_chrome_trace(const std::vector<Span>& spans, std::ostream& out,
-                        const std::string& process_name = "toastcase");
+                        const std::string& process_name = "toastcase",
+                        const std::map<int, std::string>& stream_names = {});
 void write_chrome_trace_file(const std::vector<Span>& spans,
                              const std::string& path,
-                             const std::string& process_name = "toastcase");
+                             const std::string& process_name = "toastcase",
+                             const std::map<int, std::string>& stream_names =
+                                 {});
 
 // --- flat metrics ----------------------------------------------------------
 

@@ -80,6 +80,13 @@ void Tracer::set_stream(SpanId id, int stream) {
   spans_[static_cast<std::size_t>(id)].stream = stream;
 }
 
+void Tracer::set_stream_name(int stream, std::string name) {
+  if (stream < 0) {
+    return;
+  }
+  stream_names_[stream] = std::move(name);
+}
+
 void Tracer::device_span(const char* name, const char* category,
                          double seconds, double bytes,
                          const accel::WorkEstimate* work) {
@@ -137,6 +144,7 @@ double Tracer::self_seconds(SpanId id) const {
 void Tracer::clear() {
   spans_.clear();
   open_.clear();
+  stream_names_.clear();
 }
 
 }  // namespace toast::obs

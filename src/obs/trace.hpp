@@ -94,6 +94,13 @@ class Tracer final : public accel::TraceSink {
   /// Tag a span with the virtual stream it executed on (sched::Scheduler).
   void set_stream(SpanId id, int stream);
 
+  /// Name a virtual stream lane ("thread_name" metadata in the Chrome
+  /// trace export); unnamed streams render as "stream N".
+  void set_stream_name(int stream, std::string name);
+  const std::map<int, std::string>& stream_names() const {
+    return stream_names_;
+  }
+
   // --- accel::TraceSink ---------------------------------------------------
 
   void device_span(const char* name, const char* category, double seconds,
@@ -123,6 +130,7 @@ class Tracer final : public accel::TraceSink {
   const accel::VirtualClock* clock_;
   std::vector<Span> spans_;
   std::vector<SpanId> open_;
+  std::map<int, std::string> stream_names_;
 };
 
 /// RAII guard for a structural scope.

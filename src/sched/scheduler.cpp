@@ -56,49 +56,60 @@ BatchPlacement schedule_batch(const std::vector<BatchOp>& ops, int n_streams,
 
 // --- multi-lane DAG scheduling ---------------------------------------------
 
+int LaneSchedule::push(const LaneOp& op) {
+  for (const int l : op.lanes) {
+    if (l < 0) {
+      throw std::invalid_argument("schedule_lanes: negative lane id");
+    }
+    if (static_cast<std::size_t>(l) >= lane_ready_.size()) {
+      lane_ready_.resize(static_cast<std::size_t>(l) + 1, epoch_);
+    }
+  }
+  double ready = epoch_;
+  for (const int d : op.deps) {
+    if (d < 0 || static_cast<std::size_t>(d) >= start_.size()) {
+      throw std::invalid_argument(
+          "schedule_lanes: deps must point at earlier ops");
+    }
+    ready = std::max(ready, end_[static_cast<std::size_t>(d)]);
+  }
+  for (const int l : op.lanes) {
+    ready = std::max(ready, lane_ready_[static_cast<std::size_t>(l)]);
+  }
+  // The retry lead occupies the lanes too (a lost chunk is re-sent on
+  // the same wire); with lead == 0 this adds exactly 0.0 and the chain
+  // on a lane stays the plain left-associative sum.
+  const double start = ready + op.lead;
+  const double end = start + op.seconds;
+  start_.push_back(start);
+  end_.push_back(end);
+  for (const int l : op.lanes) {
+    lane_ready_[static_cast<std::size_t>(l)] = end;
+  }
+  makespan_ = std::max(makespan_, end);
+  return static_cast<int>(start_.size()) - 1;
+}
+
+double LaneSchedule::lane_ready(int l) const {
+  if (l < 0 || static_cast<std::size_t>(l) >= lane_ready_.size()) {
+    return epoch_;
+  }
+  return lane_ready_[static_cast<std::size_t>(l)];
+}
+
 LanePlacement schedule_lanes(const std::vector<LaneOp>& ops, double epoch) {
+  LaneSchedule sched(epoch);
+  for (const LaneOp& op : ops) {
+    sched.push(op);
+  }
   LanePlacement out;
   out.start.resize(ops.size());
   out.end.resize(ops.size());
-  out.makespan = epoch;
-
-  int max_lane = -1;
-  for (const LaneOp& op : ops) {
-    for (const int l : op.lanes) {
-      if (l < 0) {
-        throw std::invalid_argument("schedule_lanes: negative lane id");
-      }
-      max_lane = std::max(max_lane, l);
-    }
-  }
-  std::vector<double> lane_ready(static_cast<std::size_t>(max_lane + 1),
-                                 epoch);
-
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    const LaneOp& op = ops[i];
-    double ready = epoch;
-    for (const int d : op.deps) {
-      if (d < 0 || static_cast<std::size_t>(d) >= i) {
-        throw std::invalid_argument(
-            "schedule_lanes: deps must point at earlier ops");
-      }
-      ready = std::max(ready, out.end[static_cast<std::size_t>(d)]);
-    }
-    for (const int l : op.lanes) {
-      ready = std::max(ready, lane_ready[static_cast<std::size_t>(l)]);
-    }
-    // The retry lead occupies the lanes too (a lost chunk is re-sent on
-    // the same wire); with lead == 0 this adds exactly 0.0 and the chain
-    // on a lane stays the plain left-associative sum.
-    const double start = ready + op.lead;
-    const double end = start + op.seconds;
-    out.start[i] = start;
-    out.end[i] = end;
-    for (const int l : op.lanes) {
-      lane_ready[static_cast<std::size_t>(l)] = end;
-    }
-    out.makespan = std::max(out.makespan, end);
+    out.start[i] = sched.start(static_cast<int>(i));
+    out.end[i] = sched.end(static_cast<int>(i));
   }
+  out.makespan = sched.makespan();
   return out;
 }
 

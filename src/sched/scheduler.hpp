@@ -113,6 +113,35 @@ struct LanePlacement {
 LanePlacement schedule_lanes(const std::vector<LaneOp>& ops,
                              double epoch = 0.0);
 
+/// Incremental form of schedule_lanes: ops are pushed one at a time and
+/// placed immediately.  schedule_lanes is a batch push loop over this
+/// class, so feeding the same op sequence step-at-a-time (the async task
+/// runtime's mode of operation) is bit-for-bit the one-shot placement.
+/// Lanes grow on demand and start idle at the epoch.
+class LaneSchedule {
+ public:
+  explicit LaneSchedule(double epoch = 0.0)
+      : epoch_(epoch), makespan_(epoch) {}
+
+  /// Place one op (deps index earlier pushes); returns its index.
+  int push(const LaneOp& op);
+
+  double start(int i) const { return start_[static_cast<std::size_t>(i)]; }
+  double end(int i) const { return end_[static_cast<std::size_t>(i)]; }
+  /// When lane `l` frees up; epoch for lanes no op has touched yet.
+  double lane_ready(int l) const;
+  double epoch() const { return epoch_; }
+  double makespan() const { return makespan_; }
+  std::size_t size() const { return start_.size(); }
+
+ private:
+  double epoch_;
+  double makespan_;
+  std::vector<double> start_;
+  std::vector<double> end_;
+  std::vector<double> lane_ready_;
+};
+
 // --- absolute-time engine (the omptarget path) -----------------------------
 
 class Scheduler {

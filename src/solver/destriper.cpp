@@ -148,27 +148,48 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
 }  // namespace
 
 void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
-                                 const char* label) const {
+                                 const char* label, CommSlot slot) {
   if (config_.comm_ranks <= 1) {
     return;
   }
-  const comm::Engine engine(comm::Topology::cluster(
-      config_.comm_ranks, std::max(1, config_.comm_ranks_per_node),
-      config_.network));
-  comm::RunOptions opt;
-  opt.epoch = ctx.clock().now();
-  opt.site = label;
-  opt.faults = &ctx.faults();
-  const double t =
-      engine.allreduce_seconds(bytes, config_.comm_algorithm, opt);
-  ctx.clock().advance(t);
-  ctx.tracer().record(label, "comm", t);
+  if (!taskrt_.has_value()) {
+    // Staged: blocking charge at the call site (the historical path).
+    const comm::Engine engine(comm::Topology::cluster(
+        config_.comm_ranks, std::max(1, config_.comm_ranks_per_node),
+        config_.network));
+    comm::RunOptions opt;
+    opt.epoch = ctx.clock().now();
+    opt.site = label;
+    opt.faults = &ctx.faults();
+    const double t =
+        engine.allreduce_seconds(bytes, config_.comm_algorithm, opt);
+    ctx.clock().advance(t);
+    ctx.tracer().record(label, "comm", t);
+    return;
+  }
+  // Depth-1 pipeline: this slot's previous reduction must have landed
+  // before the next one is issued (await is a no-op in serial mode and
+  // whenever the matvec already hid the latency).
+  taskrt_->await(pending_[static_cast<std::size_t>(slot)],
+                 std::string(label) + "_wait");
+  auto cost = [this, &ctx, bytes, label](double start) {
+    const comm::Engine engine(comm::Topology::cluster(
+        config_.comm_ranks, std::max(1, config_.comm_ranks_per_node),
+        config_.network));
+    comm::RunOptions opt;
+    opt.epoch = start;
+    opt.site = label;
+    opt.faults = &ctx.faults();
+    return engine.allreduce_seconds(bytes, config_.comm_algorithm, opt);
+  };
+  pending_[static_cast<std::size_t>(slot)] =
+      taskrt_->submit(comm_lane_, label, "comm", cost);
 }
 
 void Destriper::signal_subtract_binned(core::Observation& ob,
                                        std::vector<double>& tod,
                                        core::ExecContext& ctx,
-                                       Backend backend) const {
+                                       Backend backend) {
   const std::int64_t n_det = ob.n_detectors();
   const std::int64_t n_samp = ob.n_samples();
   const std::int64_t n_pix = 12 * config_.nside * config_.nside;
@@ -210,7 +231,7 @@ void Destriper::signal_subtract_binned(core::Observation& ob,
         n_samp, whits, ctx);
   // Distributed binning sums the signal and hit maps across ranks.
   charge_allreduce(ctx, 2.0 * static_cast<double>(n_pix) * 8.0,
-                   "destriper_allreduce_map");
+                   "destriper_allreduce_map", kSlotMap);
 
   for (std::int64_t p = 0; p < n_pix; ++p) {
     const auto i = static_cast<std::size_t>(p);
@@ -224,7 +245,7 @@ void Destriper::signal_subtract_binned(core::Observation& ob,
 std::vector<double> Destriper::normal_matrix(core::Observation& ob,
                                              const std::vector<double>& x,
                                              core::ExecContext& ctx,
-                                             Backend backend) const {
+                                             Backend backend) {
   const std::int64_t n_det = ob.n_detectors();
   const std::int64_t n_samp = ob.n_samples();
   const std::int64_t n_amp_det =
@@ -266,6 +287,20 @@ DestriperResult Destriper::solve(core::Observation& ob,
   const auto n_amp = static_cast<std::size_t>(n_det * n_amp_det);
   const auto& ivals = ob.intervals();
   const auto& fp = ob.focalplane();
+
+  // Solve-scoped async runtime: kSync is the serial bitwise oracle of
+  // the staged path, kOverlap pipelines the collectives (depth-1
+  // slots) so they hide behind the next matvec.
+  taskrt_.reset();
+  if (config_.comm_ranks > 1 && config_.async_comm != AsyncComm::kStaged) {
+    async::Options aopt;
+    aopt.mode = config_.async_comm == AsyncComm::kOverlap
+                    ? async::Mode::kOverlap
+                    : async::Mode::kSerial;
+    taskrt_.emplace(ctx.clock(), &ctx.tracer(), aopt);
+    comm_lane_ = taskrt_->lane("comm");
+    pending_.fill(async::Future{});
+  }
 
   std::vector<double> det_weights(static_cast<std::size_t>(n_det));
   for (std::int64_t d = 0; d < n_det; ++d) {
@@ -321,9 +356,9 @@ DestriperResult Destriper::solve(core::Observation& ob,
   std::vector<double> z = apply_precond(r);
   std::vector<double> p = z;
   double rz = dot(r, z);
-  charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
+  charge_allreduce(ctx, 8.0, "destriper_allreduce_dot", kSlotRz);
   result.residuals.push_back(std::sqrt(dot(r, r)));
-  charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
+  charge_allreduce(ctx, 8.0, "destriper_allreduce_dot", kSlotRnorm0);
   const double target = config_.tolerance * result.residuals.front();
 
   // Checkpoint/restart: with an armed fault injector the solver snapshots
@@ -358,6 +393,16 @@ DestriperResult Destriper::solve(core::Observation& ob,
       }
       if (restores < max_restores &&
           ctx.faults().rank_failure("destriper_cg")) {
+        if (taskrt_.has_value()) {
+          // Roll back in-flight collectives with the solver state:
+          // recovery re-enqueues them when the replay re-submits.
+          const int in_flight = taskrt_->pending_count();
+          taskrt_->drain("destriper_comm_drain");
+          if (in_flight > 0) {
+            ctx.faults().note_task_requeue("destriper_cg", in_flight);
+          }
+          pending_.fill(async::Future{});
+        }
         result.amplitudes = ckpt.amplitudes;
         r = ckpt.r;
         p = ckpt.p;
@@ -372,7 +417,7 @@ DestriperResult Destriper::solve(core::Observation& ob,
     }
     const auto ap = normal_matrix(ob, p, ctx, backend);
     const double pap = dot(p, ap);
-    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
+    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot", kSlotPap);
     if (pap <= 0.0) {
       break;  // matrix numerically singular along p
     }
@@ -382,7 +427,7 @@ DestriperResult Destriper::solve(core::Observation& ob,
       r[i] -= alpha * ap[i];
     }
     const double rnorm = std::sqrt(dot(r, r));
-    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
+    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot", kSlotRnorm);
     result.residuals.push_back(rnorm);
     result.iterations = iter + 1;
     if (rnorm <= target) {
@@ -391,13 +436,18 @@ DestriperResult Destriper::solve(core::Observation& ob,
     }
     z = apply_precond(r);
     const double rz_new = dot(r, z);
-    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot");
+    charge_allreduce(ctx, 8.0, "destriper_allreduce_dot", kSlotRzNew);
     const double beta = rz_new / rz;
     rz = rz_new;
     for (std::size_t i = 0; i < n_amp; ++i) {
       p[i] = z[i] + beta * p[i];
     }
     ++iter;
+  }
+  if (taskrt_.has_value()) {
+    // The last iteration's collectives must land before solve returns.
+    taskrt_->drain("destriper_comm_drain");
+    taskrt_.reset();
   }
   return result;
 }

@@ -18,16 +18,36 @@
 // This implements the common simplification used for benchmark-scale
 // destriping: Z built from the *hit-weighted intensity* bin/unbin pair.
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "accel/specs.hpp"
+#include "async/engine.hpp"
 #include "comm/engine.hpp"
 #include "core/context.hpp"
 #include "core/observation.hpp"
 #include "kernels/operators.hpp"
 
 namespace toast::solver {
+
+/// How the solver schedules its simulated collectives.
+enum class AsyncComm {
+  /// Blocking charge at the call site (the historical behavior).
+  kStaged,
+  /// Route every collective through an async::Engine in serial mode:
+  /// the bitwise oracle — clock, TimeLog and products identical to
+  /// kStaged, including under pinned fault plans.
+  kSync,
+  /// Pipelined-CG dataflow: each collective is submitted to the comm
+  /// lane and awaited one iteration later (depth-1 slots), so the
+  /// allreduce of iteration k overlaps the matvec of iteration k+1.
+  /// Unhidden latency is charged as logged "*_wait" spans.  Products
+  /// are unchanged (the reduction is a cost model; all simulated
+  /// ranks are statistically identical) — only the schedule differs.
+  kOverlap,
+};
 
 struct DestriperConfig {
   std::int64_t nside = 64;
@@ -54,6 +74,8 @@ struct DestriperConfig {
   int comm_ranks_per_node = 1;
   accel::NetworkSpec network = accel::slingshot_spec();
   comm::Algorithm comm_algorithm = comm::Algorithm::kRing;
+  /// Collective scheduling mode (no effect with a single rank).
+  AsyncComm async_comm = AsyncComm::kStaged;
 };
 
 struct DestriperResult {
@@ -87,25 +109,44 @@ class Destriper {
   const DestriperConfig& config() const { return config_; }
 
  private:
+  /// Per-call-site communication slot (overlap mode keeps one pending
+  /// future per slot; slots never alias, so independent reductions of
+  /// one iteration don't serialize against each other).
+  enum CommSlot : int {
+    kSlotMap = 0,   ///< binned signal+hit map reduction
+    kSlotRz,        ///< initial r.z
+    kSlotRnorm0,    ///< initial residual norm
+    kSlotPap,       ///< p.Ap
+    kSlotRnorm,     ///< per-iteration residual norm
+    kSlotRzNew,     ///< updated r.z
+    kNumSlots,
+  };
+
   /// y = (F^T N^-1 Z F) x + prior * x : one CG matrix application.
   std::vector<double> normal_matrix(core::Observation& ob,
                                     const std::vector<double>& x,
                                     core::ExecContext& ctx,
-                                    core::Backend backend) const;
+                                    core::Backend backend);
 
   /// Z v: bin v into a hit-weighted intensity map and subtract the
   /// scanned map from v (in place).
   void signal_subtract_binned(core::Observation& ob,
                               std::vector<double>& tod,
                               core::ExecContext& ctx,
-                              core::Backend backend) const;
+                              core::Backend backend);
 
-  /// Charge a step-scheduled allreduce of `bytes` across the simulated
-  /// communicator to the context clock (no-op for a single rank).
+  /// Charge (kStaged/kSync) or submit (kOverlap) a step-scheduled
+  /// allreduce of `bytes` across the simulated communicator (no-op for
+  /// a single rank).  Overlap mode first awaits the slot's previous
+  /// reduction — the depth-1 pipeline.
   void charge_allreduce(core::ExecContext& ctx, double bytes,
-                        const char* label) const;
+                        const char* label, CommSlot slot);
 
   DestriperConfig config_;
+  /// Solve-scoped async runtime (kSync/kOverlap with comm_ranks > 1).
+  std::optional<async::Engine> taskrt_;
+  int comm_lane_ = -1;
+  std::array<async::Future, kNumSlots> pending_{};
 };
 
 }  // namespace toast::solver

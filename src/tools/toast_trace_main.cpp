@@ -7,6 +7,7 @@
 //   toast-trace faults <file>       fault/recovery events and totals
 //   toast-trace comm <file>         per-rank NIC-lane occupancy (comm engine)
 //   toast-trace plan <file>         ExecutionPlan dump (toastcase-plan-v1)
+//   toast-trace tasks <file>        task-graph dump (toastcase-tasks-v1)
 //
 // summarize/top/diff accept either a metrics file ("toastcase-metrics-v1",
 // as written by write_metrics_json) or a Chrome trace-event file (as
@@ -39,6 +40,7 @@ int usage() {
                "       toast-trace faults <file>\n"
                "       toast-trace comm <trace-file>\n"
                "       toast-trace plan <plan-file>\n"
+               "       toast-trace tasks <tasks-file>\n"
                "\n"
                "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
                "JSON produced by the benchmarks' --json / --trace flags;\n"
@@ -592,6 +594,54 @@ int cmd_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+int cmd_tasks(const std::string& path) {
+  const json::Value doc = json::load_file(path);
+  if (!doc.is_object() || doc.find("schema") == nullptr ||
+      doc.at("schema").string != "toastcase-tasks-v1") {
+    std::fprintf(stderr,
+                 "toast-trace: %s is not a toastcase-tasks-v1 file "
+                 "(pass bench_async's --dump-tasks output)\n",
+                 path.c_str());
+    return 1;
+  }
+  const double busy = doc.number_or("total_busy_s", 0.0);
+  const double critical = doc.number_or("critical_path_s", 0.0);
+  const double makespan = doc.number_or("makespan_s", 0.0);
+  const double overlap = doc.number_or("overlap_fraction", 0.0);
+  std::printf("%s: %.0f tasks in %.0f groups (%.0f patched)\n", path.c_str(),
+              doc.number_or("n_tasks", 0.0), doc.number_or("n_groups", 0.0),
+              doc.number_or("patched", 0.0));
+  std::printf("staged replay (busy) %10.3f ms\n", busy * 1e3);
+  std::printf("critical path        %10.3f ms\n", critical * 1e3);
+  std::printf("makespan             %10.3f ms\n", makespan * 1e3);
+  std::printf("overlap fraction     %10.1f %%  (potential speedup %.2fx "
+              "vs staged replay)\n",
+              overlap * 100.0, critical > 0.0 ? busy / critical : 1.0);
+
+  std::printf("\n%-16s %8s\n", "task kind", "count");
+  std::printf("-------------------------\n");
+  if (const json::Value* by_kind = doc.find("by_kind");
+      by_kind != nullptr && by_kind->is_object()) {
+    for (const auto& [kind, n] : by_kind->object) {
+      std::printf("%-16s %8.0f\n", kind.c_str(), n.number);
+    }
+  }
+
+  std::printf("\n%-12s %8s %12s %10s\n", "lane", "tasks", "busy", "occup");
+  std::printf("---------------------------------------------\n");
+  if (const json::Value* lanes = doc.find("lanes");
+      lanes != nullptr && lanes->is_array()) {
+    for (const auto& lane : lanes->array) {
+      const double lane_busy = lane.number_or("busy_s", 0.0);
+      std::printf("%-12s %8.0f %10.3fms %9.1f%%\n",
+                  lane.at("name").string.c_str(),
+                  lane.number_or("tasks", 0.0), lane_busy * 1e3,
+                  makespan > 0.0 ? 100.0 * lane_busy / makespan : 0.0);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -625,6 +675,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "plan" && argc == 3) {
       return cmd_plan(argv[2]);
+    }
+    if (cmd == "tasks" && argc == 3) {
+      return cmd_tasks(argv[2]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "toast-trace: %s\n", e.what());

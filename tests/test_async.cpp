@@ -1,0 +1,306 @@
+// Tests of the async task-graph runtime (docs/MODEL.md §11): dependency
+// derivation from declared resource uses, the engine's two faces (serial
+// bitwise oracle, overlap placement with explicit wait charges), and
+// bitwise equivalence of lowered graph runs with staged plan replay —
+// including under a pinned launch-chaos plan that re-routes a group to
+// its patch tasks.
+
+#include "async/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "async/lower.hpp"
+#include "async/registry.hpp"
+#include "core/pipeline.hpp"
+#include "fault/fault.hpp"
+#include "kernels/jax.hpp"
+#include "sim/satellite.hpp"
+#include "sim/workflow.hpp"
+
+namespace accel = toast::accel;
+namespace async = toast::async;
+namespace core = toast::core;
+namespace fault = toast::fault;
+namespace obs = toast::obs;
+namespace sim = toast::sim;
+using core::Backend;
+
+namespace {
+
+core::Data make_data(int n_obs = 2) {
+  const auto fp = sim::hex_focalplane(4, 37.0);
+  core::Data data;
+  for (int ob = 0; ob < n_obs; ++ob) {
+    sim::ScanParams scan;
+    scan.spin_period = 1024.0 / 37.0 / 4.0;
+    data.observations.push_back(sim::simulate_satellite(
+        "obs" + std::to_string(ob), fp, 1024, scan,
+        7 + static_cast<std::uint64_t>(ob)));
+  }
+  return data;
+}
+
+struct RunResult {
+  double runtime = 0.0;
+  toast::accel::TimeLog log;
+  core::Data data;
+  async::GraphReport report;  // task-graph runs only
+};
+
+RunResult run(Backend b, bool task_graph,
+              const fault::FaultPlan& fplan = {}) {
+  RunResult r;
+  r.data = make_data();
+  core::ExecConfig cfg;
+  cfg.backend = b;
+  cfg.fault_plan = fplan;
+  core::ExecContext ctx(cfg);
+  toast::kernels::jax::clear_jit_caches();
+  sim::WorkflowConfig wf;
+  wf.nside = 32;
+  wf.map_iterations = 2;
+  auto pipeline = sim::make_benchmark_pipeline(wf);
+  if (task_graph) {
+    core::PlanStats stats;
+    for (auto& ob : r.data.observations) {
+      r.report.merge(async::run_plan_async(pipeline, ob, ctx, stats));
+    }
+  } else {
+    pipeline.exec(r.data, ctx);
+  }
+  r.runtime = ctx.clock().now();
+  r.log = ctx.log();
+  return r;
+}
+
+void expect_logs_equal(const toast::accel::TimeLog& a,
+                       const toast::accel::TimeLog& b) {
+  ASSERT_EQ(a.categories(), b.categories());
+  for (const auto& c : a.categories()) {
+    EXPECT_EQ(a.seconds(c), b.seconds(c)) << c;
+    EXPECT_EQ(a.calls(c), b.calls(c)) << c;
+  }
+}
+
+void expect_fields_equal(const core::Data& a, const core::Data& b,
+                         const char* field) {
+  ASSERT_EQ(a.observations.size(), b.observations.size());
+  for (std::size_t o = 0; o < a.observations.size(); ++o) {
+    const auto sa = a.observations[o].field(field).f64();
+    const auto sb = b.observations[o].field(field).f64();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_EQ(sa[i], sb[i]) << field << " obs " << o << " index " << i;
+    }
+  }
+}
+
+async::Task named(const char* name) {
+  async::Task t;
+  t.name = name;
+  return t;
+}
+
+}  // namespace
+
+// --- dependency derivation --------------------------------------------------
+
+TEST(TaskRegistry, DerivesRawWawWarDeps) {
+  async::TaskGraph g;
+  async::TaskRegistry reg(g);
+  const int w0 = reg.add(named("w0"), {async::writes("x")});
+  const int r1 = reg.add(named("r1"), {async::reads("x")});
+  const int r2 = reg.add(named("r2"), {async::reads("x")});
+  const int w3 = reg.add(named("w3"), {async::writes("x")});
+  const int r4 = reg.add(named("r4"), {async::reads("x")});
+  EXPECT_TRUE(g.tasks[static_cast<std::size_t>(w0)].deps.empty());
+  // RAW: readers depend on the last writer.
+  EXPECT_EQ(g.tasks[static_cast<std::size_t>(r1)].deps, std::vector<int>{w0});
+  EXPECT_EQ(g.tasks[static_cast<std::size_t>(r2)].deps, std::vector<int>{w0});
+  // WAW on w0 plus WAR on both readers, sorted.
+  EXPECT_EQ(g.tasks[static_cast<std::size_t>(w3)].deps,
+            (std::vector<int>{w0, r1, r2}));
+  // The second write retired the readers: only RAW on w3.
+  EXPECT_EQ(g.tasks[static_cast<std::size_t>(r4)].deps, std::vector<int>{w3});
+  // Each write bumped the version.
+  EXPECT_EQ(reg.epoch_of("x"), 2);
+  EXPECT_EQ(reg.epoch_of("never_touched"), 0);
+}
+
+TEST(TaskRegistry, DisjointResourcesStayIndependent) {
+  async::TaskGraph g;
+  async::TaskRegistry reg(g);
+  reg.add(named("wx"), {async::writes("x")});
+  const int wy = reg.add(named("wy"), {async::writes("y")});
+  const int rw =
+      reg.add(named("rw"), {async::reads("x"), async::writes("y")});
+  EXPECT_TRUE(g.tasks[static_cast<std::size_t>(wy)].deps.empty());
+  // Mixed-use task: RAW on x's writer + WAW on y's writer.
+  EXPECT_EQ(g.tasks[static_cast<std::size_t>(rw)].deps,
+            (std::vector<int>{0, wy}));
+}
+
+TEST(TaskRegistry, PatchTasksBypassTheVersionTable) {
+  async::TaskGraph g;
+  async::TaskRegistry reg(g);
+  reg.add(named("body"), {async::writes("x")});
+  const int alt = reg.add_alt(named("patch"));
+  EXPECT_EQ(alt, 0);
+  ASSERT_EQ(g.alt_tasks.size(), 1u);
+  EXPECT_TRUE(g.alt_tasks[0].deps.empty());
+  EXPECT_EQ(reg.epoch_of("x"), 1);  // the patch did not bump anything
+}
+
+// --- serial face: the bitwise oracle ----------------------------------------
+
+TEST(Engine, SerialSubmitChargesLikeTheBlockingCall) {
+  accel::VirtualClock clock;
+  obs::Tracer tracer(&clock);
+  async::Engine eng(clock, &tracer);  // Mode::kSerial
+  const int lane = eng.lane("comm");
+  const auto f =
+      eng.submit(lane, "allreduce", "comm", [](double) { return 0.25; });
+  // Serial submit charges immediately: the future is already resolved.
+  EXPECT_EQ(clock.now(), 0.25);
+  EXPECT_EQ(f.ready, 0.25);
+  EXPECT_EQ(eng.pending_count(), 0);
+  EXPECT_EQ(eng.await(f, "allreduce_wait"), 0.0);
+  EXPECT_EQ(eng.drain("drain"), 0.0);
+  EXPECT_EQ(clock.now(), 0.25);  // the no-op await charged nothing
+
+  // Bit-for-bit what the blocking code would have logged.
+  accel::VirtualClock manual_clock;
+  obs::Tracer manual(&manual_clock);
+  manual_clock.advance(0.25);
+  manual.record("allreduce", "comm", 0.25);
+  EXPECT_EQ(clock.now(), manual_clock.now());
+  expect_logs_equal(tracer.timelog(), manual.timelog());
+}
+
+TEST(Engine, GraphRunsRefuseOverlapMode) {
+  accel::VirtualClock clock;
+  obs::Tracer tracer(&clock);
+  async::Options opt;
+  opt.mode = async::Mode::kOverlap;
+  async::Engine eng(clock, &tracer, opt);
+  async::TaskGraph g;
+  EXPECT_THROW(eng.run(g), std::logic_error);
+}
+
+// --- overlap face: placement and wait charges --------------------------------
+
+TEST(Engine, OverlapPlacesAtMaxOfNowLaneAndDeps) {
+  accel::VirtualClock clock;
+  obs::Tracer tracer(&clock);
+  async::Options opt;
+  opt.mode = async::Mode::kOverlap;
+  async::Engine eng(clock, &tracer, opt);
+  const int a = eng.lane("a");
+  const int b = eng.lane("b");
+
+  const auto f1 = eng.submit(a, "one", "comm", [](double) { return 1.0; });
+  EXPECT_EQ(clock.now(), 0.0);  // submit never advances the clock
+  EXPECT_EQ(f1.ready, 1.0);
+  const auto f2 = eng.submit(a, "two", "comm", [](double) { return 1.0; });
+  EXPECT_EQ(f2.ready, 2.0);  // same lane serializes
+  const auto f3 =
+      eng.submit(b, "three", "comm", [](double) { return 0.5; }, {f2});
+  EXPECT_EQ(f3.ready, 2.5);  // dep-bound, not lane-bound
+  EXPECT_EQ(eng.pending_count(), 3);
+
+  // Awaiting charges the remaining slack as an explicit wait span.
+  EXPECT_EQ(eng.await(f3, "three_wait"), 2.5);
+  EXPECT_EQ(clock.now(), 2.5);
+  EXPECT_EQ(tracer.seconds("three_wait"), 2.5);
+  EXPECT_EQ(eng.pending_count(), 0);
+  EXPECT_EQ(eng.await(f3, "again"), 0.0);  // already resolved: no-op
+}
+
+TEST(Engine, OverlapCostIsAFunctionOfPlacedStartTime) {
+  // The cost callback sees the *placed* start, not submission time: a
+  // task queued behind its lane must price itself at the later epoch.
+  accel::VirtualClock clock;
+  obs::Tracer tracer(&clock);
+  async::Options opt;
+  opt.mode = async::Mode::kOverlap;
+  async::Engine eng(clock, &tracer, opt);
+  const int lane = eng.lane("comm");
+  std::vector<double> starts;
+  const auto cost = [&starts](double start) {
+    starts.push_back(start);
+    return 1.0;
+  };
+  eng.submit(lane, "one", "comm", cost);
+  eng.submit(lane, "two", "comm", cost);
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], 0.0);
+  EXPECT_EQ(starts[1], 1.0);
+  EXPECT_EQ(eng.drain("drain"), 2.0);
+  EXPECT_EQ(clock.now(), 2.0);
+}
+
+TEST(Engine, OverlapReplayIsBitwiseDeterministic) {
+  const auto episode = [] {
+    accel::VirtualClock clock;
+    obs::Tracer tracer(&clock);
+    async::Options opt;
+    opt.mode = async::Mode::kOverlap;
+    async::Engine eng(clock, &tracer, opt);
+    const int a = eng.lane("a");
+    const int b = eng.lane("b");
+    async::Future last{};
+    for (int i = 0; i < 8; ++i) {
+      last = eng.submit(i % 2 == 0 ? a : b, "tick", "comm",
+                        [i](double) { return 0.125 * (i + 1); },
+                        last.valid() ? std::vector<async::Future>{last}
+                                     : std::vector<async::Future>{});
+    }
+    eng.drain("drain");
+    return clock.now();
+  };
+  EXPECT_EQ(episode(), episode());
+}
+
+// --- lowered graph vs staged replay ------------------------------------------
+
+TEST(AsyncLowering, SerialGraphRunMatchesStagedReplayBitwise) {
+  const auto staged = run(Backend::kOmpTarget, false);
+  const auto graph = run(Backend::kOmpTarget, true);
+  EXPECT_EQ(graph.runtime, staged.runtime);
+  expect_logs_equal(graph.log, staged.log);
+  expect_fields_equal(graph.data, staged.data, "signal");
+  expect_fields_equal(graph.data, staged.data, "zmap");
+
+  // And the report sees real graph structure.
+  EXPECT_GT(graph.report.n_tasks, 0);
+  EXPECT_GT(graph.report.n_groups, 0);
+  EXPECT_EQ(graph.report.patched, 0);
+  EXPECT_GT(graph.report.critical_path_s, 0.0);
+  EXPECT_LE(graph.report.critical_path_s, graph.report.total_busy_s);
+  EXPECT_GE(graph.report.overlap_fraction, 0.0);
+  EXPECT_LT(graph.report.overlap_fraction, 1.0);
+}
+
+TEST(AsyncLowering, GraphRunMatchesStagedReplayUnderLaunchChaos) {
+  // A pinned launch-fault plan forces scan_map to degrade mid-run: the
+  // graph must take the same decide/attempt/patch route as staged replay
+  // and stay bitwise identical.
+  fault::FaultPlan fplan;
+  fplan.seed = 7;
+  fault::FaultRule rule;
+  rule.kind = fault::FaultKind::kLaunch;
+  rule.site = "scan_map";
+  rule.probability = 1.0;
+  fplan.rules.push_back(rule);
+
+  const auto staged = run(Backend::kOmpTarget, false, fplan);
+  const auto graph = run(Backend::kOmpTarget, true, fplan);
+  EXPECT_EQ(graph.runtime, staged.runtime);
+  expect_logs_equal(graph.log, staged.log);
+  expect_fields_equal(graph.data, staged.data, "signal");
+  expect_fields_equal(graph.data, staged.data, "zmap");
+  EXPECT_GT(graph.report.patched, 0);  // the degrade re-routed to patches
+}

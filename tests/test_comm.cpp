@@ -400,6 +400,74 @@ TEST(EngineFaults, PersistentChunkLossThrows) {
   EXPECT_GT(inj.counters().at("fault_persistent"), 0.0);
 }
 
+// --- step-at-a-time scheduling (the async runtime's cursor) -----------------
+
+TEST(StepScheduler, IncrementalPlacementEqualsOneShot) {
+  // place_next() one step at a time must land every step exactly where
+  // Engine::schedule puts it — bitwise, on a contended cluster topology.
+  const comm::Engine engine(comm::Topology::cluster(16, 8));
+  const auto dag = comm::ring_allreduce(16, 1.0e6);
+  comm::RunOptions opt;
+  opt.epoch = 3.0;
+  const auto oneshot = engine.schedule(dag, opt);
+
+  comm::StepScheduler cursor(engine, dag, opt);
+  std::vector<double> ends;
+  while (!cursor.done()) {
+    ends.push_back(cursor.place_next());
+  }
+  const auto placed = cursor.finish();
+  ASSERT_EQ(placed.start.size(), oneshot.start.size());
+  ASSERT_EQ(ends.size(), oneshot.end.size());
+  for (std::size_t i = 0; i < placed.start.size(); ++i) {
+    EXPECT_EQ(placed.start[i], oneshot.start[i]) << i;
+    EXPECT_EQ(placed.end[i], oneshot.end[i]) << i;
+    EXPECT_EQ(ends[i], oneshot.end[i]) << i;
+  }
+  EXPECT_EQ(placed.makespan, oneshot.makespan);
+}
+
+TEST(StepScheduler, IncrementalMatchesOneShotUnderFaults) {
+  // The per-(kind, site) counter RNG streams give two fresh injectors of
+  // the same plan identical draws, so incremental scheduling stays
+  // bitwise even with link degradation and chunk retries in play.
+  const comm::Engine engine(comm::Topology::uniform(8));
+  const auto dag = comm::ring_allreduce(8, 1.0e6);
+  auto plan = link_plan(0.5, 2.0);
+  fault::FaultRule loss;
+  loss.kind = fault::FaultKind::kChunkLoss;
+  loss.probability = 0.3;
+  plan.rules.push_back(loss);
+  plan.retry.max_attempts = 12;
+
+  accel::VirtualClock clock_a;
+  obs::Tracer tracer_a(&clock_a);
+  fault::FaultInjector inj_a(plan, &clock_a, &tracer_a);
+  comm::RunOptions opt_a;
+  opt_a.faults = &inj_a;
+  const auto oneshot = engine.schedule(dag, opt_a);
+
+  accel::VirtualClock clock_b;
+  obs::Tracer tracer_b(&clock_b);
+  fault::FaultInjector inj_b(plan, &clock_b, &tracer_b);
+  comm::RunOptions opt_b;
+  opt_b.faults = &inj_b;
+  comm::StepScheduler cursor(engine, dag, opt_b);
+  while (!cursor.done()) {
+    cursor.place_next();
+  }
+  const auto placed = cursor.finish();
+
+  ASSERT_EQ(placed.start.size(), oneshot.start.size());
+  for (std::size_t i = 0; i < placed.start.size(); ++i) {
+    EXPECT_EQ(placed.start[i], oneshot.start[i]) << i;
+    EXPECT_EQ(placed.end[i], oneshot.end[i]) << i;
+  }
+  EXPECT_EQ(placed.makespan, oneshot.makespan);
+  EXPECT_EQ(inj_a.counters().at("fault_chunk_retries"),
+            inj_b.counters().at("fault_chunk_retries"));
+}
+
 // --- generic lane scheduler (sched::schedule_lanes) -------------------------
 
 TEST(ScheduleLanes, SingleLaneChainIsTheSerialFold) {
