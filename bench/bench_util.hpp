@@ -11,6 +11,9 @@
 //   --faults <path>  deterministic fault plan (toastcase-fault-plan-v1)
 //                    applied to the modelled runs; benchmarks that do not
 //                    model faults ignore it
+//   --policy <path>  resilience policy (toastcase-resilience-policy-v1)
+//                    governing recovery at the fault sites; benchmarks
+//                    that do not consult policies ignore it
 //   --comm <mode>    "model" (closed-form allreduce) or "engine"
 //                    (step-scheduled comm engine); job benchmarks only
 //
@@ -49,6 +52,7 @@ struct BenchOptions {
   std::string json_path;    // empty = human output only
   std::string trace_path;   // empty = no trace export
   std::string faults_path;  // empty = no fault plan
+  std::string policy_path;  // empty = no resilience policy
   std::string staging;      // "naive" | "pipelined" | empty (bench default)
   std::string comm;         // "model" | "engine" | empty (bench default)
   bool prefetch = false;    // plan-level transfer/compute overlap
@@ -71,6 +75,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.trace_path = need_value("--trace");
     } else if (arg == "--faults") {
       opt.faults_path = need_value("--faults");
+    } else if (arg == "--policy") {
+      opt.policy_path = need_value("--policy");
     } else if (arg == "--staging") {
       opt.staging = need_value("--staging");
       if (opt.staging != "naive" && opt.staging != "pipelined") {
@@ -90,7 +96,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--json <path>] [--trace <path>] [--faults <plan>] "
-          "[--staging naive|pipelined] [--comm model|engine] [--prefetch]\n",
+          "[--policy <policy>] [--staging naive|pipelined] "
+          "[--comm model|engine] [--prefetch]\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -9,7 +9,8 @@ fail if a code change flips a JAX-vs-OpenMP conclusion.
 usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
                       [--overlap overlap.json] [--faults faults.json]
                       [--plan plan.json] [--comm comm.json]
-                      [--executor executor.json]
+                      [--executor executor.json] [--async async.json]
+                      [--resilience resilience.json]
 """
 
 import argparse
@@ -386,6 +387,55 @@ def check_async(path):
           "chaos: checkpoint restores actually fired")
 
 
+def check_resilience(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect_schema(doc, "toastcase-bench-resilience-v1")
+    print(f"resilience ({path}):")
+    warn_unknown_keys(
+        doc, {"identity", "breaker", "shrink", "job_shrink", "degraded"},
+        path)
+
+    # The pass-through contract from the fault PR, now owned by the
+    # policy engine: an empty policy document must change nothing.
+    ident = doc["identity"]
+    check(ident["bitwise_equal"],
+          "identity: empty policy bitwise-equal to no policy")
+
+    breaker = doc["breaker"]
+    check(breaker["deterministic"],
+          "breaker: same-seed repeat bitwise identical")
+    check(breaker["opens"] > 0, "breaker: tripped under sustained faults")
+    check(breaker["half_opens"] > 0 and breaker["closes"] > 0,
+          "breaker: recovered through half-open probes")
+    check(breaker["fast_fails"] > 0,
+          "breaker: open state actually shed load")
+
+    shrink = doc["shrink"]
+    check(shrink["deterministic"],
+          "shrink: world-shrink decisions repeat bitwise")
+    check(shrink["world_shrinks"] > 0,
+          "shrink: exhausted restore budget dropped a rank")
+    check(shrink["amplitudes_match"],
+          "shrink: amplitudes equal to the no-fault solve")
+    check(shrink["chaos_runtime_s"] > shrink["clean_runtime_s"],
+          "shrink: recovery cost charged to the virtual clock")
+
+    job = doc["job_shrink"]
+    check(job["deterministic"],
+          "job_shrink: same-seed repeat bitwise identical")
+    check(job["final_ranks"] < job["total_ranks"],
+          "job_shrink: world actually shrank")
+    check(job["world_shrinks"] > 0 and job["redistributed_obs"] > 0,
+          "job_shrink: dead rank's observations redistributed")
+
+    deg = doc["degraded"]
+    check(deg["escalations"] > 0,
+          "degraded: ladder escalated under repeated faults")
+    check(deg["amplitudes_match"],
+          "degraded: degraded comm modes keep products bitwise")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -397,6 +447,7 @@ def main():
     ap.add_argument("--comm")
     ap.add_argument("--executor")
     ap.add_argument("--async", dest="async_path")
+    ap.add_argument("--resilience")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -408,12 +459,13 @@ def main():
         (check_comm, args.comm),
         (check_executor, args.executor),
         (check_async, args.async_path),
+        (check_resilience, args.resilience),
     ]
     if not any(path for _, path in checks):
         ap.error(
             "pass at least one of "
             "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm"
-            "/--executor/--async")
+            "/--executor/--async/--resilience")
 
     for fn, path in checks:
         if path:

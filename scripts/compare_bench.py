@@ -95,6 +95,27 @@ def extract_executor(doc):
             float(fused["materialized"]), LOWER
 
 
+def extract_resilience(doc):
+    # Virtual-clock runtimes: bitwise reproducible, so any drift is a
+    # real model change.  Gate the recovery overhead (chaos minus clean)
+    # rather than the booleans — check_bench.py --resilience owns those.
+    ident = doc.get("identity", {})
+    if "no_policy_runtime_s" in ident:
+        yield "resilience/identity.runtime_s", \
+            ident["no_policy_runtime_s"], LOWER
+    shrink = doc.get("shrink", {})
+    if "chaos_runtime_s" in shrink:
+        yield "resilience/shrink.chaos_runtime_s", \
+            shrink["chaos_runtime_s"], LOWER
+    job = doc.get("job_shrink", {})
+    if "chaos_runtime_s" in job:
+        yield "resilience/job_shrink.chaos_runtime_s", \
+            job["chaos_runtime_s"], LOWER
+    deg = doc.get("degraded", {})
+    if "runtime_s" in deg:
+        yield "resilience/degraded.runtime_s", deg["runtime_s"], LOWER
+
+
 EXTRACTORS = {
     "toastcase-bench-fig4-v1": extract_fig4,
     "toastcase-bench-fig5-v1": extract_fig5,
@@ -103,6 +124,7 @@ EXTRACTORS = {
     "toastcase-bench-plan-v1": extract_plan,
     "toastcase-bench-comm-v1": extract_comm,
     "toastcase-bench-executor-v1": extract_executor,
+    "toastcase-bench-resilience-v1": extract_resilience,
 }
 
 

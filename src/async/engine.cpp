@@ -144,6 +144,25 @@ double Engine::drain(const std::string& label) {
   return slack;
 }
 
+int Engine::cancel_pending(const std::string& label) {
+  const double now = clock_.now();
+  int n = 0;
+  for (double& end : submitted_ends_) {
+    if (end > now) {
+      ++n;
+      end = now;
+    }
+  }
+  for (double& r : lane_ready_) {
+    r = std::min(r, now);
+  }
+  if (n > 0 && tracer_ != nullptr) {
+    const obs::SpanId id = tracer_->record(label, "resilience", 0.0);
+    tracer_->add_counter(id, "tasks", n);
+  }
+  return n;
+}
+
 int Engine::pending_count() const {
   const double now = clock_.now();
   int n = 0;

@@ -115,6 +115,15 @@ class Engine {
   /// Block on every lane (checkpoint barriers, end of solve).
   double drain(const std::string& label);
 
+  /// Cancel every in-flight placement: a real graph edit, not a wait.
+  /// Lane ready times roll back to now and submitted ends after now are
+  /// marked done, so no slack is ever charged for the cancelled work —
+  /// the tasks will be re-submitted by the recovery path (requeue).
+  /// Callers must invalidate any Futures they still hold for them.
+  /// Returns the number of cancelled tasks (always 0 in serial mode,
+  /// where nothing is ever in flight).
+  int cancel_pending(const std::string& label);
+
   /// Submitted tasks whose completion lies after the current clock.
   int pending_count() const;
 

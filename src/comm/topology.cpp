@@ -37,4 +37,12 @@ Topology Topology::cluster(int ranks, int ranks_per_node,
                   LinkSpec{net.intra_bandwidth, net.intra_latency});
 }
 
+Topology Topology::shrink(int survivors) const {
+  if (survivors < 1 || survivors > ranks_) {
+    throw std::invalid_argument(
+        "Topology::shrink: survivors must be in [1, n_ranks()]");
+  }
+  return Topology(survivors, rpn_, nics_per_node_, inter_, intra_);
+}
+
 }  // namespace toast::comm

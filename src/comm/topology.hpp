@@ -41,6 +41,11 @@ class Topology {
                           const accel::NetworkSpec& net =
                               accel::slingshot_spec());
 
+  /// Rebuilt topology over the first `survivors` ranks after an elastic
+  /// world shrink: same node packing and link classes, fewer ranks (dead
+  /// ranks vacate their node slots, survivors keep their placement).
+  Topology shrink(int survivors) const;
+
   int n_ranks() const { return ranks_; }
   int ranks_per_node() const { return rpn_; }
   int nics_per_node() const { return nics_per_node_; }

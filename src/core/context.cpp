@@ -7,11 +7,14 @@ ExecContext::ExecContext(const ExecConfig& config)
       device_(config.device_spec),
       tracer_(&clock_),
       faults_(config.fault_plan, &clock_, &tracer_),
+      resilience_(config.resilience_policy, &clock_, &tracer_,
+                  config.fault_plan.seed),
       host_(config.host_spec),
       omp_rt_(device_, clock_, tracer_),
       jax_rt_(device_, clock_, tracer_) {
   device_.set_trace_sink(&tracer_);
   device_.set_sharing(config.sharing, config.procs_per_gpu);
+  faults_.set_resilience(&resilience_);
   if (faults_.armed()) {
     device_.set_fault_hook(&faults_);
     omp_rt_.set_fault_injector(&faults_);

@@ -16,6 +16,7 @@
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "omptarget/runtime.hpp"
+#include "resilience/manager.hpp"
 #include "xla/jit.hpp"
 
 namespace toast::core {
@@ -44,6 +45,10 @@ struct ExecConfig {
   /// Fault-injection schedule (empty: injector disarmed, all hooks are
   /// no-ops and execution is bit-for-bit the no-fault timeline).
   fault::FaultPlan fault_plan;
+  /// Declarative recovery policy (empty: resilience manager disarmed,
+  /// every consult is a pass-through and execution is bit-for-bit the
+  /// policy-free timeline).
+  resilience::Policy resilience_policy;
 };
 
 class ExecContext {
@@ -68,6 +73,10 @@ class ExecContext {
   /// when the config's plan is empty).
   fault::FaultInjector& faults() { return faults_; }
   const fault::FaultInjector& faults() const { return faults_; }
+  /// The resilience policy manager the injector and the recovery paths
+  /// consult (disarmed when the config's policy is empty).
+  resilience::Manager& resilience() { return resilience_; }
+  const resilience::Manager& resilience() const { return resilience_; }
 
   // --- dispatch ----------------------------------------------------------
 
@@ -98,6 +107,7 @@ class ExecContext {
   accel::VirtualClock clock_;
   obs::Tracer tracer_;
   fault::FaultInjector faults_;
+  resilience::Manager resilience_;
   accel::HostModel host_;
   omptarget::Runtime omp_rt_;
   xla::Runtime jax_rt_;

@@ -115,6 +115,14 @@ void Pipeline::exec(Data& data, ExecContext& ctx) {
 }
 
 void Pipeline::exec(Observation& ob, ExecContext& ctx) {
+  // Executor degradation ladder: once the policy escalates the
+  // "executor" domain, compiled plan replay gives way to the
+  // interpreter — safe because the interpreter is the plan's bitwise
+  // oracle (identical products, clock and TimeLog).
+  if (ctx.resilience().level("executor") > 0) {
+    exec_interpreted(ob, ctx);
+    return;
+  }
   const auto plan = plan_for(ob, ctx);
   execute_plan(*plan, meta_, ob, ctx, backend_override_, plan_stats_);
 }

@@ -512,6 +512,7 @@ void PlanExecutor::mark_degraded(const PlanGroup& g, const char* reason) {
   ctx_.faults().note_fallback(m.name, reason);
   ctx_.set_kernel_backend(m.name, Backend::kCpu);
   ctx_.faults().note_replan(m.name);
+  ctx_.resilience().report_fault("executor", m.name);
   stats_.replans += 1.0;
   cur_backend_ = Backend::kCpu;
 }

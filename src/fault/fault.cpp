@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "resilience/manager.hpp"
 
 namespace toast::fault {
 
@@ -68,6 +69,25 @@ FaultKind kind_from_string(const std::string& s) {
 
 namespace {
 
+// Strict-key check: a typo like "max_fire" must be an error, not a
+// silently applied default.
+void reject_unknown_keys(const obs::json::Value& v, const std::string& where,
+                         std::initializer_list<const char*> known) {
+  for (const auto& [key, member] : v.object) {
+    (void)member;
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error(where + ": unknown key '" + key + "'");
+    }
+  }
+}
+
 FaultPlan plan_from_value(const obs::json::Value& doc,
                           const std::string& where) {
   if (!doc.is_object()) {
@@ -78,9 +98,13 @@ FaultPlan plan_from_value(const obs::json::Value& doc,
     throw std::runtime_error(where +
                              ": expected schema toastcase-fault-plan-v1");
   }
+  reject_unknown_keys(doc, where, {"schema", "seed", "retry", "rules"});
   FaultPlan plan;
   plan.seed = static_cast<std::uint64_t>(doc.number_or("seed", 0.0));
   if (const obs::json::Value* retry = doc.find("retry")) {
+    reject_unknown_keys(*retry, where + ": retry",
+                        {"max_attempts", "backoff_seconds",
+                         "backoff_multiplier", "failed_fraction"});
     plan.retry.max_attempts =
         static_cast<int>(retry->number_or("max_attempts", 3.0));
     plan.retry.backoff_seconds = retry->number_or("backoff_seconds", 1e-4);
@@ -90,6 +114,9 @@ FaultPlan plan_from_value(const obs::json::Value& doc,
   }
   if (const obs::json::Value* rules = doc.find("rules")) {
     for (const obs::json::Value& r : rules->array) {
+      reject_unknown_keys(r, where + ": rule",
+                          {"kind", "site", "probability", "max_fires",
+                           "factor", "pressure_threshold"});
       FaultRule rule;
       rule.kind = kind_from_string(r.at("kind").string);
       if (const obs::json::Value* site = r.find("site")) {
@@ -158,9 +185,34 @@ int FaultInjector::match(FaultKind kind, const std::string& site) {
   return -1;
 }
 
+namespace {
+
+double backoff_of(const RetryPolicy& rp, int attempt) {
+  return rp.backoff_seconds * std::pow(rp.backoff_multiplier, attempt);
+}
+
+}  // namespace
+
 double FaultInjector::backoff(int attempt) const {
-  return plan_.retry.backoff_seconds *
-         std::pow(plan_.retry.backoff_multiplier, attempt);
+  return backoff_of(plan_.retry, attempt);
+}
+
+RetryPolicy FaultInjector::retry_for(const std::string& site) const {
+  RetryPolicy rp = plan_.retry;
+  if (resilience_ == nullptr || !resilience_->armed()) {
+    return rp;
+  }
+  resilience::RetrySpec fallback;
+  fallback.max_attempts = rp.max_attempts;
+  fallback.backoff_seconds = rp.backoff_seconds;
+  fallback.backoff_multiplier = rp.backoff_multiplier;
+  fallback.failed_fraction = rp.failed_fraction;
+  const resilience::RetrySpec eff = resilience_->retry_for(site, fallback);
+  rp.max_attempts = eff.max_attempts;
+  rp.backoff_seconds = eff.backoff_seconds;
+  rp.backoff_multiplier = eff.backoff_multiplier;
+  rp.failed_fraction = eff.failed_fraction;
+  return rp;
 }
 
 int FaultInjector::attempt_sync(FaultKind kind, const std::string& site,
@@ -169,20 +221,21 @@ int FaultInjector::attempt_sync(FaultKind kind, const std::string& site,
     return 0;
   }
   ProbeResult r = probe(kind, site, op_seconds);
-  if (r.failures == 0) {
-    return 0;
+  if (r.failures > 0) {
+    if (clock_ != nullptr) {
+      clock_->advance(r.penalty);
+    }
+    if (tracer_ != nullptr) {
+      const obs::SpanId id =
+          tracer_->record(std::string("fault_retry_") + to_string(kind),
+                          "fault", r.penalty);
+      tracer_->add_counter(id, "failures", r.failures);
+    }
+    add_count(std::string("fault_") + to_string(kind) + "_retries",
+              r.failures);
   }
-  if (clock_ != nullptr) {
-    clock_->advance(r.penalty);
-  }
-  if (tracer_ != nullptr) {
-    const obs::SpanId id =
-        tracer_->record(std::string("fault_retry_") + to_string(kind),
-                        "fault", r.penalty);
-    tracer_->add_counter(id, "failures", r.failures);
-  }
-  add_count(std::string("fault_") + to_string(kind) + "_retries",
-            r.failures);
+  // A breaker fast-fail is persistent with zero failures (no attempts,
+  // no penalty) — it must still throw, not silently run the op.
   if (r.persistent) {
     add_count("fault_persistent");
     throw PersistentFaultError(kind, site, r.failures);
@@ -196,19 +249,41 @@ ProbeResult FaultInjector::probe(FaultKind kind, const std::string& site,
   if (!armed_) {
     return result;
   }
-  const int max_attempts = std::max(1, plan_.retry.max_attempts);
+  const bool managed = resilience_ != nullptr && resilience_->armed();
+  if (managed && !resilience_->admit(site)) {
+    // Breaker open: fail fast without attempting (zero penalty, zero
+    // draws — the cool-down is virtual-clock time, not retry work).
+    result.persistent = true;
+    return result;
+  }
+  const RetryPolicy rp = managed ? retry_for(site) : plan_.retry;
+  const double deadline = managed ? resilience_->deadline_for(site) : 0.0;
+  const int max_attempts = std::max(1, rp.max_attempts);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     const int rule = match(kind, site);
     if (rule < 0) {
+      if (managed) {
+        resilience_->on_success(site);
+      }
       return result;
     }
     if (draw(kind, site) >= plan_.rules[rule].probability) {
+      if (managed) {
+        resilience_->on_success(site);
+      }
       return result;
     }
     ++rule_fires_[rule];
     ++result.failures;
-    result.penalty +=
-        plan_.retry.failed_fraction * op_seconds + backoff(attempt);
+    result.penalty += rp.failed_fraction * op_seconds + backoff_of(rp, attempt);
+    if (managed) {
+      resilience_->on_failure(site);
+    }
+    if (deadline > 0.0 && result.penalty >= deadline) {
+      result.persistent = true;
+      resilience_->note_deadline_exceeded(site, result.penalty);
+      return result;
+    }
   }
   result.persistent = true;
   return result;
@@ -300,11 +375,12 @@ bool FaultInjector::on_oom(const std::string& site,
   if (!armed_ || !e.info().injected) {
     return false;  // real capacity overflow: retry is pointless
   }
-  if (attempt + 1 >= std::max(1, plan_.retry.max_attempts)) {
+  const RetryPolicy rp = retry_for(site);
+  if (attempt + 1 >= std::max(1, rp.max_attempts)) {
     add_count("fault_persistent");
     return false;
   }
-  const double penalty = backoff(attempt);
+  const double penalty = backoff_of(rp, attempt);
   if (clock_ != nullptr) {
     clock_->advance(penalty);
   }

@@ -32,6 +32,10 @@
 #include "accel/sim_device.hpp"
 #include "obs/trace.hpp"
 
+namespace toast::resilience {
+class Manager;
+}
+
 namespace toast::fault {
 
 enum class FaultKind {
@@ -121,6 +125,15 @@ class FaultInjector final : public accel::FaultHook {
   /// touching the clock, the tracer or any counter.
   bool armed() const { return armed_; }
   const FaultPlan& plan() const { return plan_; }
+
+  /// Attach a resilience policy manager.  An armed manager overrides the
+  /// plan's global retry budget per site, gates attempts through circuit
+  /// breakers and enforces retry-penalty deadlines; a disarmed (or null)
+  /// manager leaves every draw and charge bit-for-bit unchanged.
+  void set_resilience(resilience::Manager* manager) {
+    resilience_ = manager;
+  }
+  resilience::Manager* resilience() const { return resilience_; }
 
   // --- synchronous attempt (blocking ops) ---------------------------------
 
@@ -213,11 +226,15 @@ class FaultInjector final : public accel::FaultHook {
   double draw(FaultKind kind, const std::string& site);
   /// First armed rule matching (kind, site) with fires remaining, or -1.
   int match(FaultKind kind, const std::string& site);
+  /// The effective retry policy for `site`: the plan's global policy,
+  /// overridden per site when an armed resilience manager declares one.
+  RetryPolicy retry_for(const std::string& site) const;
   double backoff(int attempt) const;
 
   FaultPlan plan_;
   accel::VirtualClock* clock_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  resilience::Manager* resilience_ = nullptr;
   bool armed_ = false;
   std::map<std::string, std::uint64_t> draw_counts_;
   std::vector<int> rule_fires_;

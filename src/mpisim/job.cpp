@@ -106,7 +106,10 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   ec.device_spec = cfg.device_spec;
   ec.omp_dispatch_overhead = cfg.omp_dispatch_overhead;
   ec.fault_plan = cfg.fault_plan;
+  ec.resilience_policy = cfg.resilience_policy;
   core::ExecContext ctx(ec);
+  resilience::Manager& rm = ctx.resilience();
+  int world = p.total_procs();
   const obs::SpanId rank_span = ctx.tracer().begin(
       "rank:" + std::string(core::to_string(cfg.backend)), "rank",
       core::to_string(cfg.backend));
@@ -165,23 +168,46 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
         core::is_accel(cfg.backend)
             ? (cfg.backend == core::Backend::kJax ? 1.2 : 0.8)
             : 0.1;
-    const int max_replays = std::max(1, cfg.fault_plan.retry.max_attempts);
+    resilience::RetrySpec plan_retry;
+    plan_retry.max_attempts = cfg.fault_plan.retry.max_attempts;
+    plan_retry.backoff_seconds = cfg.fault_plan.retry.backoff_seconds;
+    plan_retry.backoff_multiplier = cfg.fault_plan.retry.backoff_multiplier;
+    plan_retry.failed_fraction = cfg.fault_plan.retry.failed_fraction;
     for (auto& ob : data.observations) {
+      const std::string site = "mpisim_rank:" + ob.name();
+      const resilience::RetrySpec rs =
+          rm.armed() ? rm.retry_for(site, plan_retry) : plan_retry;
+      const int max_replays = std::max(1, rs.max_attempts);
       const double t0 = ctx.clock().now();
       run_pipeline(ob);
       const double obs_seconds = ctx.clock().now() - t0;
+      int fired = 0;
       for (int replay = 0; replay < max_replays; ++replay) {
-        if (!ctx.faults().rank_failure("mpisim_rank:" + ob.name())) {
+        if (!ctx.faults().rank_failure(site)) {
           break;
         }
+        ++fired;
         const double lost =
-            cfg.fault_plan.retry.failed_fraction * obs_seconds +
-            restart_seconds;
+            rs.failed_fraction * obs_seconds + restart_seconds;
         ctx.clock().advance(lost);
         const obs::SpanId id = ctx.tracer().record(
             "fault_rank_restart", "fault", lost,
             core::to_string(cfg.backend));
         ctx.tracer().add_counter(id, "observation_" + ob.name(), 1.0);
+      }
+      if (fired >= max_replays && rm.allow_shrink(world)) {
+        // Elastic recovery: the replay budget is exhausted, so instead of
+        // replacing the rank yet again the world drops it.  The comm
+        // topology is rebuilt over the survivors below and the dead
+        // rank's observations are redistributed deterministically — the
+        // representative rank picks up its 1/survivors share.
+        const int survivors = world - 1;
+        rm.note_world_shrink(site, world, survivors);
+        const double extra = obs_seconds *
+                             static_cast<double>(p.observations_per_proc) /
+                             static_cast<double>(survivors);
+        rm.note_redistribute(site, extra, p.observations_per_proc);
+        world = survivors;
       }
     }
   }
@@ -240,12 +266,23 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   // Final map reduction across the job at paper scale (nside 512-class
   // production maps).
   const double paper_map_bytes = 12.0 * 512.0 * 512.0 * 3.0 * 8.0;
-  if (cfg.comm_mode == CommMode::kEngine) {
+  // Collectives degradation ladder: once the policy escalates the
+  // "collectives" domain, the step-scheduled engine gives way to the
+  // closed-form CommModel (always over the surviving world).
+  const bool engine_collectives =
+      cfg.comm_mode == CommMode::kEngine && rm.level("collectives") == 0;
+  bool engine_done = false;
+  if (engine_collectives) {
     // Step-scheduled allreduce on the packed cluster topology: per-step
     // chunk transfers on the ranks' shared NIC lanes, with link/chunk
     // fault hooks.  NIC-lane spans start above the compute/copy streams.
-    const comm::Engine engine(comm::Topology::cluster(
-        p.total_procs(), p.procs_per_node, cfg.network));
+    // After an elastic shrink the topology is rebuilt over the survivors.
+    comm::Topology topo = comm::Topology::cluster(
+        p.total_procs(), p.procs_per_node, cfg.network);
+    if (world < p.total_procs()) {
+      topo = topo.shrink(world);
+    }
+    const comm::Engine engine(topo);
     comm::RunOptions copt;
     copt.epoch = ctx.clock().now();
     copt.tracer = &ctx.tracer();
@@ -255,21 +292,38 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
     copt.trace_intra = true;
     copt.site = "map_allreduce";
     copt.faults = &ctx.faults();
-    result.comm_seconds = engine.allreduce_seconds(
-        paper_map_bytes, cfg.comm_algorithm, copt);
-  } else {
+    if (rm.armed()) {
+      try {
+        result.comm_seconds = engine.allreduce_seconds(
+            paper_map_bytes, cfg.comm_algorithm, copt);
+        engine_done = true;
+      } catch (const fault::PersistentFaultError&) {
+        // Exhausted chunk-retry budget: report to the ladder and fall
+        // back to the closed-form model below.
+        rm.report_fault("collectives", "map_allreduce");
+      }
+    } else {
+      result.comm_seconds = engine.allreduce_seconds(
+          paper_map_bytes, cfg.comm_algorithm, copt);
+      engine_done = true;
+    }
+  }
+  if (!engine_done) {
     const CommModel comm(cfg.network);
-    result.comm_seconds =
-        comm.allreduce_seconds(paper_map_bytes, p.total_procs());
+    result.comm_seconds = comm.allreduce_seconds(paper_map_bytes, world);
   }
   const obs::SpanId comm_span = ctx.tracer().record_at(
       "map_allreduce", "comm", ctx.clock().now(), result.comm_seconds, "",
       nullptr, /*logged=*/false);
   ctx.tracer().add_counter(comm_span, "bytes", paper_map_bytes);
-  ctx.tracer().add_counter(comm_span, "ranks", p.total_procs());
+  ctx.tracer().add_counter(comm_span, "ranks", world);
 
   result.rank_spans = ctx.tracer().spans();
   result.fault_counters = ctx.faults().counters();
+  for (const auto& [key, value] : rm.counters()) {
+    result.fault_counters[key] += value;
+  }
+  result.world_ranks = world;
   if (!cfg.interpret) {
     const core::PlanStats& ps = pipeline.plan_stats();
     result.plan_counters = {

@@ -30,6 +30,7 @@
 #include "bench_model/problem.hpp"
 #include "core/pipeline.hpp"
 #include "core/types.hpp"
+#include "resilience/policy.hpp"
 #include "sim/workflow.hpp"
 
 namespace toast::mpisim {
@@ -74,6 +75,12 @@ struct JobConfig {
   /// failures are handled at this level: a rank that dies during an
   /// observation is replaced and the lost work is recharged.
   fault::FaultPlan fault_plan = {};
+  /// Declarative recovery policy (empty = disarmed pass-through).  With
+  /// elastic recovery enabled, a rank failure that exhausts its replay
+  /// budget shrinks the world instead: the comm topology is rebuilt over
+  /// the survivors and the dead rank's observations are redistributed
+  /// deterministically.
+  resilience::Policy resilience_policy = {};
 };
 
 struct MemoryFootprint {
@@ -112,6 +119,9 @@ struct JobResult {
   std::map<std::string, double> plan_counters;
   /// Kernels that degraded to their CPU implementation mid-run.
   std::vector<std::string> degraded_kernels;
+  /// Ranks still alive at the end of the job (total_procs() unless an
+  /// elastic world shrink dropped some).
+  int world_ranks = 0;
 };
 
 /// Paper-scale memory footprints for a configuration (also used alone by

@@ -145,17 +145,42 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
   return s;
 }
 
+/// The configured scheduling mode stepped `level` rungs down the
+/// "solver_comm" degradation ladder: overlap (0) -> sync (1) -> staged
+/// (2).  Level 0 is always the configured mode.
+AsyncComm ladder_mode(AsyncComm configured, int level) {
+  auto rung = [](AsyncComm m) {
+    switch (m) {
+      case AsyncComm::kOverlap:
+        return 0;
+      case AsyncComm::kSync:
+        return 1;
+      case AsyncComm::kStaged:
+        return 2;
+    }
+    return 2;
+  };
+  switch (std::min(2, rung(configured) + level)) {
+    case 0:
+      return AsyncComm::kOverlap;
+    case 1:
+      return AsyncComm::kSync;
+    default:
+      return AsyncComm::kStaged;
+  }
+}
+
 }  // namespace
 
 void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
                                  const char* label, CommSlot slot) {
-  if (config_.comm_ranks <= 1) {
+  if (live_ranks_ <= 1) {
     return;
   }
   if (!taskrt_.has_value()) {
     // Staged: blocking charge at the call site (the historical path).
     const comm::Engine engine(comm::Topology::cluster(
-        config_.comm_ranks, std::max(1, config_.comm_ranks_per_node),
+        live_ranks_, std::max(1, config_.comm_ranks_per_node),
         config_.network));
     comm::RunOptions opt;
     opt.epoch = ctx.clock().now();
@@ -174,7 +199,7 @@ void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
                  std::string(label) + "_wait");
   auto cost = [this, &ctx, bytes, label](double start) {
     const comm::Engine engine(comm::Topology::cluster(
-        config_.comm_ranks, std::max(1, config_.comm_ranks_per_node),
+        live_ranks_, std::max(1, config_.comm_ranks_per_node),
         config_.network));
     comm::RunOptions opt;
     opt.epoch = start;
@@ -184,6 +209,18 @@ void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
   };
   pending_[static_cast<std::size_t>(slot)] =
       taskrt_->submit(comm_lane_, label, "comm", cost);
+}
+
+void Destriper::init_taskrt(core::ExecContext& ctx, AsyncComm mode) {
+  taskrt_.reset();
+  pending_.fill(async::Future{});
+  if (live_ranks_ > 1 && mode != AsyncComm::kStaged) {
+    async::Options aopt;
+    aopt.mode = mode == AsyncComm::kOverlap ? async::Mode::kOverlap
+                                            : async::Mode::kSerial;
+    taskrt_.emplace(ctx.clock(), &ctx.tracer(), aopt);
+    comm_lane_ = taskrt_->lane("comm");
+  }
 }
 
 void Destriper::signal_subtract_binned(core::Observation& ob,
@@ -290,17 +327,16 @@ DestriperResult Destriper::solve(core::Observation& ob,
 
   // Solve-scoped async runtime: kSync is the serial bitwise oracle of
   // the staged path, kOverlap pipelines the collectives (depth-1
-  // slots) so they hide behind the next matvec.
-  taskrt_.reset();
-  if (config_.comm_ranks > 1 && config_.async_comm != AsyncComm::kStaged) {
-    async::Options aopt;
-    aopt.mode = config_.async_comm == AsyncComm::kOverlap
-                    ? async::Mode::kOverlap
-                    : async::Mode::kSerial;
-    taskrt_.emplace(ctx.clock(), &ctx.tracer(), aopt);
-    comm_lane_ = taskrt_->lane("comm");
-    pending_.fill(async::Future{});
-  }
+  // slots) so they hide behind the next matvec.  The effective mode is
+  // the configured one stepped down the "solver_comm" ladder, and the
+  // communicator starts at the configured size (an elastic shrink
+  // drops dead ranks from it mid-solve).
+  resilience::Manager& rm = ctx.resilience();
+  live_ranks_ = config_.comm_ranks;
+  active_comm_ = rm.armed()
+                     ? ladder_mode(config_.async_comm, rm.level("solver_comm"))
+                     : config_.async_comm;
+  init_taskrt(ctx, active_comm_);
 
   std::vector<double> det_weights(static_cast<std::size_t>(n_det));
   for (std::int64_t d = 0; d < n_det; ++d) {
@@ -378,8 +414,15 @@ DestriperResult Destriper::solve(core::Observation& ob,
   };
   const bool chaos = ctx.faults().armed();
   const int ckpt_interval = std::max(1, config_.checkpoint_interval);
-  const int max_restores =
-      std::max(1, ctx.faults().plan().retry.max_attempts);
+  resilience::RetrySpec plan_retry;
+  plan_retry.max_attempts = ctx.faults().plan().retry.max_attempts;
+  plan_retry.backoff_seconds = ctx.faults().plan().retry.backoff_seconds;
+  plan_retry.backoff_multiplier =
+      ctx.faults().plan().retry.backoff_multiplier;
+  plan_retry.failed_fraction = ctx.faults().plan().retry.failed_fraction;
+  const resilience::RetrySpec cg_retry =
+      rm.armed() ? rm.retry_for("destriper_cg", plan_retry) : plan_retry;
+  const int max_restores = std::max(1, cg_retry.max_attempts);
   CgCheckpoint ckpt;
   int restores = 0;
 
@@ -391,13 +434,24 @@ DestriperResult Destriper::solve(core::Observation& ob,
                 rz,                result.residuals, result.iterations,
                 iter};
       }
-      if (restores < max_restores &&
+      const bool can_restore = restores < max_restores;
+      const bool can_shrink =
+          !can_restore && rm.armed() && rm.allow_shrink(live_ranks_);
+      if ((can_restore || can_shrink) &&
           ctx.faults().rank_failure("destriper_cg")) {
         if (taskrt_.has_value()) {
-          // Roll back in-flight collectives with the solver state:
-          // recovery re-enqueues them when the replay re-submits.
+          // Roll back in-flight collectives with the solver state.
+          // With requeue enabled this is a real graph edit: the
+          // placements are cancelled (no slack charged) and the replay
+          // re-submits them; otherwise the historical drain charges
+          // their remaining latency first.
           const int in_flight = taskrt_->pending_count();
-          taskrt_->drain("destriper_comm_drain");
+          if (in_flight > 0 && rm.requeue_enabled()) {
+            taskrt_->cancel_pending("destriper_comm_requeue");
+            rm.note_requeue("destriper_cg", in_flight);
+          } else {
+            taskrt_->drain("destriper_comm_drain");
+          }
           if (in_flight > 0) {
             ctx.faults().note_task_requeue("destriper_cg", in_flight);
           }
@@ -410,8 +464,27 @@ DestriperResult Destriper::solve(core::Observation& ob,
         result.residuals = ckpt.residuals;
         result.iterations = ckpt.iterations;
         iter = ckpt.iter;
-        ++restores;
+        if (can_restore) {
+          ++restores;
+        } else {
+          // Elastic recovery: the restore budget is exhausted, so the
+          // dead rank leaves the communicator — the CG restarts from
+          // the checkpoint on the shrunken world with a fresh budget.
+          rm.note_world_shrink("destriper_cg", live_ranks_,
+                               live_ranks_ - 1);
+          live_ranks_ -= 1;
+          restores = 0;
+        }
         ctx.faults().note_checkpoint_restore("destriper_cg", iter);
+        if (rm.armed()) {
+          rm.report_fault("solver_comm", "destriper_cg");
+          const AsyncComm target =
+              ladder_mode(config_.async_comm, rm.level("solver_comm"));
+          if (target != active_comm_) {
+            active_comm_ = target;
+            init_taskrt(ctx, target);
+          }
+        }
         continue;
       }
     }

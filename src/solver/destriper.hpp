@@ -137,16 +137,27 @@ class Destriper {
 
   /// Charge (kStaged/kSync) or submit (kOverlap) a step-scheduled
   /// allreduce of `bytes` across the simulated communicator (no-op for
-  /// a single rank).  Overlap mode first awaits the slot's previous
+  /// a single live rank).  Overlap mode first awaits the slot's previous
   /// reduction — the depth-1 pipeline.
   void charge_allreduce(core::ExecContext& ctx, double bytes,
                         const char* label, CommSlot slot);
 
+  /// (Re)build the solve-scoped async runtime for `mode` — called at
+  /// solve entry and whenever the "solver_comm" degradation ladder
+  /// changes the effective scheduling mode mid-solve.
+  void init_taskrt(core::ExecContext& ctx, AsyncComm mode);
+
   DestriperConfig config_;
-  /// Solve-scoped async runtime (kSync/kOverlap with comm_ranks > 1).
+  /// Solve-scoped async runtime (kSync/kOverlap with live_ranks_ > 1).
   std::optional<async::Engine> taskrt_;
   int comm_lane_ = -1;
   std::array<async::Future, kNumSlots> pending_{};
+  /// Communicator size of the current solve: config_.comm_ranks until an
+  /// elastic world shrink drops dead ranks from it.
+  int live_ranks_ = 1;
+  /// Effective scheduling mode of the current solve (the configured mode
+  /// stepped down the "solver_comm" ladder: overlap -> sync -> staged).
+  AsyncComm active_comm_ = AsyncComm::kStaged;
 };
 
 }  // namespace toast::solver

@@ -288,12 +288,15 @@ int cmd_lanes(const std::string& path) {
 
 /// Fault-injection view: the fault_* categories the recovery layer emits
 /// (retries, fallbacks, OOM recoveries, checkpoint restores, stragglers,
-/// rank restarts), their time cost, and which kernels degraded to CPU.
+/// rank restarts) plus the resilience_* categories the policy manager
+/// emits (task requeues, degradation-ladder escalations, circuit-breaker
+/// transitions, elastic world shrinks), their time cost, and which
+/// kernels degraded to CPU.
 int cmd_faults(const std::string& path) {
   const auto rows = load_rows(path);
   std::map<std::string, MetricRow> faults;
   for (const auto& [name, row] : rows) {
-    if (name.rfind("fault_", 0) == 0) {
+    if (name.rfind("fault_", 0) == 0 || name.rfind("resilience_", 0) == 0) {
       faults.emplace(name, row);
     }
   }
@@ -306,6 +309,13 @@ int cmd_faults(const std::string& path) {
   print_table(faults, static_cast<std::size_t>(-1));
 
   double failed_attempts = 0.0;
+  double requeued_tasks = 0.0;
+  double breaker_opens = 0.0;
+  double breaker_half_opens = 0.0;
+  double breaker_closes = 0.0;
+  double breaker_fast_fails = 0.0;
+  double escalations = 0.0;
+  double world_shrinks = 0.0;
   std::set<std::string> degraded;
   for (const auto& [name, row] : faults) {
     const auto counter = [&row](const std::string& key) {
@@ -314,6 +324,28 @@ int cmd_faults(const std::string& path) {
     };
     if (name.rfind("fault_retry_", 0) == 0) {
       failed_attempts += counter("failures");
+    }
+    if (name == "fault_task_requeue" || name == "resilience_task_requeue" ||
+        name == "destriper_comm_requeue") {
+      requeued_tasks += counter("tasks");
+    }
+    if (name == "resilience_breaker_open") {
+      breaker_opens += static_cast<double>(row.calls);
+    }
+    if (name == "resilience_breaker_half_open") {
+      breaker_half_opens += static_cast<double>(row.calls);
+    }
+    if (name == "resilience_breaker_close") {
+      breaker_closes += static_cast<double>(row.calls);
+    }
+    if (name == "resilience_breaker_fast_fail") {
+      breaker_fast_fails += static_cast<double>(row.calls);
+    }
+    if (name == "resilience_degrade") {
+      escalations += static_cast<double>(row.calls);
+    }
+    if (name == "resilience_world_shrink") {
+      world_shrinks += static_cast<double>(row.calls);
     }
     if (name == "fault_fallback") {
       for (const auto& [key, value] : row.counters) {
@@ -324,6 +356,24 @@ int cmd_faults(const std::string& path) {
     }
   }
   std::printf("\nfailed attempts retried: %.0f\n", failed_attempts);
+  if (requeued_tasks > 0.0) {
+    std::printf("async tasks requeued: %.0f\n", requeued_tasks);
+  }
+  if (breaker_opens + breaker_half_opens + breaker_closes +
+          breaker_fast_fails >
+      0.0) {
+    std::printf(
+        "circuit breakers: %.0f opened, %.0f half-opened, %.0f closed, "
+        "%.0f fast-failed ops\n",
+        breaker_opens, breaker_half_opens, breaker_closes,
+        breaker_fast_fails);
+  }
+  if (escalations > 0.0) {
+    std::printf("degradation-ladder escalations: %.0f\n", escalations);
+  }
+  if (world_shrinks > 0.0) {
+    std::printf("elastic world shrinks: %.0f\n", world_shrinks);
+  }
   if (!degraded.empty()) {
     std::printf("kernels degraded to CPU:");
     for (const auto& kernel : degraded) {

@@ -88,6 +88,23 @@ TEST(FaultPlan, RejectsBadDocuments) {
       std::runtime_error);
 }
 
+TEST(FaultPlan, RejectsUnknownKeys) {
+  // A typo must be an error, not a silently applied default.
+  EXPECT_THROW(
+      FaultPlan::parse(R"({"schema": "toastcase-fault-plan-v1",
+                           "sede": 7})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      FaultPlan::parse(R"({"schema": "toastcase-fault-plan-v1",
+                           "retry": {"max_attempt": 5}})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      FaultPlan::parse(R"({"schema": "toastcase-fault-plan-v1",
+                           "rules": [{"kind": "launch", "probability": 1.0,
+                                      "max_fire": 2}]})"),
+      std::runtime_error);
+}
+
 // --- disarmed injector -----------------------------------------------------
 
 TEST(FaultInjector, EmptyPlanIsCompletelyInert) {
