@@ -24,9 +24,9 @@ int main() {
     auto problem = bench_model::medium_problem();
     problem.procs_per_node = procs;
     mpisim::JobConfig off{problem, core::Backend::kJax};
-    off.jax_preallocate = false;
+    off.schedule.device.jax_preallocate = false;
     mpisim::JobConfig on{problem, core::Backend::kJax};
-    on.jax_preallocate = true;
+    on.schedule.device.jax_preallocate = true;
     const auto a = mpisim::run_benchmark_job(off);
     const auto b = mpisim::run_benchmark_job(on);
     auto cell = [](const mpisim::JobResult& r) {

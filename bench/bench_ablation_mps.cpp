@@ -21,9 +21,9 @@ int main() {
     auto problem = bench_model::medium_problem();
     problem.procs_per_node = procs;
     mpisim::JobConfig on{problem, Backend::kOmpTarget};
-    on.mps = true;
+    on.schedule.device.mps = true;
     mpisim::JobConfig off{problem, Backend::kOmpTarget};
-    off.mps = false;
+    off.schedule.device.mps = false;
     const auto a = mpisim::run_benchmark_job(on);
     const auto b = mpisim::run_benchmark_job(off);
     std::printf("%6d %6d | %14s | %14s | %11.2fx\n", procs,

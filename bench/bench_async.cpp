@@ -241,31 +241,10 @@ toast::fault::FaultPlan rank_chaos_plan() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
   std::string dump_tasks_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto need_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: %s requires a path\n", argv[0], flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--json") {
-      json_path = need_value("--json");
-    } else if (arg == "--dump-tasks") {
-      dump_tasks_path = need_value("--dump-tasks");
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--json <path>] [--dump-tasks <path>]\n",
-                  argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0],
-                   arg.c_str());
-      return 2;
-    }
-  }
+  const auto opt = toast::bench::parse_options(
+      argc, argv, {{"--dump-tasks", &dump_tasks_path}});
+  const std::string& json_path = opt.json_path;
 
   toast::bench::print_header(
       "Async task-graph runtime: replay parity + comm/compute overlap");

@@ -63,7 +63,7 @@ FaultPlan persistent_launch_plan() {
 JobResult run(Backend backend, const FaultPlan& plan) {
   JobConfig cfg;
   cfg.problem = tiny_problem();
-  cfg.backend = backend;
+  cfg.schedule.set_backend(backend);
   cfg.fault_plan = plan;
   return run_benchmark_job(cfg);
 }

@@ -14,7 +14,12 @@
 // --json <path>: machine-readable sweep (schema toastcase-bench-fig4-v1)
 // for scripts/check_bench.py.  --trace <path>: Chrome trace of the
 // 8-process representative ranks (path suffixed per backend).
+// --schedule <file>: start every point from a toastcase-schedule-v1
+// config (the backend slot is re-pinned per column).  --tuned: run the
+// schedule autotuner at the paper's peak point (8 processes) and report
+// tuned-vs-hand runtimes per backend.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -22,8 +27,10 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "config/schedule.hpp"
 #include "mpisim/job.hpp"
 #include "obs/export.hpp"
+#include "tune/tuner.hpp"
 
 using toast::bench_model::medium_problem;
 using toast::core::Backend;
@@ -33,12 +40,25 @@ using toast::mpisim::run_benchmark_job;
 
 namespace {
 
+/// Autotuner result for one (point, backend) cell (--tuned only).
+struct TunedCell {
+  bool ran = false;
+  bool feasible = false;
+  double runtime = 0.0;
+  bool not_worse = false;
+  std::string config_hash;
+  int evaluations = 0;
+};
+
 struct SweepPoint {
   int procs = 0;
   int threads = 0;
   JobResult cpu;
   JobResult jax;
   JobResult omp;
+  TunedCell tuned_cpu;
+  TunedCell tuned_jax;
+  TunedCell tuned_omp;
 };
 
 void write_json(const std::string& path,
@@ -56,7 +76,8 @@ void write_json(const std::string& path,
     w.obj_open();
     w.kv("procs", pt.procs);
     w.kv("threads", pt.threads);
-    auto backend = [&](const char* name, const JobResult& r) {
+    auto backend = [&](const char* name, const JobResult& r,
+                       const TunedCell& tuned) {
       w.obj_open(name);
       w.kv("oom", r.oom);
       if (r.oom) {
@@ -68,11 +89,17 @@ void write_json(const std::string& path,
         w.kv("transfer_s", r.transfer_seconds);
         w.kv("comm_s", r.comm_seconds);
       }
+      if (tuned.ran && tuned.feasible) {
+        w.kv("tuned_runtime_s", tuned.runtime);
+        w.kv("tuned_not_worse", tuned.not_worse);
+        w.kv("tuned_config_hash", tuned.config_hash);
+        w.kv("tuned_evaluations", tuned.evaluations);
+      }
       w.obj_close();
     };
-    backend("cpu", pt.cpu);
-    backend("jax", pt.jax);
-    backend("omp", pt.omp);
+    backend("cpu", pt.cpu, pt.tuned_cpu);
+    backend("jax", pt.jax, pt.tuned_jax);
+    backend("omp", pt.omp, pt.tuned_omp);
     w.obj_close();
   }
   w.arr_close();
@@ -91,6 +118,35 @@ int main(int argc, char** argv) {
   std::printf("---------------------------------------------------------------"
               "---------\n");
 
+  toast::config::ScheduleConfig base_schedule;
+  if (!opt.schedule_path.empty()) {
+    base_schedule =
+        toast::config::ScheduleConfig::load_file(opt.schedule_path);
+    std::printf("schedule: %s (hash %s)\n", opt.schedule_path.c_str(),
+                base_schedule.hash_hex().c_str());
+  }
+  auto make_cfg = [&](const toast::bench_model::ProblemSize& problem,
+                      Backend b) {
+    JobConfig cfg{problem, b};
+    if (!opt.schedule_path.empty()) {
+      cfg.schedule = base_schedule;
+      cfg.schedule.set_backend(b);
+    }
+    return cfg;
+  };
+  auto tune_cell = [&](const JobConfig& cfg, const JobResult& hand) {
+    TunedCell cell;
+    cell.ran = true;
+    const auto report =
+        toast::tune::tune_job(cfg, toast::tune::SearchSpace::full());
+    cell.feasible = std::isfinite(report.best_runtime);
+    cell.runtime = report.best_runtime;
+    cell.not_worse = hand.oom || report.best_runtime <= hand.runtime;
+    cell.config_hash = report.best.hash_hex();
+    cell.evaluations = report.evaluations;
+    return cell;
+  };
+
   std::vector<SweepPoint> sweep;
   for (const int procs : {1, 2, 4, 8, 16, 32, 64}) {
     auto problem = medium_problem();
@@ -100,14 +156,28 @@ int main(int argc, char** argv) {
     pt.procs = procs;
     pt.threads = problem.threads_per_proc();
 
-    JobConfig cpu_cfg{problem, Backend::kCpu};
+    const JobConfig cpu_cfg = make_cfg(problem, Backend::kCpu);
     pt.cpu = run_benchmark_job(cpu_cfg);
 
-    JobConfig jax_cfg{problem, Backend::kJax};
+    const JobConfig jax_cfg = make_cfg(problem, Backend::kJax);
     pt.jax = run_benchmark_job(jax_cfg);
 
-    JobConfig omp_cfg{problem, Backend::kOmpTarget};
+    const JobConfig omp_cfg = make_cfg(problem, Backend::kOmpTarget);
     pt.omp = run_benchmark_job(omp_cfg);
+
+    if (opt.tuned && procs == 8) {
+      pt.tuned_cpu = tune_cell(cpu_cfg, pt.cpu);
+      pt.tuned_jax = tune_cell(jax_cfg, pt.jax);
+      pt.tuned_omp = tune_cell(omp_cfg, pt.omp);
+      auto tuned_str = [](const TunedCell& c) {
+        return c.feasible ? toast::bench::fmt_seconds(c.runtime)
+                          : std::string("OOM");
+      };
+      std::printf("%6s %8s | %14s | %14s %8s | %14s %8s  (tuned)\n", "", "",
+                  tuned_str(pt.tuned_cpu).c_str(),
+                  tuned_str(pt.tuned_jax).c_str(), "",
+                  tuned_str(pt.tuned_omp).c_str(), "");
+    }
 
     auto cell = [&](const JobResult& r) {
       return r.oom ? std::string("OOM") : toast::bench::fmt_seconds(r.runtime);

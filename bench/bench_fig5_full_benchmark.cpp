@@ -10,7 +10,13 @@
 // --faults <plan>: apply a deterministic fault plan to every modelled run;
 //   fault/recovery counters then ride along in the JSON so the chaos CI
 //   can assert the runs completed (via retry or CPU fallback).
+// --schedule <file>: start every run from a toastcase-schedule-v1 config
+//   (the backend slot is re-pinned per implementation; --staging/--comm/
+//   --prefetch still apply on top).
+// --tuned: run the schedule autotuner per implementation and report
+//   tuned-vs-hand runtimes.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -18,9 +24,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "config/schedule.hpp"
 #include "fault/fault.hpp"
 #include "mpisim/job.hpp"
 #include "obs/export.hpp"
+#include "tune/tuner.hpp"
 
 using toast::bench_model::large_problem;
 using toast::core::Backend;
@@ -30,13 +38,25 @@ using toast::mpisim::run_benchmark_job;
 
 namespace {
 
+/// Autotuner result for one implementation (--tuned only).
+struct TunedCell {
+  bool ran = false;
+  bool feasible = false;
+  double runtime = 0.0;
+  bool not_worse = false;
+  std::string config_hash;
+  int evaluations = 0;
+};
+
 struct Row {
   std::string label;
   JobResult result;
+  TunedCell tuned;
 };
 
 void write_json(const std::string& path, const toast::bench::BenchOptions& opt,
-                const JobResult& cpu, const std::vector<Row>& rows) {
+                const JobResult& cpu, const TunedCell& cpu_tuned,
+                const std::vector<Row>& rows) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("cannot open " + path);
@@ -49,13 +69,20 @@ void write_json(const std::string& path, const toast::bench::BenchOptions& opt,
   w.kv("comm", opt.comm.empty() ? "model" : opt.comm);
   w.kv("prefetch", opt.prefetch);
   w.arr_open("implementations");
-  auto emit = [&](const std::string& label, const JobResult& r) {
+  auto emit = [&](const std::string& label, const JobResult& r,
+                  const TunedCell& tuned) {
     w.obj_open();
     w.kv("name", label);
     w.kv("oom", r.oom);
     if (!r.oom) {
       w.kv("runtime_s", r.runtime);
       w.kv("speedup_vs_cpu", cpu.runtime / r.runtime);
+    }
+    if (tuned.ran && tuned.feasible) {
+      w.kv("tuned_runtime_s", tuned.runtime);
+      w.kv("tuned_not_worse", tuned.not_worse);
+      w.kv("tuned_config_hash", tuned.config_hash);
+      w.kv("tuned_evaluations", tuned.evaluations);
     }
     if (!r.fault_counters.empty()) {
       w.obj_open("fault_counters");
@@ -80,9 +107,9 @@ void write_json(const std::string& path, const toast::bench::BenchOptions& opt,
     }
     w.obj_close();
   };
-  emit("cpu", cpu);
+  emit("cpu", cpu, cpu_tuned);
   for (const auto& row : rows) {
-    emit(row.label, row.result);
+    emit(row.label, row.result, row.tuned);
   }
   w.arr_close();
   w.obj_close();
@@ -113,22 +140,58 @@ int main(int argc, char** argv) {
   if (!opt.comm.empty()) {
     std::printf("comm: %s\n", opt.comm.c_str());
   }
-  const auto run = [&](Backend backend) {
+  toast::config::ScheduleConfig base_schedule;
+  if (!opt.schedule_path.empty()) {
+    base_schedule =
+        toast::config::ScheduleConfig::load_file(opt.schedule_path);
+    std::printf("schedule: %s (hash %s)\n", opt.schedule_path.c_str(),
+                base_schedule.hash_hex().c_str());
+  }
+  const auto make_cfg = [&](Backend backend) {
     JobConfig cfg;
     cfg.problem = large_problem();
-    cfg.backend = backend;
+    if (!opt.schedule_path.empty()) {
+      cfg.schedule = base_schedule;
+    }
+    cfg.schedule.set_backend(backend);
     cfg.fault_plan = plan;
     if (opt.staging == "naive") {
-      cfg.staging = toast::core::Pipeline::Staging::kNaive;
+      cfg.schedule.staging.mode = toast::core::Pipeline::Staging::kNaive;
     }
     if (opt.comm == "engine") {
-      cfg.comm_mode = toast::mpisim::CommMode::kEngine;
+      cfg.schedule.comm.mode = toast::mpisim::CommMode::kEngine;
     }
-    cfg.prefetch = opt.prefetch;
-    return run_benchmark_job(cfg);
+    if (opt.prefetch) {
+      cfg.schedule.staging.prefetch = true;
+    }
+    return cfg;
+  };
+  const auto run = [&](Backend backend) {
+    return run_benchmark_job(make_cfg(backend));
+  };
+  const auto tune_cell = [&](Backend backend, const JobResult& hand) {
+    TunedCell cell;
+    if (!opt.tuned) {
+      return cell;
+    }
+    cell.ran = true;
+    const auto report = toast::tune::tune_job(
+        make_cfg(backend), toast::tune::SearchSpace::full());
+    cell.feasible = std::isfinite(report.best_runtime);
+    cell.runtime = report.best_runtime;
+    cell.not_worse = hand.oom || report.best_runtime <= hand.runtime;
+    cell.config_hash = report.best.hash_hex();
+    cell.evaluations = report.evaluations;
+    return cell;
   };
 
   const auto cpu = run(Backend::kCpu);
+  const TunedCell cpu_tuned = tune_cell(Backend::kCpu, cpu);
+  if (cpu_tuned.ran && cpu_tuned.feasible) {
+    std::printf("tuned cpu: %s (%d evaluations)\n",
+                toast::bench::fmt_seconds(cpu_tuned.runtime).c_str(),
+                cpu_tuned.evaluations);
+  }
 
   std::printf("%-22s %14s %10s\n", "implementation", "runtime", "vs cpu");
   std::printf("------------------------------------------------\n");
@@ -155,7 +218,13 @@ int main(int argc, char** argv) {
       std::printf("%-22s %14s %10s\n", label,
                   toast::bench::fmt_seconds(r.runtime).c_str(), speed);
     }
-    rows.push_back(Row{json_label, r});
+    Row row{json_label, r, tune_cell(backend, r)};
+    if (row.tuned.ran && row.tuned.feasible) {
+      std::printf("%-22s %14s %10s\n",
+                  (std::string(label) + " tuned").c_str(),
+                  toast::bench::fmt_seconds(row.tuned.runtime).c_str(), "");
+    }
+    rows.push_back(std::move(row));
   }
 
   std::printf(
@@ -163,7 +232,7 @@ int main(int argc, char** argv) {
       "       jax CPU backend 7.4x slower than the threaded baseline.\n");
 
   if (!opt.json_path.empty()) {
-    write_json(opt.json_path, opt, cpu, rows);
+    write_json(opt.json_path, opt, cpu, cpu_tuned, rows);
     std::printf("wrote %s\n", opt.json_path.c_str());
   }
   if (!opt.trace_path.empty()) {

@@ -136,31 +136,10 @@ toast::fault::FaultPlan transfer_chaos_plan() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
   std::string dump_plan_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto need_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s: %s requires a path\n", argv[0], flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--json") {
-      json_path = need_value("--json");
-    } else if (arg == "--dump-plan") {
-      dump_plan_path = need_value("--dump-plan");
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--json <path>] [--dump-plan <path>]\n",
-                  argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0],
-                   arg.c_str());
-      return 2;
-    }
-  }
+  const auto opt = toast::bench::parse_options(
+      argc, argv, {{"--dump-plan", &dump_plan_path}});
+  const std::string& json_path = opt.json_path;
 
   toast::bench::print_header(
       "Pipeline compilation: plan vs interpreter equivalence + prefetch");
@@ -234,13 +213,13 @@ int main(int argc, char** argv) {
     row.name = name;
     JobConfig cfg;
     cfg.problem = large_problem();
-    cfg.backend = backend;
+    cfg.schedule.set_backend(backend);
     cfg.interpret = true;
     row.interp = run_benchmark_job(cfg);
     cfg.interpret = false;
     row.sync = run_benchmark_job(cfg);
-    cfg.prefetch = true;
-    cfg.evict = true;
+    cfg.schedule.staging.prefetch = true;
+    cfg.schedule.staging.evict = true;
     row.prefetch = run_benchmark_job(cfg);
     row.sync_equal = row.sync.runtime == row.interp.runtime;
     std::printf("%-6s %14s %14s %14s %9.3fx%s\n", name,

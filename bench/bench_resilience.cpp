@@ -297,7 +297,7 @@ int main(int argc, char** argv) {
     cfg.problem = toast::bench_model::tiny_problem();
     cfg.problem.nodes = 2;
     cfg.problem.procs_per_node = 2;
-    cfg.backend = Backend::kCpu;
+    cfg.schedule.set_backend(Backend::kCpu);
     cfg.fault_plan = plan;
     cfg.resilience_policy = policy;
     return toast::mpisim::run_benchmark_job(cfg);

@@ -23,13 +23,13 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "medium") cfg.problem = bench_model::medium_problem();
     else if (arg == "large") cfg.problem = bench_model::large_problem();
-    else if (arg == "cpu") cfg.backend = core::Backend::kCpu;
-    else if (arg == "omptarget") cfg.backend = core::Backend::kOmpTarget;
-    else if (arg == "jax") cfg.backend = core::Backend::kJax;
-    else if (arg == "jax-cpu") cfg.backend = core::Backend::kJaxCpu;
-    else if (arg == "--no-mps") cfg.mps = false;
-    else if (arg == "--naive") cfg.staging = core::Pipeline::Staging::kNaive;
-    else if (arg == "--prealloc") cfg.jax_preallocate = true;
+    else if (arg == "cpu") cfg.schedule.set_backend(core::Backend::kCpu);
+    else if (arg == "omptarget") cfg.schedule.set_backend(core::Backend::kOmpTarget);
+    else if (arg == "jax") cfg.schedule.set_backend(core::Backend::kJax);
+    else if (arg == "jax-cpu") cfg.schedule.set_backend(core::Backend::kJaxCpu);
+    else if (arg == "--no-mps") cfg.schedule.device.mps = false;
+    else if (arg == "--naive") cfg.schedule.staging.mode = core::Pipeline::Staging::kNaive;
+    else if (arg == "--prealloc") cfg.schedule.device.jax_preallocate = true;
     else if (std::isdigit(static_cast<unsigned char>(arg[0]))) {
       cfg.problem.procs_per_node = std::stoi(arg);
     } else {
@@ -47,8 +47,9 @@ int main(int argc, char** argv) {
               cfg.problem.nodes, cfg.problem.procs_per_node,
               cfg.problem.threads_per_proc(), cfg.problem.gpus_per_node);
   std::printf("backend %s, mps %s, staging %s\n",
-              core::to_string(cfg.backend), cfg.mps ? "on" : "off",
-              cfg.staging == core::Pipeline::Staging::kPipelined
+              core::to_string(cfg.backend_id()),
+              cfg.schedule.device.mps ? "on" : "off",
+              cfg.schedule.staging.mode == core::Pipeline::Staging::kPipelined
                   ? "pipelined"
                   : "naive");
 

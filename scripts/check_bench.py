@@ -10,7 +10,7 @@ usage: check_bench.py --fig4 fig4.json --fig6 fig6.json [--fig5 fig5.json]
                       [--overlap overlap.json] [--faults faults.json]
                       [--plan plan.json] [--comm comm.json]
                       [--executor executor.json] [--async async.json]
-                      [--resilience resilience.json]
+                      [--resilience resilience.json] [--tune tune.json]
 """
 
 import argparse
@@ -436,6 +436,61 @@ def check_resilience(path):
           "degraded: degraded comm modes keep products bitwise")
 
 
+def check_tune(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect_schema(doc, "toastcase-bench-tune-v1")
+    print(f"tune ({path}):")
+    warn_unknown_keys(doc, {"rows", "crossover", "determinism", "chaos"},
+                      path)
+
+    # The autotuner's contract: on every benchmarked shape the searched
+    # schedule is never worse than the best hand-picked preset (the hand
+    # presets all live inside the search space, and the tuner multi-starts
+    # from any preset the greedy descent failed to dominate).
+    for row in non_empty(doc["rows"], "rows"):
+        name = row["name"]
+        non_empty(row["hand"], f"{name}.hand")
+        check(row["tuned_not_worse"],
+              f"{name}: tuned never worse than hand-picked")
+        check(row["tuned_runtime_s"] <= row["best_hand_runtime_s"],
+              f"{name}: tuned {row['tuned_runtime_s']:.6g}s <= best hand "
+              f"{row['best_hand_runtime_s']:.6g}s ({row['best_hand_name']})")
+        check(row["tuned_evaluations"] > 0,
+              f"{name}: tuner actually evaluated candidates")
+
+    # The comm crossover (PR 5), rediscovered from the cost model alone:
+    # on the fig5 cluster topology the micro-tuner must pick the binomial
+    # tree in the latency regime (smallest message) and the ring
+    # reduce-scatter + all-gather decomposition in the bandwidth regime
+    # (largest message), with every choice the literal argmin of the
+    # per-algorithm seconds it reports.
+    points = non_empty(doc["crossover"]["points"], "crossover.points")
+    for p in points:
+        argmin = min(p["seconds"], key=p["seconds"].get)
+        check(p["chosen"] == argmin,
+              f"crossover @{p['bytes']:.0f}B: chosen {p['chosen']!r} is the "
+              f"argmin")
+    smallest = min(points, key=lambda p: p["bytes"])
+    largest = max(points, key=lambda p: p["bytes"])
+    check(smallest["chosen"] == "tree",
+          f"crossover: tree wins the latency regime "
+          f"({smallest['bytes']:.0f}B)")
+    check(largest["chosen"] == "ring",
+          f"crossover: rs+ag ring wins the bandwidth regime "
+          f"({largest['bytes']:.0f}B)")
+    check(smallest["chosen"] != largest["chosen"],
+          "crossover: the winner actually crosses over")
+
+    # Determinism: the same search twice must produce byte-identical
+    # winners, and a pinned fault plan under the tuned schedule must not
+    # break bitwise reproducibility.
+    check(doc["determinism"]["repeat_identical"],
+          "repeated tune run byte-identical")
+    check(doc["chaos"]["bitwise_identical"],
+          "pinned chaos plan under the tuned schedule bitwise identical")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -448,6 +503,7 @@ def main():
     ap.add_argument("--executor")
     ap.add_argument("--async", dest="async_path")
     ap.add_argument("--resilience")
+    ap.add_argument("--tune")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -460,12 +516,13 @@ def main():
         (check_executor, args.executor),
         (check_async, args.async_path),
         (check_resilience, args.resilience),
+        (check_tune, args.tune),
     ]
     if not any(path for _, path in checks):
         ap.error(
             "pass at least one of "
             "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm"
-            "/--executor/--async/--resilience")
+            "/--executor/--async/--resilience/--tune")
 
     for fn, path in checks:
         if path:

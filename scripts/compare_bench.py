@@ -116,6 +116,21 @@ def extract_resilience(doc):
         yield "resilience/degraded.runtime_s", deg["runtime_s"], LOWER
 
 
+def extract_tune(doc):
+    # Virtual-clock runtimes, bitwise reproducible.  Gating the tuned
+    # runtime catches both a cost-model regression and the tuner silently
+    # settling for a worse schedule; the best hand-picked runtime is the
+    # control (it moves only when the model itself moved).
+    for r in doc.get("rows", []):
+        yield f"tune/{r['name']}.tuned_runtime_s", \
+            r["tuned_runtime_s"], LOWER
+        yield f"tune/{r['name']}.best_hand_runtime_s", \
+            r["best_hand_runtime_s"], LOWER
+    for p in doc.get("crossover", {}).get("points", []):
+        best = min(p["seconds"].values())
+        yield f"tune/crossover/bytes={p['bytes']:.0f}.best_s", best, LOWER
+
+
 EXTRACTORS = {
     "toastcase-bench-fig4-v1": extract_fig4,
     "toastcase-bench-fig5-v1": extract_fig5,
@@ -125,6 +140,7 @@ EXTRACTORS = {
     "toastcase-bench-comm-v1": extract_comm,
     "toastcase-bench-executor-v1": extract_executor,
     "toastcase-bench-resilience-v1": extract_resilience,
+    "toastcase-bench-tune-v1": extract_tune,
 }
 
 

@@ -62,6 +62,19 @@ constexpr std::size_t index_of(core::Backend b) {
   return detail::index_of_id(b, std::make_index_sequence<backend_count>{});
 }
 
+/// Runtime enum of a manifest slot; core::Backend::kCpu when the index
+/// is out of range (slot 0 is the root backend by construction).
+constexpr core::Backend id_of(std::size_t index) {
+  core::Backend id = core::Backend::kCpu;
+  std::size_t i = 0;
+  std::apply(
+      [&](auto... tags) {
+        (((i++ == index) ? (id = decltype(tags)::id, 0) : 0), ...);
+      },
+      available_backends{});
+  return id;
+}
+
 /// Display name of a manifest slot ("cpu", "omp-target", ...).
 constexpr const char* name_of(std::size_t index) {
   const char* name = "unknown";

@@ -1,31 +1,13 @@
 #include "comm/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "sched/scheduler.hpp"
 
 namespace toast::comm {
-
-const char* to_string(Algorithm a) {
-  switch (a) {
-    case Algorithm::kRing:
-      return "ring";
-    case Algorithm::kRecursive:
-      return "recursive";
-    case Algorithm::kTree:
-      return "tree";
-  }
-  return "unknown";
-}
-
-Algorithm algorithm_from_string(const std::string& s) {
-  if (s == "ring") return Algorithm::kRing;
-  if (s == "recursive") return Algorithm::kRecursive;
-  if (s == "tree") return Algorithm::kTree;
-  throw std::runtime_error("unknown comm algorithm: " + s);
-}
 
 namespace {
 
@@ -331,6 +313,45 @@ StepDag allreduce_dag(Algorithm alg, int ranks, double bytes,
   throw std::runtime_error("allreduce_dag: unknown algorithm");
 }
 
+StepDag split_chunks(const StepDag& dag, double max_chunk_bytes) {
+  if (max_chunk_bytes <= 0.0) {
+    return dag;
+  }
+  StepDag out;
+  out.collective = dag.collective;
+  out.algorithm = dag.algorithm;
+  out.ranks = dag.ranks;
+  // Last sub-step index of each original step, for dependency remapping.
+  std::vector<int> last_piece(dag.steps.size(), -1);
+  for (std::size_t i = 0; i < dag.steps.size(); ++i) {
+    const Step& st = dag.steps[i];
+    const int pieces =
+        st.bytes > max_chunk_bytes
+            ? static_cast<int>(std::ceil(st.bytes / max_chunk_bytes))
+            : 1;
+    const double piece_bytes = st.bytes / static_cast<double>(pieces);
+    for (int j = 0; j < pieces; ++j) {
+      Step p = st;
+      p.bytes = piece_bytes;
+      const std::size_t lo = chunk_bound(st.count, pieces, j);
+      p.src_offset = st.src_offset + lo;
+      p.dst_offset = st.dst_offset + lo;
+      p.count = chunk_bound(st.count, pieces, j + 1) - lo;
+      p.deps.clear();
+      if (j == 0) {
+        for (const int d : st.deps) {
+          p.deps.push_back(last_piece[static_cast<std::size_t>(d)]);
+        }
+      } else {
+        p.deps.push_back(static_cast<int>(out.steps.size()) - 1);
+      }
+      out.steps.push_back(std::move(p));
+    }
+    last_piece[i] = static_cast<int>(out.steps.size()) - 1;
+  }
+  return out;
+}
+
 // --- scheduling -------------------------------------------------------------
 
 StepScheduler::StepScheduler(const Engine& engine, const StepDag& dag,
@@ -467,20 +488,34 @@ ScheduleResult Engine::schedule(const StepDag& dag,
 
 double Engine::allreduce_seconds(double bytes, Algorithm alg,
                                  const RunOptions& opt) const {
-  return schedule(allreduce_dag(alg, topo_.n_ranks(), bytes), opt).makespan;
+  return schedule(split_chunks(allreduce_dag(alg, topo_.n_ranks(), bytes),
+                               opt.max_chunk_bytes),
+                  opt)
+      .makespan;
 }
 
 double Engine::bcast_seconds(double bytes, const RunOptions& opt) const {
-  return schedule(tree_bcast(topo_.n_ranks(), bytes), opt).makespan;
+  return schedule(
+             split_chunks(tree_bcast(topo_.n_ranks(), bytes),
+                          opt.max_chunk_bytes),
+             opt)
+      .makespan;
 }
 
 double Engine::reduce_seconds(double bytes, const RunOptions& opt) const {
-  return schedule(tree_reduce(topo_.n_ranks(), bytes), opt).makespan;
+  return schedule(
+             split_chunks(tree_reduce(topo_.n_ranks(), bytes),
+                          opt.max_chunk_bytes),
+             opt)
+      .makespan;
 }
 
 double Engine::gather_seconds(double bytes_per_rank,
                               const RunOptions& opt) const {
-  return schedule(linear_gather(topo_.n_ranks(), bytes_per_rank), opt)
+  return schedule(
+             split_chunks(linear_gather(topo_.n_ranks(), bytes_per_rank),
+                          opt.max_chunk_bytes),
+             opt)
       .makespan;
 }
 

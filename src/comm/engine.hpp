@@ -32,21 +32,23 @@
 #include <vector>
 
 #include "comm/topology.hpp"
+#include "config/schedule.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 
 namespace toast::comm {
 
-enum class Algorithm {
-  kRing,       ///< ring allreduce (reduce-scatter ring + all-gather ring)
-  kRecursive,  ///< recursive halving/doubling (power-of-two ranks)
-  kTree,       ///< binomial tree (reduce to root + broadcast)
-};
+/// The collective decomposition algorithm is a schedule-space axis; the
+/// canonical enum lives in the unified config layer (kRing, kRecursive,
+/// kTree) and comm re-exports it under its historical name.
+using Algorithm = config::CommAlgorithm;
+using config::to_string;
 
-const char* to_string(Algorithm a);
 /// Parse "ring" / "recursive" / "tree"; throws std::runtime_error.
-Algorithm algorithm_from_string(const std::string& s);
+inline Algorithm algorithm_from_string(const std::string& s) {
+  return config::comm_algorithm_from_string(s);
+}
 
 /// One point-to-point chunk transfer.  `bytes` is the modelled wire
 /// volume; the element span [*_offset, *_offset + count) is the payload
@@ -96,6 +98,16 @@ StepDag linear_gather(int ranks, double bytes_per_rank,
 StepDag allreduce_dag(Algorithm alg, int ranks, double bytes,
                       std::size_t count = 0);
 
+/// Re-chunked copy of a DAG: every step whose wire volume exceeds
+/// `max_chunk_bytes` is cut into ceil(bytes / max_chunk_bytes) sequential
+/// sub-steps (even byte split, element spans via the same near-equal
+/// chunk bounds the builders use).  Sub-step 0 inherits the original
+/// dependencies (remapped to the *last* sub-step of each dependency), so
+/// the split schedule is conservative: payload replay order and reduction
+/// results are unchanged, only the lane granularity differs.
+/// max_chunk_bytes <= 0 returns the DAG untouched.
+StepDag split_chunks(const StepDag& dag, double max_chunk_bytes);
+
 // --- scheduling and execution ----------------------------------------------
 
 struct RunOptions {
@@ -116,6 +128,11 @@ struct RunOptions {
   /// the per-(kind, site) counter RNG streams).  Null or disarmed: the
   /// schedule is bit-for-bit the fault-free one.
   fault::FaultInjector* faults = nullptr;
+  /// Schedule-space chunk-size knob: the collective cost entry points
+  /// (`*_seconds`) run their DAG through split_chunks with this bound
+  /// before scheduling.  0 (the default) keeps each algorithm's natural
+  /// chunk size — bit-for-bit the pre-knob schedule.
+  double max_chunk_bytes = 0.0;
 };
 
 struct ScheduleResult {

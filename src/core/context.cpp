@@ -23,9 +23,15 @@ ExecContext::ExecContext(const ExecConfig& config)
   omp_rt_.set_dispatch_overhead(config.omp_dispatch_overhead);
   omp_rt_.set_work_scale(config.work_scale);
   jax_rt_.set_work_scale(config.work_scale);
+  if (config.schedule.streams > 1) {
+    // The schedule's stream count drives both backend runtimes; the
+    // default (1) leaves them exactly as constructed, bit-for-bit.
+    jax_rt_.set_streams(config.schedule.streams);
+    omp_rt_.scheduler().set_streams(config.schedule.streams);
+  }
   if ((config.backend == Backend::kJax ||
        config.backend == Backend::kJaxCompiled) &&
-      config.jax_preallocate) {
+      config.schedule.device.jax_preallocate) {
     jax_rt_.enable_preallocation();
   }
   if (config.backend == Backend::kJaxCompiled) {

@@ -12,6 +12,7 @@
 #include "accel/host_model.hpp"
 #include "accel/sim_device.hpp"
 #include "accel/timelog.hpp"
+#include "config/schedule.hpp"
 #include "core/types.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
@@ -34,9 +35,12 @@ struct ExecConfig {
   /// Paper-scale over executed-scale size ratio for map-domain buffers
   /// (e.g. (512/nside)^2 for production-resolution maps).
   double map_scale = 1.0;
-  /// JAX device-memory pool preallocation (paper disables it when
-  /// oversubscribing, §3.1.3).
-  bool jax_preallocate = false;
+  /// The unified schedule-space view of this process (docs/MODEL.md §12).
+  /// The context applies its stream count to both backend runtimes and
+  /// reads the JAX pool-preallocation flag from it; `backend` above is
+  /// the *resolved* dispatch default — callers deriving an ExecConfig
+  /// from a ScheduleConfig (mpisim does) keep the two coherent.
+  config::ScheduleConfig schedule;
   /// Host-side cost of submitting one OpenMP target region; varies by
   /// compiler runtime (NVHPC/Clang/GCC differ, paper §3.3).
   double omp_dispatch_overhead = 6.0e-6;

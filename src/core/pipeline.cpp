@@ -26,22 +26,25 @@ Backend Pipeline::dispatch_backend(const std::string& kernel,
 }
 
 PlanOptions Pipeline::effective_options() const {
-  PlanOptions options = plan_options_;
-  options.naive_staging = staging_ == Staging::kNaive;
+  PlanOptions options;
+  options.naive_staging = schedule_.staging.mode == Staging::kNaive;
+  options.prefetch = schedule_.staging.prefetch;
+  options.evict = schedule_.staging.evict;
   return options;
 }
 
 // --- planned execution (the default) ---------------------------------------
 
-std::string Pipeline::plan_key(const Observation& ob, ExecContext& ctx,
-                               const PlanOptions& options) const {
-  // Keyed like the xla JIT cache: pipeline signature (operators, outputs),
-  // backend map (dispatch + degradation at key time), staging mode and
-  // observation field layout.
+std::string Pipeline::plan_key(const Observation& ob, ExecContext& ctx) const {
+  // Keyed like the xla JIT cache: the schedule-space config hash (which
+  // covers staging mode, prefetch/evict and every other schedule axis),
+  // the pipeline signature (operators, outputs), the backend map
+  // (dispatch + degradation at key time) and the observation field
+  // layout.  Re-keying off the config hash is what lets the autotuner
+  // evaluate many schedules against one pipeline without plan aliasing.
   std::string key;
-  key += options.naive_staging ? "st=n" : "st=p";
-  key += options.prefetch ? ";pf=1" : ";pf=0";
-  key += options.evict ? ";ev=1" : ";ev=0";
+  key += "cfg=";
+  key += schedule_.hash_hex();
   for (const auto& m : meta_) {
     const Backend b = dispatch_backend(m.name, ctx);
     const bool accel =
@@ -68,7 +71,7 @@ std::string Pipeline::plan_key(const Observation& ob, ExecContext& ctx,
 std::shared_ptr<const ExecutionPlan> Pipeline::plan_for(const Observation& ob,
                                                         ExecContext& ctx) {
   const PlanOptions options = effective_options();
-  const std::string key = plan_key(ob, ctx, options);
+  const std::string key = plan_key(ob, ctx);
   const auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) {
     plan_stats_.cache_hits += 1.0;
@@ -253,7 +256,7 @@ void Pipeline::exec_interpreted(Observation& ob, ExecContext& ctx) {
         accel_ok = false;
         degrade_to_host("device_oom");
       }
-      if (accel_ok && staging_ == Staging::kNaive) {
+      if (accel_ok && schedule_.staging.mode == Staging::kNaive) {
         // Naive strategy: everything comes straight back and the device
         // copies are dropped after every kernel.  This runs outside the
         // recovery try: the op already completed, so a persistent

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "config/schedule.hpp"
 #include "core/accel_store.hpp"
 #include "core/context.hpp"
 #include "core/observation.hpp"
@@ -33,16 +34,17 @@ namespace toast::core {
 
 class Pipeline {
  public:
-  enum class Staging {
-    kPipelined,  ///< move data across operator sequences (default)
-    kNaive,      ///< transfer in/out around every accelerated operator
-  };
+  /// The staging strategy is a schedule-space axis; the canonical enum
+  /// (kPipelined / kNaive) lives in the unified config layer and the
+  /// pipeline re-exports it under its historical name.
+  using Staging = config::Staging;
 
   explicit Pipeline(std::vector<std::shared_ptr<Operator>> operators,
                     Staging staging = Staging::kPipelined)
       : operators_(std::move(operators)),
-        meta_(build_op_metadata(operators_)),
-        staging_(staging) {}
+        meta_(build_op_metadata(operators_)) {
+    schedule_.staging.mode = staging;
+  }
 
   /// Fields copied back to the host at the end of the pipeline.  Device-
   /// only intermediates (expanded pointing, Stokes weights...) are simply
@@ -65,12 +67,24 @@ class Pipeline {
   }
 
   /// Opt into prefetch / liveness eviction (the naive_staging bit is
-  /// derived from the Staging mode and ignored here).
+  /// derived from the Staging mode and ignored here).  A convenience
+  /// view onto set_schedule(): the bits land in the schedule's staging
+  /// axis.
   void set_plan_options(const PlanOptions& options) {
-    plan_options_ = options;
+    schedule_.staging.prefetch = options.prefetch;
+    schedule_.staging.evict = options.evict;
     plan_cache_.clear();
   }
-  const PlanOptions& plan_options() const { return plan_options_; }
+  PlanOptions plan_options() const { return effective_options(); }
+
+  /// Adopt a full schedule-space config.  The pipeline consumes its
+  /// staging axis (mode + prefetch/evict) and keys the plan cache off
+  /// the config's hash, so distinct schedules never share a plan.
+  void set_schedule(const config::ScheduleConfig& schedule) {
+    schedule_ = schedule;
+    plan_cache_.clear();
+  }
+  const config::ScheduleConfig& schedule() const { return schedule_; }
 
   /// Per-operator host-side framework overhead (the Python layer driving
   /// the kernels), charged as serial time.
@@ -108,14 +122,14 @@ class Pipeline {
   Backend dispatch_backend(const std::string& kernel,
                            ExecContext& ctx) const;
   PlanOptions effective_options() const;
-  std::string plan_key(const Observation& ob, ExecContext& ctx,
-                       const PlanOptions& options) const;
+  std::string plan_key(const Observation& ob, ExecContext& ctx) const;
 
   std::vector<std::shared_ptr<Operator>> operators_;
   std::vector<OpMeta> meta_;
-  Staging staging_;
+  /// The unified schedule-space view; the pipeline reads its staging
+  /// axis and hashes the whole config into every plan-cache key.
+  config::ScheduleConfig schedule_;
   std::optional<Backend> backend_override_;
-  PlanOptions plan_options_;
   std::vector<std::string> outputs_ = {
       std::string(fields::kSignal), std::string(fields::kZmap),
       std::string(fields::kAmplitudes), std::string(fields::kPixels)};

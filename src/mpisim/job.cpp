@@ -24,13 +24,14 @@ constexpr int kCommLaneBase = 16;
 }  // namespace
 
 MemoryFootprint estimate_memory(const JobConfig& cfg) {
-  const auto& p = cfg.problem;
+  const auto p = cfg.effective_problem();
+  const core::Backend backend = cfg.backend_id();
   const auto mem = bench_model::memory_model();
   MemoryFootprint f;
 
   const double rank_bytes =
       p.paper_total_bytes() / static_cast<double>(p.total_procs());
-  const bool accel = core::is_accel(cfg.backend);
+  const bool accel = core::is_accel(backend);
 
   f.host_bytes_per_proc =
       rank_bytes * mem.host_resident_fraction +
@@ -42,15 +43,15 @@ MemoryFootprint estimate_memory(const JobConfig& cfg) {
     const double staged_obs =
         rank_bytes * mem.staged_fraction /
         static_cast<double>(std::max(1, p.observations_per_proc));
-    if (cfg.backend == core::Backend::kJax) {
+    if (backend == core::Backend::kJax) {
       // JAX holds whole-observation arrays in its pool.
-      const double pool = cfg.jax_preallocate
+      const double pool = cfg.schedule.device.jax_preallocate
                               ? 0.75 * cfg.device_spec.memory_bytes -
                                     mem.jax_context_bytes
                               : staged_obs * mem.jax_pool_overhead;
       f.device_bytes_per_proc = mem.jax_context_bytes +
                                 std::max(pool, staged_obs);
-      if (cfg.jax_preallocate && staged_obs > pool) {
+      if (cfg.schedule.device.jax_preallocate && staged_obs > pool) {
         // Preallocated pool too small for the working set.
         f.device_bytes_per_proc = cfg.device_spec.memory_bytes * 2.0;
       }
@@ -70,7 +71,8 @@ MemoryFootprint estimate_memory(const JobConfig& cfg) {
 
 JobResult run_benchmark_job(const JobConfig& cfg) {
   JobResult result;
-  const auto& p = cfg.problem;
+  const auto p = cfg.effective_problem();
+  const core::Backend backend = cfg.backend_id();
   const auto fw = bench_model::framework_model();
 
   result.memory = estimate_memory(cfg);
@@ -93,7 +95,8 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
 
   // --- representative rank, functional execution ------------------------
   core::ExecConfig ec;
-  ec.backend = cfg.backend;
+  ec.schedule = cfg.schedule;
+  ec.backend = backend;
   ec.threads = p.threads_per_proc();
   ec.socket_active_threads = p.cores_per_node;
   ec.sharing = accel::Sharing::kExclusive;  // composed at job level below
@@ -102,7 +105,6 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   // Production maps are nside 512-class; ours run at p.nside.
   ec.map_scale = (512.0 / static_cast<double>(p.nside)) *
                  (512.0 / static_cast<double>(p.nside));
-  ec.jax_preallocate = cfg.jax_preallocate;
   ec.device_spec = cfg.device_spec;
   ec.omp_dispatch_overhead = cfg.omp_dispatch_overhead;
   ec.fault_plan = cfg.fault_plan;
@@ -111,15 +113,15 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   resilience::Manager& rm = ctx.resilience();
   int world = p.total_procs();
   const obs::SpanId rank_span = ctx.tracer().begin(
-      "rank:" + std::string(core::to_string(cfg.backend)), "rank",
-      core::to_string(cfg.backend));
+      "rank:" + std::string(core::to_string(backend)), "rank",
+      core::to_string(backend));
 
   // Fresh process: cold JIT caches, and the one-time accelerator bring-up
   // (CUDA context creation, runtime init) every GPU-enabled process pays.
   kernels::jax::clear_jit_caches();
-  if (core::is_accel(cfg.backend)) {
+  if (core::is_accel(backend)) {
     ctx.charge_serial("accel_init",
-                      cfg.backend == core::Backend::kJax ? 1.2 : 0.8);
+                      backend == core::Backend::kJax ? 1.2 : 0.8);
   }
 
   const auto fp = sim::hex_focalplane(p.actual_n_detectors, 37.0);
@@ -140,11 +142,9 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   wf.nside = p.nside;
   wf.map_iterations =
       cfg.map_iterations > 0 ? cfg.map_iterations : fw.map_iterations;
-  auto pipeline = sim::make_benchmark_pipeline(wf, cfg.staging);
-  core::PlanOptions popt;
-  popt.prefetch = cfg.prefetch;
-  popt.evict = cfg.evict;
-  pipeline.set_plan_options(popt);
+  auto pipeline =
+      sim::make_benchmark_pipeline(wf, cfg.schedule.staging.mode);
+  pipeline.set_schedule(cfg.schedule);
   auto run_pipeline = [&](core::Observation& ob) {
     if (cfg.interpret) {
       pipeline.exec_interpreted(ob, ctx);
@@ -165,8 +165,8 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
     // virtual clock as a logged fault span, bounded by the plan's retry
     // budget per observation.
     const double restart_seconds =
-        core::is_accel(cfg.backend)
-            ? (cfg.backend == core::Backend::kJax ? 1.2 : 0.8)
+        core::is_accel(backend)
+            ? (backend == core::Backend::kJax ? 1.2 : 0.8)
             : 0.1;
     resilience::RetrySpec plan_retry;
     plan_retry.max_attempts = cfg.fault_plan.retry.max_attempts;
@@ -192,7 +192,7 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
         ctx.clock().advance(lost);
         const obs::SpanId id = ctx.tracer().record(
             "fault_rank_restart", "fault", lost,
-            core::to_string(cfg.backend));
+            core::to_string(backend));
         ctx.tracer().add_counter(id, "observation_" + ob.name(), 1.0);
       }
       if (fired >= max_replays && rm.allow_shrink(world)) {
@@ -230,11 +230,11 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
 
   const int gpu_share = procs_per_gpu(p);
   double rank_runtime = elapsed;
-  if (core::is_accel(cfg.backend)) {
+  if (core::is_accel(backend)) {
     const double device_busy =
         result.device_seconds * static_cast<double>(gpu_share);
     result.device_busy_per_gpu = device_busy;
-    if (!cfg.mps && gpu_share > 1) {
+    if (!cfg.schedule.device.mps && gpu_share > 1) {
       // Without MPS the CUDA driver time-slices whole contexts.  The
       // pipeline interleaves host and device work so finely that each
       // process effectively holds the GPU through its pipeline section:
@@ -270,7 +270,8 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
   // "collectives" domain, the step-scheduled engine gives way to the
   // closed-form CommModel (always over the surviving world).
   const bool engine_collectives =
-      cfg.comm_mode == CommMode::kEngine && rm.level("collectives") == 0;
+      cfg.schedule.comm.mode == CommMode::kEngine &&
+      rm.level("collectives") == 0;
   bool engine_done = false;
   if (engine_collectives) {
     // Step-scheduled allreduce on the packed cluster topology: per-step
@@ -292,10 +293,11 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
     copt.trace_intra = true;
     copt.site = "map_allreduce";
     copt.faults = &ctx.faults();
+    copt.max_chunk_bytes = cfg.schedule.comm.chunk_bytes;
     if (rm.armed()) {
       try {
         result.comm_seconds = engine.allreduce_seconds(
-            paper_map_bytes, cfg.comm_algorithm, copt);
+            paper_map_bytes, cfg.schedule.comm.algorithm, copt);
         engine_done = true;
       } catch (const fault::PersistentFaultError&) {
         // Exhausted chunk-retry budget: report to the ladder and fall
@@ -304,7 +306,7 @@ JobResult run_benchmark_job(const JobConfig& cfg) {
       }
     } else {
       result.comm_seconds = engine.allreduce_seconds(
-          paper_map_bytes, cfg.comm_algorithm, copt);
+          paper_map_bytes, cfg.schedule.comm.algorithm, copt);
       engine_done = true;
     }
   }

@@ -25,6 +25,7 @@
 #include "accel/timelog.hpp"
 #include "bench_model/calibration.hpp"
 #include "comm/engine.hpp"
+#include "config/schedule.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "bench_model/problem.hpp"
@@ -35,26 +36,27 @@
 
 namespace toast::mpisim {
 
-/// How the end-of-run map allreduce is costed.
-enum class CommMode {
-  kModel,   ///< closed-form CommModel (the seed behaviour)
-  kEngine,  ///< step-scheduled comm::Engine on the cluster topology
-};
+/// How the end-of-run map allreduce is costed (kModel = closed-form
+/// CommModel, the seed behaviour; kEngine = step-scheduled comm::Engine
+/// on the cluster topology).  The canonical enum is the unified config
+/// layer's comm-mode axis; mpisim re-exports it under its historical
+/// name.
+using CommMode = config::CommMode;
 
 struct JobConfig {
   bench_model::ProblemSize problem;
-  core::Backend backend = core::Backend::kCpu;
-  /// NVIDIA MPS (required for OpenMP-target oversubscription, §3.1.2).
-  bool mps = true;
-  core::Pipeline::Staging staging = core::Pipeline::Staging::kPipelined;
-  /// Plan options: overlap next-operator uploads with compute / unmap dead
-  /// device intermediates (docs/MODEL.md "Pipeline compilation").
-  bool prefetch = false;
-  bool evict = false;
+  /// The unified schedule-space knob surface (docs/MODEL.md §12):
+  /// backend slot, staging mode + prefetch/evict, stream count, comm
+  /// mode/algorithm/chunk bound, solver async-comm mode, shape override
+  /// and device flags (MPS, JAX preallocation).  Everything here used to
+  /// be scattered per-field plumbing; the job threads it through
+  /// ExecConfig, Pipeline and the comm engine unchanged, so one parsed
+  /// `toastcase-schedule-v1` artifact configures the whole stack.
+  config::ScheduleConfig schedule;
   /// Run the historical interpreter instead of the cached ExecutionPlan
-  /// (the equivalence oracle the plan bench compares against).
+  /// (the equivalence oracle the plan bench compares against; not a
+  /// schedule axis — it must not change any result bit).
   bool interpret = false;
-  bool jax_preallocate = false;
   /// Override the workflow (0 keeps the calibrated default).
   int map_iterations = 0;
   /// Accelerator specification (defaults to the A100; the extension
@@ -65,10 +67,6 @@ struct JobConfig {
   /// Interconnect the end-of-run map allreduce is costed on (both the
   /// closed-form model and the engine topology build from it).
   accel::NetworkSpec network = accel::slingshot_spec();
-  /// Closed-form model (seed behaviour) or step-scheduled engine; with the
-  /// engine, per-step NIC-lane spans land in rank_spans.
-  CommMode comm_mode = CommMode::kModel;
-  comm::Algorithm comm_algorithm = comm::Algorithm::kRing;
   std::uint64_t seed = 2023;
   /// Deterministic fault schedule (empty plan = no fault layer at all;
   /// the run is bit-for-bit identical to a plan-free build).  Rank
@@ -81,6 +79,31 @@ struct JobConfig {
   /// the survivors and the dead rank's observations are redistributed
   /// deterministically.
   resilience::Policy resilience_policy = {};
+
+  JobConfig() = default;
+  /// Convenience spelling for the common "problem + backend slot" case
+  /// (keeps the historical `JobConfig{problem, Backend::kX}` sites).
+  JobConfig(bench_model::ProblemSize p, core::Backend b)
+      : problem(std::move(p)) {
+    schedule.set_backend(b);
+  }
+
+  /// Resolved backend of the schedule's slot name.
+  core::Backend backend_id() const { return schedule.backend_id(); }
+
+  /// The problem with the schedule's shape axis applied: nonzero
+  /// `shape.nodes` / `shape.procs_per_node` override the workload's own
+  /// geometry (this is how the autotuner searches ranks × threads).
+  bench_model::ProblemSize effective_problem() const {
+    bench_model::ProblemSize p = problem;
+    if (schedule.shape.nodes > 0) {
+      p.nodes = schedule.shape.nodes;
+    }
+    if (schedule.shape.procs_per_node > 0) {
+      p.procs_per_node = schedule.shape.procs_per_node;
+    }
+    return p;
+  }
 };
 
 struct MemoryFootprint {

@@ -186,8 +186,9 @@ void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
     opt.epoch = ctx.clock().now();
     opt.site = label;
     opt.faults = &ctx.faults();
+    opt.max_chunk_bytes = config_.comm.chunk_bytes;
     const double t =
-        engine.allreduce_seconds(bytes, config_.comm_algorithm, opt);
+        engine.allreduce_seconds(bytes, config_.comm.algorithm, opt);
     ctx.clock().advance(t);
     ctx.tracer().record(label, "comm", t);
     return;
@@ -205,7 +206,8 @@ void Destriper::charge_allreduce(core::ExecContext& ctx, double bytes,
     opt.epoch = start;
     opt.site = label;
     opt.faults = &ctx.faults();
-    return engine.allreduce_seconds(bytes, config_.comm_algorithm, opt);
+    opt.max_chunk_bytes = config_.comm.chunk_bytes;
+    return engine.allreduce_seconds(bytes, config_.comm.algorithm, opt);
   };
   pending_[static_cast<std::size_t>(slot)] =
       taskrt_->submit(comm_lane_, label, "comm", cost);

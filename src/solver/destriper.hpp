@@ -32,22 +32,13 @@
 
 namespace toast::solver {
 
-/// How the solver schedules its simulated collectives.
-enum class AsyncComm {
-  /// Blocking charge at the call site (the historical behavior).
-  kStaged,
-  /// Route every collective through an async::Engine in serial mode:
-  /// the bitwise oracle — clock, TimeLog and products identical to
-  /// kStaged, including under pinned fault plans.
-  kSync,
-  /// Pipelined-CG dataflow: each collective is submitted to the comm
-  /// lane and awaited one iteration later (depth-1 slots), so the
-  /// allreduce of iteration k overlaps the matvec of iteration k+1.
-  /// Unhidden latency is charged as logged "*_wait" spans.  Products
-  /// are unchanged (the reduction is a cost model; all simulated
-  /// ranks are statistically identical) — only the schedule differs.
-  kOverlap,
-};
+/// How the solver schedules its simulated collectives.  The canonical
+/// enum is the unified config layer's solver axis (kStaged = blocking
+/// charge at the call site, kSync = async engine in serial mode — the
+/// bitwise oracle, kOverlap = depth-1 pipelined CG collectives whose
+/// unhidden latency is charged as logged "*_wait" spans); the solver
+/// re-exports it under its historical name.
+using AsyncComm = config::SolverComm;
 
 struct DestriperConfig {
   std::int64_t nside = 64;
@@ -73,9 +64,19 @@ struct DestriperConfig {
   int comm_ranks = 1;
   int comm_ranks_per_node = 1;
   accel::NetworkSpec network = accel::slingshot_spec();
-  comm::Algorithm comm_algorithm = comm::Algorithm::kRing;
+  /// Collective axis of the schedule space: algorithm + chunk bound the
+  /// step-scheduled allreduces run with (the comm mode is ignored here —
+  /// the destriper always uses the engine for multi-rank solves).
+  config::CommConfig comm;
   /// Collective scheduling mode (no effect with a single rank).
   AsyncComm async_comm = AsyncComm::kStaged;
+
+  /// Adopt the relevant axes of a full schedule-space config (collective
+  /// algorithm + chunk bound, solver async-comm mode).
+  void apply_schedule(const config::ScheduleConfig& s) {
+    comm = s.comm;
+    async_comm = s.solver.async_comm;
+  }
 };
 
 struct DestriperResult {

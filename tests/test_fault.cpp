@@ -349,7 +349,7 @@ toast::mpisim::JobResult tiny_job(core::Backend backend,
                                   const FaultPlan& plan) {
   toast::mpisim::JobConfig cfg;
   cfg.problem = toast::bench_model::tiny_problem();
-  cfg.backend = backend;
+  cfg.schedule.set_backend(backend);
   cfg.fault_plan = plan;
   return toast::mpisim::run_benchmark_job(cfg);
 }

@@ -161,7 +161,7 @@ TEST(JobModel, OversubscriptionHelps) {
 TEST(JobModel, MpsOffCapsOversubscription) {
   auto on = medium_cfg(Backend::kOmpTarget, 16);
   auto off = medium_cfg(Backend::kOmpTarget, 16);
-  off.mps = false;
+  off.schedule.device.mps = false;
   const auto r_on = run_benchmark_job(on);
   const auto r_off = run_benchmark_job(off);
   // Without MPS, 16 procs perform like ~4 (one per device): much slower.
@@ -169,7 +169,7 @@ TEST(JobModel, MpsOffCapsOversubscription) {
   // With one process per GPU, MPS is irrelevant.
   auto on4 = medium_cfg(Backend::kOmpTarget, 4);
   auto off4 = medium_cfg(Backend::kOmpTarget, 4);
-  off4.mps = false;
+  off4.schedule.device.mps = false;
   EXPECT_NEAR(run_benchmark_job(on4).runtime,
               run_benchmark_job(off4).runtime, 1e-9);
 }
@@ -177,7 +177,7 @@ TEST(JobModel, MpsOffCapsOversubscription) {
 TEST(JobModel, StagingBeatsNaive) {
   auto staged = medium_cfg(Backend::kOmpTarget, 16);
   auto naive = medium_cfg(Backend::kOmpTarget, 16);
-  naive.staging = core::Pipeline::Staging::kNaive;
+  naive.schedule.staging.mode = core::Pipeline::Staging::kNaive;
   const auto a = run_benchmark_job(staged);
   const auto b = run_benchmark_job(naive);
   EXPECT_GT(b.runtime, 1.2 * a.runtime);
@@ -229,7 +229,7 @@ TEST(JobModel, NetworkSpecPlumbsThroughJobConfig) {
 
 TEST(JobModel, EngineCommModeIsDeterministicAndTraced) {
   auto cfg = medium_cfg(Backend::kCpu, 16);
-  cfg.comm_mode = mpisim::CommMode::kEngine;
+  cfg.schedule.comm.mode = mpisim::CommMode::kEngine;
   const auto a = run_benchmark_job(cfg);
   const auto b = run_benchmark_job(cfg);
   ASSERT_FALSE(a.oom);

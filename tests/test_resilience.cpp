@@ -492,7 +492,7 @@ toast::mpisim::JobResult elastic_job(const FaultPlan& plan,
                                      const Policy& policy) {
   toast::mpisim::JobConfig cfg;
   cfg.problem = small_cluster();
-  cfg.backend = core::Backend::kCpu;
+  cfg.schedule.set_backend(core::Backend::kCpu);
   cfg.fault_plan = plan;
   cfg.resilience_policy = policy;
   return toast::mpisim::run_benchmark_job(cfg);
