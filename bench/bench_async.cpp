@@ -9,6 +9,9 @@
 //     identical virtual runtime, TimeLog and science products.  Each row
 //     also reports the lowered graph's structure (task counts, critical
 //     path over the data deps, achievable overlap fraction).
+//   - "pipeline_overlap": the same pipeline driven through the engine's
+//     overlap mode — products and TimeLog must stay bitwise equal to
+//     the serial graph run while the placed makespan may only shrink.
 //   - "solver": the distributed destriper CG in its three comm modes.
 //     kSync (serial engine) must be bitwise equal to kStaged; kOverlap
 //     must keep the products bitwise and beat kStaged by the pipelining
@@ -97,7 +100,8 @@ struct DirectResult {
 
 DirectResult run_direct(Backend backend, core::Pipeline::Staging staging,
                         const toast::fault::FaultPlan& fplan,
-                        bool task_graph) {
+                        bool task_graph,
+                        async::Mode mode = async::Mode::kSerial) {
   auto data = make_data();
   core::ExecConfig cfg;
   cfg.backend = backend;
@@ -111,8 +115,10 @@ DirectResult run_direct(Backend backend, core::Pipeline::Staging staging,
   DirectResult r;
   if (task_graph) {
     core::PlanStats stats;
+    async::Options aopt;
+    aopt.mode = mode;
     for (auto& ob : data.observations) {
-      r.report.merge(async::run_plan_async(pipeline, ob, ctx, stats));
+      r.report.merge(async::run_plan_async(pipeline, ob, ctx, stats, aopt));
     }
   } else {
     pipeline.exec(data, ctx);
@@ -302,6 +308,52 @@ int main(int argc, char** argv) {
     direct.push_back(std::move(row));
   }
 
+  // --- pipeline graph overlap ----------------------------------------------
+  // Overlap mode re-times the executed tasks against the dependency
+  // structure: products and TimeLog must stay bitwise equal to the
+  // serial graph run (which is itself bitwise equal to staged replay,
+  // checked above), while the placed makespan may only shrink.
+  struct OverlapRow {
+    std::string name;
+    DirectResult serial;
+    DirectResult overlap;
+    bool products_equal = false;
+    bool log_equal = false;
+    bool no_slower = false;
+  };
+  const struct {
+    const char* name;
+    Backend backend;
+  } overlap_cases[] = {
+      {"omp_pipelined", Backend::kOmpTarget},
+      {"jax_pipelined", Backend::kJax},
+  };
+  std::vector<OverlapRow> overlap_rows;
+  std::printf("\n%-20s %14s %14s %8s %7s\n", "overlap case", "serial",
+              "overlap", "speedup", "parity");
+  std::printf(
+      "----------------------------------------------------------------\n");
+  for (const auto& c : overlap_cases) {
+    OverlapRow row;
+    row.name = c.name;
+    row.serial = run_direct(c.backend, core::Pipeline::Staging::kPipelined,
+                            no_faults, true, async::Mode::kSerial);
+    row.overlap = run_direct(c.backend, core::Pipeline::Staging::kPipelined,
+                             no_faults, true, async::Mode::kOverlap);
+    row.products_equal =
+        row.serial.signal_sum == row.overlap.signal_sum &&
+        row.serial.zmap_sum == row.overlap.zmap_sum;
+    row.log_equal = logs_equal(row.serial.log, row.overlap.log);
+    row.no_slower = row.overlap.runtime <= row.serial.runtime;
+    std::printf("%-20s %14.7e %14.7e %7.3fx %7s\n", c.name,
+                row.serial.runtime, row.overlap.runtime,
+                row.serial.runtime / row.overlap.runtime,
+                row.products_equal && row.log_equal && row.no_slower
+                    ? "yes"
+                    : "NO");
+    overlap_rows.push_back(std::move(row));
+  }
+
   // --- destriper comm modes -------------------------------------------------
   const auto staged = run_solve(AsyncComm::kStaged, 11, no_faults);
   const auto sync = run_solve(AsyncComm::kSync, 11, no_faults);
@@ -387,6 +439,19 @@ int main(int argc, char** argv) {
       w.obj_close();
     }
     w.arr_close();
+    w.arr_open("pipeline_overlap");
+    for (const auto& row : overlap_rows) {
+      w.obj_open();
+      w.kv("name", row.name);
+      w.kv("serial_runtime_s", row.serial.runtime);
+      w.kv("overlap_runtime_s", row.overlap.runtime);
+      w.kv("speedup", row.serial.runtime / row.overlap.runtime);
+      w.kv("products_equal", row.products_equal);
+      w.kv("timelog_equal", row.log_equal);
+      w.kv("no_slower", row.no_slower);
+      w.obj_close();
+    }
+    w.arr_close();
     w.obj_open("solver");
     w.kv("comm_ranks", 64);
     w.kv("staged_runtime_s", staged.runtime);
@@ -411,6 +476,9 @@ int main(int argc, char** argv) {
   bool ok = sync_equal && overlap_products_equal && chaos_equal;
   for (const auto& row : direct) {
     ok = ok && row.runtime_equal && row.log_equal && row.products_equal;
+  }
+  for (const auto& row : overlap_rows) {
+    ok = ok && row.products_equal && row.log_equal && row.no_slower;
   }
   if (!ok) {
     std::fprintf(stderr, "async runtime parity mismatch (see above)\n");

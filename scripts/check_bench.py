@@ -74,6 +74,7 @@ def check_fig6(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-fig6-v1")
     print(f"fig6 ({path}):")
+    warn_unknown_keys(doc, {"kernels", "mean_jax_over_omp"}, path)
     kernels = {k["name"]: k for k in non_empty(doc["kernels"], "kernels")}
 
     for name, k in kernels.items():
@@ -101,6 +102,7 @@ def check_fig4(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-fig4-v1")
     print(f"fig4 ({path}):")
+    warn_unknown_keys(doc, {"points"}, path)
     points = {p["procs"]: p for p in non_empty(doc["points"], "points")}
 
     # Paper §4.1 memory behaviour: JAX cannot run at 1 or 64 processes,
@@ -134,6 +136,7 @@ def check_fig5(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-fig5-v1")
     print(f"fig5 ({path}):")
+    warn_unknown_keys(doc, {"implementations"}, path)
     impls = {i["name"]: i
              for i in non_empty(doc["implementations"], "implementations")}
 
@@ -151,6 +154,7 @@ def check_overlap(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-overlap-v1")
     print(f"overlap ({path}):")
+    warn_unknown_keys(doc, {"points", "sync_runtime_s"}, path)
     points = {p["streams"]: p["runtime_s"]
               for p in non_empty(doc["points"], "points")}
     sync = doc["sync_runtime_s"]
@@ -173,6 +177,7 @@ def check_faults(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-faults-v1")
     print(f"faults ({path}):")
+    warn_unknown_keys(doc, {"backends"}, path)
     backends = {b["name"]: b for b in non_empty(doc["backends"], "backends")}
 
     for name, b in sorted(backends.items()):
@@ -243,6 +248,7 @@ def check_comm(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-comm-v1")
     print(f"comm ({path}):")
+    warn_unknown_keys(doc, {"points", "determinism"}, path)
     points = non_empty(doc["points"], "points")
 
     # The engine's oracle contract: ring allreduce on the uniform topology
@@ -348,7 +354,8 @@ def check_async(path):
         doc = json.load(f)
     expect_schema(doc, "toastcase-bench-async-v1")
     print(f"async ({path}):")
-    warn_unknown_keys(doc, {"plan", "solver", "chaos"}, path)
+    warn_unknown_keys(doc, {"plan", "pipeline_overlap", "solver", "chaos"},
+                      path)
 
     # The task-graph oracle contract: the serial schedule of the lowered
     # graph reproduces staged plan replay bit for bit — virtual runtime,
@@ -370,6 +377,19 @@ def check_async(path):
     chaos_rows = [r for r in doc["plan"] if "chaos" in r["name"]]
     check(bool(chaos_rows) and all(r["patched"] > 0 for r in chaos_rows),
           "chaos plan rows re-routed groups to their patch tasks")
+
+    # Overlap-mode graph runs: post-hoc placement may only shorten the
+    # virtual clock, and never at the cost of bitwise parity.
+    for row in non_empty(doc["pipeline_overlap"], "pipeline_overlap"):
+        name = row["name"]
+        check(row["products_equal"],
+              f"{name}: overlap graph run keeps products bitwise")
+        check(row["timelog_equal"],
+              f"{name}: overlap graph run keeps TimeLog identical")
+        check(row["no_slower"],
+              f"{name}: overlap run no slower than serial graph run")
+        check(row["speedup"] > 0.0,
+              f"{name}: overlap speedup {row['speedup']:.3f}x positive")
 
     solver = doc["solver"]
     check(solver["sync_equal"],
@@ -491,6 +511,46 @@ def check_tune(path):
           "pinned chaos plan under the tuned schedule bitwise identical")
 
 
+def check_serve(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect_schema(doc, "toastcase-bench-serve-v1")
+    print(f"serve ({path}):")
+    warn_unknown_keys(doc, {"points", "invariants"}, path)
+
+    # The service contract, independent of offered load: the scheduler
+    # never idles capacity a queued job could use, every admitted job
+    # eventually finishes, and serving a job changes nothing about its
+    # science — served results are bitwise-equal to standalone runs,
+    # chaos stays inside the tenant that configured it, and a same-seed
+    # repeat of the whole service day is byte-identical.
+    inv = doc["invariants"]
+    check(inv["work_conserving"],
+          "invariants: scheduler is work-conserving")
+    check(inv["no_starvation"],
+          "invariants: every admitted job completed")
+    check(inv["served_bitwise_standalone"],
+          "invariants: served results bitwise-equal to standalone runs")
+    check(inv["isolation_bitwise"],
+          "invariants: tenant chaos isolated bitwise from co-tenants")
+    check(inv["repeat_bitwise"],
+          "invariants: same-seed service repeat byte-identical")
+
+    for p in non_empty(doc["points"], "points"):
+        load = p["offered_load"]
+        check(0 <= p["completed"] <= p["admitted"] <= p["submitted"],
+              f"load {load}: completed <= admitted <= submitted")
+        check(p["makespan_s"] > 0.0, f"load {load}: makespan positive")
+        check(p["throughput_jobs_per_s"] > 0.0,
+              f"load {load}: throughput positive")
+        check(0.0 <= p["queue_wait_p50_s"] <= p["queue_wait_p95_s"]
+              <= p["queue_wait_p99_s"],
+              f"load {load}: queue-wait percentiles ordered")
+        check(0.0 <= p["utilization"] <= 1.0,
+              f"load {load}: node occupancy in [0, 1]")
+        check(p["work_conserving"], f"load {load}: pass work-conserving")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fig4")
@@ -504,6 +564,7 @@ def main():
     ap.add_argument("--async", dest="async_path")
     ap.add_argument("--resilience")
     ap.add_argument("--tune")
+    ap.add_argument("--serve")
     args = ap.parse_args()
     checks = [
         (check_fig4, args.fig4),
@@ -517,12 +578,13 @@ def main():
         (check_async, args.async_path),
         (check_resilience, args.resilience),
         (check_tune, args.tune),
+        (check_serve, args.serve),
     ]
     if not any(path for _, path in checks):
         ap.error(
             "pass at least one of "
             "--fig4/--fig5/--fig6/--overlap/--faults/--plan/--comm"
-            "/--executor/--async/--resilience/--tune")
+            "/--executor/--async/--resilience/--tune/--serve")
 
     for fn, path in checks:
         if path:

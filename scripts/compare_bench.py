@@ -131,6 +131,19 @@ def extract_tune(doc):
         yield f"tune/crossover/bytes={p['bytes']:.0f}.best_s", best, LOWER
 
 
+def extract_serve(doc):
+    # Virtual-clock service metrics, bitwise reproducible.  Throughput
+    # regresses when it drops (scheduler packing fewer jobs per virtual
+    # second); tail queue wait regresses when it grows.  The invariant
+    # booleans are owned by check_bench.py --serve.
+    for p in doc.get("points", []):
+        key = f"serve/load={p['offered_load']:g}"
+        yield f"{key}.throughput_jobs_per_s", \
+            p["throughput_jobs_per_s"], HIGHER
+        yield f"{key}.queue_wait_p99_s", p["queue_wait_p99_s"], LOWER
+        yield f"{key}.makespan_s", p["makespan_s"], LOWER
+
+
 EXTRACTORS = {
     "toastcase-bench-fig4-v1": extract_fig4,
     "toastcase-bench-fig5-v1": extract_fig5,
@@ -141,6 +154,7 @@ EXTRACTORS = {
     "toastcase-bench-executor-v1": extract_executor,
     "toastcase-bench-resilience-v1": extract_resilience,
     "toastcase-bench-tune-v1": extract_tune,
+    "toastcase-bench-serve-v1": extract_serve,
 }
 
 

@@ -180,7 +180,10 @@ void Engine::run_task(Task& t, bool recovering) {
   t.start = t0;
   t.seconds = clock_.now() - t0;
   t.ran = true;
-  if (opt_.trace_tasks && tracer_ != nullptr && t.seconds > 0.0) {
+  // Overlap graph runs re-time tasks afterwards; the structural span is
+  // emitted at the placed start by place_overlap instead.
+  const bool defer = graph_running_ && opt_.mode == Mode::kOverlap;
+  if (!defer && opt_.trace_tasks && tracer_ != nullptr && t.seconds > 0.0) {
     const obs::SpanId span =
         tracer_->record_at(to_string(t.kind) + (":" + t.name), "task",
                            t.start, t.seconds, {}, nullptr,
@@ -190,18 +193,70 @@ void Engine::run_task(Task& t, bool recovering) {
 }
 
 void Engine::run_range(std::vector<Task>& tasks, int begin, int end,
-                       bool recovering) {
+                       bool recovering, bool alt) {
+  const bool record = graph_running_ && opt_.mode == Mode::kOverlap;
+  if (record && alt && begin < end) {
+    // Entering a patch range is a placement barrier (recovery
+    // serializes against everything in flight) — and so is leaving it.
+    graph_order_.push_back(ExecRecord{false, true, 0});
+  }
   for (int i = begin; i < end; ++i) {
     run_task(tasks[static_cast<std::size_t>(i)], recovering);
+    if (record) {
+      graph_order_.push_back(ExecRecord{alt, false, i});
+    }
+  }
+  if (record && alt && begin < end) {
+    graph_order_.push_back(ExecRecord{false, true, 0});
   }
 }
 
-GraphReport Engine::run(TaskGraph& graph) {
-  if (opt_.mode != Mode::kSerial) {
-    throw std::logic_error(
-        "async::Engine::run: graph runs are serial (the bitwise oracle); "
-        "the incremental submit/await face carries overlap");
+double Engine::place_overlap(TaskGraph& graph, double run_start) {
+  std::vector<double> lane_end(graph.lane_names.size(), run_start);
+  std::vector<double> task_end(graph.tasks.size(), run_start);
+  double global_end = run_start;
+  for (const ExecRecord& rec : graph_order_) {
+    if (rec.barrier) {
+      // Recovery serializes: nothing placed after this point may start
+      // before everything placed so far has finished.
+      for (double& e : lane_end) {
+        e = global_end;
+      }
+      continue;
+    }
+    Task& t = rec.alt ? graph.alt_tasks[static_cast<std::size_t>(rec.index)]
+                      : graph.tasks[static_cast<std::size_t>(rec.index)];
+    if (static_cast<std::size_t>(t.lane) >= lane_end.size()) {
+      lane_end.resize(static_cast<std::size_t>(t.lane) + 1, run_start);
+    }
+    double start = std::max(run_start, lane_end[static_cast<std::size_t>(
+                                           t.lane)]);
+    if (!rec.alt) {
+      // Patch tasks carry no derived deps (they replace a body that
+      // never committed); main tasks wait on their data dependencies.
+      for (int d : t.deps) {
+        start = std::max(start, task_end[static_cast<std::size_t>(d)]);
+      }
+    }
+    const double end = start + t.seconds;
+    t.start = start;
+    lane_end[static_cast<std::size_t>(t.lane)] = end;
+    if (!rec.alt) {
+      task_end[static_cast<std::size_t>(rec.index)] = end;
+    }
+    global_end = std::max(global_end, end);
+    if (opt_.trace_tasks && tracer_ != nullptr && t.seconds > 0.0) {
+      const obs::SpanId span =
+          tracer_->record_at(to_string(t.kind) + (":" + t.name), "task",
+                             t.start, t.seconds, {}, nullptr,
+                             /*logged=*/false);
+      tracer_->set_stream(span, opt_.lane_base + t.lane);
+    }
   }
+  return global_end - run_start;
+}
+
+GraphReport Engine::run(TaskGraph& graph) {
   const double run_start = clock_.now();
   if (tracer_ != nullptr) {
     for (std::size_t i = 0; i < graph.lane_names.size(); ++i) {
@@ -209,6 +264,8 @@ GraphReport Engine::run(TaskGraph& graph) {
                                "async:" + graph.lane_names[i]);
     }
   }
+  graph_running_ = true;
+  graph_order_.clear();
   int patched = 0;
   for (TaskGroup& g : graph.groups) {
     if (!g.decide) {
@@ -222,7 +279,8 @@ GraphReport Engine::run(TaskGraph& graph) {
     run_range(graph.tasks, g.begin, g.body_begin, false);
     if (!g.decide()) {
       // Host dispatch: the graph re-routes to the patch tasks.
-      run_range(graph.alt_tasks, g.alt_begin, g.alt_end, false);
+      run_range(graph.alt_tasks, g.alt_begin, g.alt_end, false,
+                /*alt=*/true);
       if (g.expect_accel) {
         ++patched;
       }
@@ -234,7 +292,8 @@ GraphReport Engine::run(TaskGraph& graph) {
         // Recovery is a graph edit: degrade, then re-enqueue the
         // group as its patch tasks.
         g.on_fault(reason);
-        run_range(graph.alt_tasks, g.alt_begin, g.alt_end, true);
+        run_range(graph.alt_tasks, g.alt_begin, g.alt_end, true,
+                  /*alt=*/true);
         ++patched;
       } else {
         run_range(graph.tasks, g.post_begin, g.tail_begin, false);
@@ -244,7 +303,20 @@ GraphReport Engine::run(TaskGraph& graph) {
   }
   GraphReport rep = report(graph);
   rep.patched = patched;
-  rep.makespan_s = clock_.now() - run_start;
+  if (opt_.mode == Mode::kOverlap) {
+    // The functional pass above charged the serial sum; re-time against
+    // the dependency structure and land the clock on the placed
+    // makespan instead (products and TimeLog are already final and
+    // bit-for-bit the serial run).
+    const double serial_s = clock_.now() - run_start;
+    const double placed_s = place_overlap(graph, run_start);
+    clock_.advance(placed_s - serial_s);
+    rep.makespan_s = placed_s;
+  } else {
+    rep.makespan_s = clock_.now() - run_start;
+  }
+  graph_running_ = false;
+  graph_order_.clear();
   return rep;
 }
 

@@ -11,7 +11,12 @@
 //    bitwise identical, including when a group faults and re-routes to
 //    its patch tasks.  The report then computes what the dependency
 //    structure would allow: critical path over the data deps, lane
-//    busy time, achievable overlap.
+//    busy time, achievable overlap.  In Mode::kOverlap the same driver
+//    runs in the same functional order (products, TimeLog and fault
+//    decisions stay bit-for-bit the serial run), then the executed
+//    tasks are re-timed against the dependency structure and the clock
+//    lands on the placed makespan — pipeline graph runs overlap whole
+//    jobs without changing a single science bit.
 //
 //  - submit()/await(): incremental dataflow for ad-hoc work (the
 //    destriper's pipelined CG).  In Mode::kSerial a submit charges the
@@ -129,16 +134,32 @@ class Engine {
 
   // --- graph face -------------------------------------------------------
 
-  /// Execute a lowered pipeline graph (serial schedule; see file
-  /// comment).  Throws std::logic_error in overlap mode — graph runs
-  /// are the bitwise oracle.
+  /// Execute a lowered pipeline graph.  Serial mode is the bitwise
+  /// oracle (see file comment).  Overlap mode runs the *same* driver in
+  /// the same functional order — products, TimeLog and every fault
+  /// decision are bit-for-bit the serial run — then re-times the
+  /// executed tasks against the dependency structure (a task starts at
+  /// max(lane ready, deps' placed ends); patch ranges are placement
+  /// barriers because recovery serializes) and advances the clock by
+  /// the placed makespan instead of the serial sum.  Task `start`
+  /// fields and the structural trace spans carry the placed times.
   GraphReport run(TaskGraph& graph);
 
  private:
+  /// One executed-task record in driver order (overlap re-timing).
+  struct ExecRecord {
+    bool alt = false;      ///< task lives in graph.alt_tasks
+    bool barrier = false;  ///< recovery point: serialize placement
+    int index = 0;
+  };
+
   void run_task(Task& t, bool recovering);
   void run_range(std::vector<Task>& tasks, int begin, int end,
-                 bool recovering);
+                 bool recovering, bool alt = false);
   GraphReport report(const TaskGraph& graph) const;
+  /// Overlap re-timing pass over graph_order_; returns the placed
+  /// makespan (seconds past run_start).
+  double place_overlap(TaskGraph& graph, double run_start);
 
   accel::VirtualClock& clock_;
   obs::Tracer* tracer_;
@@ -146,6 +167,8 @@ class Engine {
   std::vector<std::string> lane_names_;
   std::vector<double> lane_ready_;
   std::vector<double> submitted_ends_;
+  bool graph_running_ = false;
+  std::vector<ExecRecord> graph_order_;
 };
 
 }  // namespace toast::async

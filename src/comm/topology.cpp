@@ -1,8 +1,15 @@
 #include "comm/topology.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace toast::comm {
+
+TopologyError::TopologyError(std::string field, long long value,
+                             const std::string& detail)
+    : std::invalid_argument("Topology: " + detail),
+      field_(std::move(field)),
+      value_(value) {}
 
 Topology::Topology(int ranks, int rpn, int nics_per_node, LinkSpec inter,
                    LinkSpec intra)
@@ -12,14 +19,18 @@ Topology::Topology(int ranks, int rpn, int nics_per_node, LinkSpec inter,
       inter_(inter),
       intra_(intra) {
   if (ranks_ < 1) {
-    throw std::invalid_argument("Topology: need at least one rank");
+    throw TopologyError("ranks", ranks_, "need at least one rank");
   }
-  if (rpn_ < 1 || nics_per_node_ < 1) {
-    throw std::invalid_argument(
-        "Topology: ranks_per_node and nics_per_node must be positive");
+  if (rpn_ < 1) {
+    throw TopologyError("ranks_per_node", rpn_,
+                        "ranks_per_node must be positive");
+  }
+  if (nics_per_node_ < 1) {
+    throw TopologyError("nics_per_node", nics_per_node_,
+                        "nics_per_node must be positive");
   }
   if (inter_.bandwidth <= 0.0 || intra_.bandwidth <= 0.0) {
-    throw std::invalid_argument("Topology: link bandwidth must be positive");
+    throw TopologyError("bandwidth", 0, "link bandwidth must be positive");
   }
 }
 
@@ -32,6 +43,8 @@ Topology Topology::uniform(int ranks, const accel::NetworkSpec& net) {
 
 Topology Topology::cluster(int ranks, int ranks_per_node,
                            const accel::NetworkSpec& net) {
+  // ranks_per_node may exceed ranks: a shrunk world legitimately leaves a
+  // partial node, so only positivity is enforced (in the constructor).
   return Topology(ranks, ranks_per_node, net.nics_per_node,
                   LinkSpec{net.bandwidth, net.latency},
                   LinkSpec{net.intra_bandwidth, net.intra_latency});
@@ -39,10 +52,31 @@ Topology Topology::cluster(int ranks, int ranks_per_node,
 
 Topology Topology::shrink(int survivors) const {
   if (survivors < 1 || survivors > ranks_) {
-    throw std::invalid_argument(
-        "Topology::shrink: survivors must be in [1, n_ranks()]");
+    throw TopologyError("survivors", survivors,
+                        "survivors must be in [1, n_ranks()]");
   }
   return Topology(survivors, rpn_, nics_per_node_, inter_, intra_);
+}
+
+Topology Topology::shrink(const std::vector<int>& survivors) const {
+  if (survivors.empty()) {
+    throw TopologyError("survivors", 0, "survivor set must not be empty");
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(ranks_), false);
+  for (int r : survivors) {
+    if (r < 0 || r >= ranks_) {
+      throw TopologyError("survivors", r,
+                          "survivor rank out of range [0, n_ranks())");
+    }
+    if (seen[static_cast<std::size_t>(r)]) {
+      throw TopologyError("survivors", r, "duplicate survivor rank");
+    }
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+  // Survivors re-pack densely in rank order: same node packing and link
+  // classes over the smaller world.
+  return Topology(static_cast<int>(survivors.size()), rpn_, nics_per_node_,
+                  inter_, intra_);
 }
 
 }  // namespace toast::comm

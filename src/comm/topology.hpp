@@ -14,9 +14,31 @@
 // shared links anywhere; it is the congestion-free topology on which the
 // engine reproduces the closed-form costs bit for bit.
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "accel/specs.hpp"
 
 namespace toast::comm {
+
+/// Structured topology-validation failure: carries the offending field
+/// name and value so callers (the resilience manager, the job service)
+/// can report *what* was invalid instead of pattern-matching message
+/// text.  Derives std::invalid_argument, so existing catch sites keep
+/// working unchanged.
+class TopologyError : public std::invalid_argument {
+ public:
+  TopologyError(std::string field, long long value, const std::string& detail);
+  /// Offending parameter ("survivors", "ranks_per_node", ...).
+  const std::string& field() const { return field_; }
+  /// Offending value (a duplicate/out-of-range rank, a bad count, ...).
+  long long value() const { return value_; }
+
+ private:
+  std::string field_;
+  long long value_;
+};
 
 /// One link class: per-message latency plus byte rate.
 struct LinkSpec {
@@ -44,7 +66,14 @@ class Topology {
   /// Rebuilt topology over the first `survivors` ranks after an elastic
   /// world shrink: same node packing and link classes, fewer ranks (dead
   /// ranks vacate their node slots, survivors keep their placement).
+  /// Throws TopologyError when survivors is outside [1, n_ranks()].
   Topology shrink(int survivors) const;
+
+  /// Survivor-set form: validates the set (rejects empty sets, duplicate
+  /// ranks and ranks outside [0, n_ranks())) with a TopologyError naming
+  /// the offending rank, then rebuilds over the survivors — they are
+  /// re-packed densely in rank order, same packing and link classes.
+  Topology shrink(const std::vector<int>& survivors) const;
 
   int n_ranks() const { return ranks_; }
   int ranks_per_node() const { return rpn_; }

@@ -268,4 +268,9 @@ ScheduleConfig ScheduleConfig::load_file(const std::string& path) {
   return config_from_value(obs::json::load_file(path), path);
 }
 
+ScheduleConfig ScheduleConfig::from_value(const obs::json::Value& doc,
+                                          const std::string& where) {
+  return config_from_value(doc, where);
+}
+
 }  // namespace toast::config

@@ -39,6 +39,7 @@
 #include <string>
 
 #include "core/types.hpp"
+#include "obs/json.hpp"
 
 namespace toast::config {
 
@@ -163,6 +164,10 @@ struct ScheduleConfig {
   /// on malformed input or unknown keys at any nesting level.
   static ScheduleConfig parse(const std::string& text);
   static ScheduleConfig load_file(const std::string& path);
+  /// Parse an already-decoded JSON value (e.g. a schedule nested inside
+  /// a larger document); `where` prefixes every error message.
+  static ScheduleConfig from_value(const obs::json::Value& doc,
+                                   const std::string& where);
 };
 
 }  // namespace toast::config

@@ -142,6 +142,11 @@ FaultPlan FaultPlan::load_file(const std::string& path) {
   return plan_from_value(obs::json::load_file(path), path);
 }
 
+FaultPlan FaultPlan::from_value(const obs::json::Value& doc,
+                                const std::string& where) {
+  return plan_from_value(doc, where);
+}
+
 PersistentFaultError::PersistentFaultError(FaultKind kind, std::string site,
                                            int failures)
     : std::runtime_error("persistent " + std::string(to_string(kind)) +

@@ -30,6 +30,7 @@
 
 #include "accel/fault_hook.hpp"
 #include "accel/sim_device.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 
 namespace toast::resilience {
@@ -90,6 +91,10 @@ struct FaultPlan {
   /// input or unknown fault kinds.
   static FaultPlan parse(const std::string& text);
   static FaultPlan load_file(const std::string& path);
+  /// Parse an already-decoded JSON value (e.g. a plan nested inside a
+  /// larger document); `where` prefixes every error message.
+  static FaultPlan from_value(const obs::json::Value& doc,
+                              const std::string& where);
 };
 
 /// Thrown when the retry budget for an op is exhausted; the pipeline

@@ -43,6 +43,16 @@ namespace toast::mpisim {
 /// name.
 using CommMode = config::CommMode;
 
+/// How the pipeline body of each observation is driven.  Not a schedule
+/// axis (toastcase-schedule-v1 is pinned by its canonical hash): the
+/// graph modes are execution strategies whose products must be bitwise
+/// identical to staged replay, so they live beside `interpret`.
+enum class PipelineRun {
+  kStaged,        ///< Pipeline::exec staged replay (the historical path)
+  kGraphSerial,   ///< async::Engine serial graph run (bitwise oracle)
+  kGraphOverlap,  ///< async::Engine overlap graph run (placed makespan)
+};
+
 struct JobConfig {
   bench_model::ProblemSize problem;
   /// The unified schedule-space knob surface (docs/MODEL.md §12):
@@ -57,6 +67,11 @@ struct JobConfig {
   /// (the equivalence oracle the plan bench compares against; not a
   /// schedule axis — it must not change any result bit).
   bool interpret = false;
+  /// Drive observation pipelines through the async task-graph engine
+  /// (ignored when `interpret` is set).  Serial is the bitwise oracle;
+  /// overlap re-times the executed tasks against the dependency
+  /// structure, so runtime may shrink while products stay bitwise.
+  PipelineRun pipeline_run = PipelineRun::kStaged;
   /// Override the workflow (0 keeps the calibrated default).
   int map_iterations = 0;
   /// Accelerator specification (defaults to the A100; the extension

@@ -121,4 +121,9 @@ Policy Policy::load_file(const std::string& path) {
   return policy_from_value(obs::json::load_file(path), path);
 }
 
+Policy Policy::from_value(const obs::json::Value& doc,
+                          const std::string& where) {
+  return policy_from_value(doc, where);
+}
+
 }  // namespace toast::resilience

@@ -51,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace toast::resilience {
 
 /// Per-site override of the fault plan's global retry policy.  Fields
@@ -127,6 +129,10 @@ struct Policy {
   /// std::runtime_error on malformed input or unknown keys.
   static Policy parse(const std::string& text);
   static Policy load_file(const std::string& path);
+  /// Parse an already-decoded JSON value (e.g. a policy nested inside a
+  /// larger document); `where` prefixes every error message.
+  static Policy from_value(const obs::json::Value& doc,
+                           const std::string& where);
 };
 
 }  // namespace toast::resilience

@@ -1,0 +1,118 @@
+#include "serve/packer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace toast::serve {
+
+Packer::Packer(const FleetSpec& fleet) : fleet_(fleet) {
+  if (fleet.nodes < 1) {
+    throw std::runtime_error("packer: fleet must have >= 1 node");
+  }
+  nodes_.resize(static_cast<std::size_t>(fleet.nodes));
+}
+
+JobDemand Packer::demand_for(const mpisim::JobConfig& cfg) {
+  const bench_model::ProblemSize p = cfg.effective_problem();
+  const mpisim::MemoryFootprint mem = mpisim::estimate_memory(cfg);
+  JobDemand d;
+  d.nodes = p.nodes;
+  d.host_bytes_per_node = mem.host_bytes_per_node;
+  d.device_bytes_per_gpu = mem.device_bytes_per_gpu;
+  d.accel = core::is_accel(cfg.backend_id());
+  d.mps = cfg.schedule.device.mps;
+  return d;
+}
+
+bool Packer::feasible(const JobDemand& d, std::string* reason) const {
+  std::ostringstream why;
+  if (d.nodes > fleet_.nodes) {
+    why << "needs " << d.nodes << " nodes, fleet has " << fleet_.nodes;
+  } else if (d.host_bytes_per_node > fleet_.host.memory_bytes) {
+    why << "host footprint " << d.host_bytes_per_node
+        << " B/node exceeds node memory " << fleet_.host.memory_bytes << " B";
+  } else if (d.accel && d.device_bytes_per_gpu > fleet_.device.memory_bytes) {
+    why << "device footprint " << d.device_bytes_per_gpu
+        << " B/GPU exceeds device memory " << fleet_.device.memory_bytes
+        << " B";
+  } else {
+    return true;
+  }
+  if (reason != nullptr) {
+    *reason = why.str();
+  }
+  return false;
+}
+
+bool Packer::node_fits(const NodeState& n, const JobDemand& d) const {
+  if (n.host_bytes + d.host_bytes_per_node > fleet_.host.memory_bytes) {
+    return false;
+  }
+  if (!d.accel) {
+    return true;
+  }
+  if (n.exclusive) {
+    return false;  // an MPS-off job holds this node's GPUs
+  }
+  if (!d.mps && n.accel_jobs > 0) {
+    return false;  // MPS-off jobs demand empty GPUs
+  }
+  return n.device_bytes + d.device_bytes_per_gpu <= fleet_.device.memory_bytes;
+}
+
+std::vector<int> Packer::try_place(const JobDemand& d) const {
+  std::vector<int> placed;
+  placed.reserve(static_cast<std::size_t>(d.nodes));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_fits(nodes_[i], d)) {
+      placed.push_back(static_cast<int>(i));
+      if (static_cast<int>(placed.size()) == d.nodes) {
+        return placed;
+      }
+    }
+  }
+  return {};
+}
+
+void Packer::place(const JobDemand& d, const std::vector<int>& nodes) {
+  for (int i : nodes) {
+    NodeState& n = nodes_.at(static_cast<std::size_t>(i));
+    n.host_bytes += d.host_bytes_per_node;
+    ++n.jobs;
+    if (d.accel) {
+      n.device_bytes += d.device_bytes_per_gpu;
+      ++n.accel_jobs;
+      if (!d.mps) {
+        n.exclusive = true;
+      }
+    }
+  }
+}
+
+void Packer::release(const JobDemand& d, const std::vector<int>& nodes) {
+  for (int i : nodes) {
+    NodeState& n = nodes_.at(static_cast<std::size_t>(i));
+    n.host_bytes -= d.host_bytes_per_node;
+    --n.jobs;
+    if (d.accel) {
+      n.device_bytes -= d.device_bytes_per_gpu;
+      --n.accel_jobs;
+      if (!d.mps) {
+        n.exclusive = false;
+      }
+    }
+  }
+}
+
+int Packer::max_accel_coresidents(const std::vector<int>& nodes) const {
+  int worst = 0;
+  for (int i : nodes) {
+    const NodeState& n = nodes_.at(static_cast<std::size_t>(i));
+    if (n.accel_jobs > worst) {
+      worst = n.accel_jobs;
+    }
+  }
+  return worst;
+}
+
+}  // namespace toast::serve

@@ -1,0 +1,78 @@
+#pragma once
+
+// Device-memory-aware fleet packer (docs/MODEL.md §13).
+//
+// The packer tracks per-node host-memory and per-GPU device-memory
+// commitments and decides where (and whether) a job fits right now.
+// Demands come from the same paper-scale footprint model the Figure 4
+// OOM sweep uses (mpisim::estimate_memory), so a job the standalone
+// model would OOM is exactly a job the service refuses to admit.
+//
+// Sharing model: accelerator jobs occupy every GPU of each node they
+// land on (ranks are spread across the node's GPUs).  With MPS enabled
+// in the job's schedule, multiple jobs may co-locate on a node's GPUs
+// as long as the summed per-GPU footprints fit; with MPS disabled the
+// job takes its nodes' GPUs exclusively (and refuses to join a node
+// where another accel job already runs).  CPU jobs only commit host
+// memory.  Placement is first-fit over ascending node ids — fully
+// deterministic, no randomized bin choice.
+
+#include <vector>
+
+#include "serve/spec.hpp"
+
+namespace toast::serve {
+
+/// Resource demand of one job, derived from its resolved config.
+struct JobDemand {
+  int nodes = 1;                    ///< distinct fleet nodes required
+  double host_bytes_per_node = 0.0;
+  double device_bytes_per_gpu = 0.0;
+  bool accel = false;               ///< occupies GPUs at all
+  bool mps = true;                  ///< may share GPUs with other jobs
+};
+
+struct NodeState {
+  double host_bytes = 0.0;    ///< committed host memory
+  double device_bytes = 0.0;  ///< committed per-GPU device memory
+  int accel_jobs = 0;         ///< co-resident accelerator jobs
+  bool exclusive = false;     ///< an MPS-off job holds the GPUs
+  int jobs = 0;               ///< all co-resident jobs
+};
+
+class Packer {
+ public:
+  explicit Packer(const FleetSpec& fleet);
+
+  /// The demand a resolved job config places on the fleet.
+  static JobDemand demand_for(const mpisim::JobConfig& cfg);
+
+  /// True if the demand could ever fit on an EMPTY fleet (admission
+  /// check); `reason` receives a structured explanation on failure.
+  bool feasible(const JobDemand& d, std::string* reason) const;
+
+  /// Nodes the job would run on right now, first-fit over ascending
+  /// ids; empty if it does not currently fit (the caller keeps it
+  /// queued).  Does not mutate state.
+  std::vector<int> try_place(const JobDemand& d) const;
+
+  /// Commit / release a placement returned by try_place.
+  void place(const JobDemand& d, const std::vector<int>& nodes);
+  void release(const JobDemand& d, const std::vector<int>& nodes);
+
+  /// Highest number of co-resident accelerator jobs across `nodes`
+  /// (>= 1 when the querying job itself is placed there); drives the
+  /// processor-sharing contention model.
+  int max_accel_coresidents(const std::vector<int>& nodes) const;
+
+  const std::vector<NodeState>& nodes() const { return nodes_; }
+  const FleetSpec& fleet() const { return fleet_; }
+
+ private:
+  bool node_fits(const NodeState& n, const JobDemand& d) const;
+
+  FleetSpec fleet_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace toast::serve

@@ -1,0 +1,513 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace toast::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One running job's bookkeeping in the event loop.
+struct Running {
+  int job = -1;              ///< index into the report's job vector
+  JobDemand demand;
+  std::vector<int> nodes;
+  double remaining = 0.0;    ///< standalone-seconds of work left
+  double rate = 1.0;         ///< processor-sharing service rate
+};
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+mpisim::JobConfig resolve_job_config(const ServiceSpec& spec,
+                                     const JobSpec& job,
+                                     const tune::ScheduleLibrary& lib,
+                                     bool* library_hit) {
+  if (library_hit != nullptr) {
+    *library_hit = false;
+  }
+  mpisim::JobConfig cfg;
+  cfg.problem = workload_problem(job.workload);
+  if (job.has_schedule) {
+    cfg.schedule = job.schedule;
+  } else {
+    bool found = false;
+    if (job.tuned && !lib.empty()) {
+      tune::LibraryQuery q;
+      q.workload = job.workload;
+      q.nodes = cfg.problem.nodes;
+      q.procs_per_node = cfg.problem.procs_per_node;
+      q.backend = job.backend;
+      if (const config::ScheduleConfig* s = tune::library_lookup(lib, q)) {
+        cfg.schedule = *s;
+        found = true;
+        if (library_hit != nullptr) {
+          *library_hit = true;
+        }
+      }
+    }
+    if (!found && !job.backend.empty()) {
+      cfg.schedule.backend = job.backend;
+    }
+  }
+  cfg.seed = job.seed;
+  cfg.map_iterations = job.map_iterations;
+  cfg.pipeline_run = job.pipeline;
+  cfg.device_spec = spec.fleet.device;
+  cfg.network = spec.fleet.network;
+  const int t = spec.tenant_index(job.tenant);
+  if (t >= 0) {
+    cfg.fault_plan = spec.tenants[static_cast<std::size_t>(t)].faults;
+    cfg.resilience_policy =
+        spec.tenants[static_cast<std::size_t>(t)].resilience;
+  }
+  return cfg;
+}
+
+Service::Service(ServiceSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.schedule_library.empty()) {
+    library_ = tune::ScheduleLibrary::load_file(spec_.schedule_library);
+  }
+}
+
+ServiceReport Service::run() {
+  ServiceReport report;
+  report.policy = spec_.policy;
+  report.submitted = static_cast<int>(spec_.jobs.size());
+  report.tenants.resize(spec_.tenants.size());
+  for (std::size_t t = 0; t < spec_.tenants.size(); ++t) {
+    report.tenants[t].name = spec_.tenants[t].name;
+    report.tenants[t].share = spec_.tenants[t].share;
+    tracer_.set_stream_name(static_cast<int>(t) + 1,
+                            "tenant:" + spec_.tenants[t].name);
+  }
+
+  Packer packer(spec_.fleet);
+  std::vector<JobDemand> demands(spec_.jobs.size());
+  report.jobs.resize(spec_.jobs.size());
+
+  // --- admission: resolve, feasibility-check and (for admitted jobs)
+  // run the standalone job up front.  Products are computed outside the
+  // event loop precisely so the service state cannot perturb them.
+  for (std::size_t i = 0; i < spec_.jobs.size(); ++i) {
+    const JobSpec& js = spec_.jobs[i];
+    const int t = spec_.tenant_index(js.tenant);
+    const TenantSpec& tenant = spec_.tenants[static_cast<std::size_t>(t)];
+    ServedJob& sj = report.jobs[i];
+    sj.name = js.name;
+    sj.tenant = js.tenant;
+    sj.workload = js.workload;
+    sj.priority = js.has_priority ? js.priority : tenant.priority;
+    sj.submit_s = js.submit_s;
+    ++report.tenants[static_cast<std::size_t>(t)].submitted;
+
+    sj.config = resolve_job_config(spec_, js, library_, &sj.library_hit);
+    if (js.tuned) {
+      if (sj.library_hit) {
+        ++report.library_hits;
+      } else {
+        ++report.library_misses;
+      }
+    }
+    demands[i] = Packer::demand_for(sj.config);
+
+    std::string reason;
+    if (!packer.feasible(demands[i], &reason)) {
+      sj.reject_reason = reason;
+      ++report.rejected;
+      ++report.tenants[static_cast<std::size_t>(t)].rejected;
+      continue;
+    }
+    sj.result = mpisim::run_benchmark_job(sj.config);
+    if (sj.result.oom) {
+      sj.reject_reason = "standalone OOM: " + sj.result.oom_reason;
+      ++report.rejected;
+      ++report.tenants[static_cast<std::size_t>(t)].rejected;
+      continue;
+    }
+    sj.service_s = sj.result.runtime;
+    sj.admitted = true;
+    ++report.admitted;
+    ++report.tenants[static_cast<std::size_t>(t)].admitted;
+  }
+
+  // --- event loop on the service clock ------------------------------
+  std::vector<int> arrivals;  // admitted job indices by (submit_s, index)
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    if (report.jobs[i].admitted) {
+      arrivals.push_back(static_cast<int>(i));
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(), [&](int a, int b) {
+    return report.jobs[static_cast<std::size_t>(a)].submit_s <
+           report.jobs[static_cast<std::size_t>(b)].submit_s;
+  });
+
+  std::vector<int> queue;
+  std::vector<Running> running;
+  std::vector<double> charged(spec_.tenants.size(), 0.0);
+  std::vector<int> running_count(spec_.tenants.size(), 0);
+  double busy_node_seconds = 0.0;
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+
+  const auto tenant_of = [&](int job) {
+    return spec_.tenant_index(report.jobs[static_cast<std::size_t>(job)].tenant);
+  };
+
+  const auto quota_ok = [&](int job) {
+    const int t = tenant_of(job);
+    const int quota = spec_.tenants[static_cast<std::size_t>(t)].max_running;
+    return quota == 0 || running_count[static_cast<std::size_t>(t)] < quota;
+  };
+
+  // Policy order over queued jobs.  Fair-share compares charged
+  // node-seconds / share (charge-on-start), breaking ties by tenant
+  // declaration order then submission; priority compares the strict
+  // level then submission.  Both end on the job index, so the order is
+  // a total one and the loop is deterministic.
+  const auto policy_less = [&](int a, int b) {
+    const ServedJob& ja = report.jobs[static_cast<std::size_t>(a)];
+    const ServedJob& jb = report.jobs[static_cast<std::size_t>(b)];
+    if (spec_.policy == SchedPolicy::kPriority) {
+      if (ja.priority != jb.priority) {
+        return ja.priority > jb.priority;
+      }
+    } else {
+      const int ta = tenant_of(a);
+      const int tb = tenant_of(b);
+      const double ua = charged[static_cast<std::size_t>(ta)] /
+                        spec_.tenants[static_cast<std::size_t>(ta)].share;
+      const double ub = charged[static_cast<std::size_t>(tb)] /
+                        spec_.tenants[static_cast<std::size_t>(tb)].share;
+      if (ua != ub) {
+        return ua < ub;
+      }
+      if (ta != tb) {
+        return ta < tb;
+      }
+    }
+    if (ja.submit_s != jb.submit_s) {
+      return ja.submit_s < jb.submit_s;
+    }
+    return a < b;
+  };
+
+  const auto start_job = [&](int job, const std::vector<int>& nodes) {
+    ServedJob& sj = report.jobs[static_cast<std::size_t>(job)];
+    const int t = tenant_of(job);
+    const JobDemand& d = demands[static_cast<std::size_t>(job)];
+    packer.place(d, nodes);
+    sj.start_s = now;
+    sj.queue_wait_s = now - sj.submit_s;
+    sj.nodes = nodes;
+    charged[static_cast<std::size_t>(t)] +=
+        sj.service_s * static_cast<double>(d.nodes);
+    ++running_count[static_cast<std::size_t>(t)];
+    Running r;
+    r.job = job;
+    r.demand = d;
+    r.nodes = nodes;
+    r.remaining = sj.service_s;
+    running.push_back(std::move(r));
+  };
+
+  const auto sched_pass = [&]() {
+    // Greedy, work-conserving, preemption-free backfill: every pass
+    // re-sorts (a placement changes fair-share charges and quotas),
+    // places the first fitting eligible job, and repeats until a full
+    // scan places nothing.  Jobs that do not fit are skipped, never a
+    // barrier.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::vector<int> order = queue;
+      std::sort(order.begin(), order.end(), policy_less);
+      for (int job : order) {
+        if (!quota_ok(job)) {
+          continue;
+        }
+        const std::vector<int> nodes =
+            packer.try_place(demands[static_cast<std::size_t>(job)]);
+        if (nodes.empty()) {
+          continue;
+        }
+        queue.erase(std::find(queue.begin(), queue.end(), job));
+        start_job(job, nodes);
+        progress = true;
+        break;
+      }
+    }
+    // Defensive self-check: after a pass, no eligible queued job may
+    // still fit (that would be a work-conservation bug, not a state).
+    for (int job : queue) {
+      if (quota_ok(job) &&
+          !packer.try_place(demands[static_cast<std::size_t>(job)]).empty()) {
+        report.work_conserving = false;
+      }
+    }
+    // Contention rates: 1 / (max accel co-residents over the job's
+    // nodes) for accelerator jobs, 1 for CPU jobs.
+    for (Running& r : running) {
+      r.rate = r.demand.accel
+                   ? 1.0 / static_cast<double>(std::max(
+                         1, packer.max_accel_coresidents(r.nodes)))
+                   : 1.0;
+    }
+  };
+
+  while (next_arrival < arrivals.size() || !queue.empty() ||
+         !running.empty()) {
+    double t_next = kInf;
+    if (next_arrival < arrivals.size()) {
+      t_next = report.jobs[static_cast<std::size_t>(arrivals[next_arrival])]
+                   .submit_s;
+    }
+    std::vector<double> fin(running.size(), kInf);
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      fin[i] = now + running[i].remaining / running[i].rate;
+      t_next = std::min(t_next, fin[i]);
+    }
+    if (!std::isfinite(t_next)) {
+      // Queued jobs with nothing running and no arrivals left: every
+      // queued job is feasible-on-empty-fleet, so this cannot happen
+      // unless the packer is inconsistent.
+      report.work_conserving = false;
+      break;
+    }
+
+    const double dt = t_next - now;
+    if (dt > 0.0) {
+      int occupied = 0;
+      for (const NodeState& n : packer.nodes()) {
+        occupied += n.jobs > 0 ? 1 : 0;
+      }
+      busy_node_seconds += static_cast<double>(occupied) * dt;
+    }
+    for (Running& r : running) {
+      r.remaining = std::max(0.0, r.remaining - r.rate * dt);
+    }
+    now = t_next;
+    clock_.advance(now - clock_.now());
+
+    // Completions (fin == t_next is exact: both sides are the same
+    // computed double).
+    for (std::size_t i = running.size(); i-- > 0;) {
+      if (fin[i] > t_next) {
+        continue;
+      }
+      Running r = running[static_cast<std::size_t>(i)];
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      ServedJob& sj = report.jobs[static_cast<std::size_t>(r.job)];
+      const int t = tenant_of(r.job);
+      sj.finish_s = now;
+      sj.served_s = now - sj.start_s;
+      sj.completed = true;
+      packer.release(r.demand, r.nodes);
+      --running_count[static_cast<std::size_t>(t)];
+      ++report.completed;
+      TenantStats& ts = report.tenants[static_cast<std::size_t>(t)];
+      ++ts.completed;
+      ts.max_wait_s = std::max(ts.max_wait_s, sj.queue_wait_s);
+      ts.sum_wait_s += sj.queue_wait_s;
+      const obs::SpanId id = tracer_.record_at(
+          sj.name, "job", sj.start_s, sj.served_s,
+          sj.config.schedule.backend, nullptr, true);
+      tracer_.set_stream(id, t + 1);
+      tracer_.add_counter(id, "queue_wait_s", sj.queue_wait_s);
+      tracer_.add_counter(id, "nodes", static_cast<double>(r.demand.nodes));
+    }
+
+    while (next_arrival < arrivals.size() &&
+           report.jobs[static_cast<std::size_t>(arrivals[next_arrival])]
+                   .submit_s <= now) {
+      queue.push_back(arrivals[next_arrival++]);
+    }
+
+    sched_pass();
+  }
+
+  report.makespan_s = now;
+  for (std::size_t t = 0; t < spec_.tenants.size(); ++t) {
+    report.tenants[t].node_seconds = charged[t];
+  }
+  if (report.makespan_s > 0.0) {
+    report.utilization =
+        busy_node_seconds /
+        (static_cast<double>(spec_.fleet.nodes) * report.makespan_s);
+  }
+  return report;
+}
+
+bool results_bitwise_equal(const mpisim::JobResult& a,
+                           const mpisim::JobResult& b) {
+  if (a.oom != b.oom || a.oom_reason != b.oom_reason) {
+    return false;
+  }
+  if (a.runtime != b.runtime || a.host_seconds != b.host_seconds ||
+      a.device_seconds != b.device_seconds ||
+      a.device_busy_per_gpu != b.device_busy_per_gpu ||
+      a.transfer_seconds != b.transfer_seconds ||
+      a.comm_seconds != b.comm_seconds) {
+    return false;
+  }
+  if (a.world_ranks != b.world_ranks) {
+    return false;
+  }
+  if (a.memory.host_bytes_per_node != b.memory.host_bytes_per_node ||
+      a.memory.device_bytes_per_gpu != b.memory.device_bytes_per_gpu ||
+      a.memory.host_oom != b.memory.host_oom ||
+      a.memory.device_oom != b.memory.device_oom) {
+    return false;
+  }
+  if (a.fault_counters != b.fault_counters ||
+      a.plan_counters != b.plan_counters ||
+      a.degraded_kernels != b.degraded_kernels) {
+    return false;
+  }
+  const std::vector<std::string> cats = a.rank_log.categories();
+  if (cats != b.rank_log.categories()) {
+    return false;
+  }
+  for (const std::string& c : cats) {
+    if (a.rank_log.seconds(c) != b.rank_log.seconds(c) ||
+        a.rank_log.calls(c) != b.rank_log.calls(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double queue_wait_percentile(const ServiceReport& report, double pct) {
+  std::vector<double> waits;
+  for (const ServedJob& j : report.jobs) {
+    if (j.completed) {
+      waits.push_back(j.queue_wait_s);
+    }
+  }
+  if (waits.empty()) {
+    return 0.0;
+  }
+  std::sort(waits.begin(), waits.end());
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  const double clamped = std::min(100.0, std::max(0.0, pct));
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(waits.size())));
+  if (rank == 0) {
+    rank = 1;
+  }
+  return waits[rank - 1];
+}
+
+void write_result_json(std::ostream& out, const ServiceReport& report) {
+  using obs::json::escape;
+  out << "{\n";
+  out << "  \"schema\": \"toastcase-serve-result-v1\",\n";
+  out << "  \"policy\": \"" << to_string(report.policy) << "\",\n";
+  out << "  \"makespan_s\": " << fmt(report.makespan_s) << ",\n";
+  out << "  \"work_conserving\": "
+      << (report.work_conserving ? "true" : "false") << ",\n";
+  out << "  \"submitted\": " << report.submitted << ",\n";
+  out << "  \"admitted\": " << report.admitted << ",\n";
+  out << "  \"rejected\": " << report.rejected << ",\n";
+  out << "  \"completed\": " << report.completed << ",\n";
+  out << "  \"library_hits\": " << report.library_hits << ",\n";
+  out << "  \"library_misses\": " << report.library_misses << ",\n";
+  out << "  \"utilization\": " << fmt(report.utilization) << ",\n";
+  out << "  \"queue_wait_p50_s\": " << fmt(queue_wait_percentile(report, 50))
+      << ",\n";
+  out << "  \"queue_wait_p95_s\": " << fmt(queue_wait_percentile(report, 95))
+      << ",\n";
+  out << "  \"queue_wait_p99_s\": " << fmt(queue_wait_percentile(report, 99))
+      << ",\n";
+  out << "  \"tenants\": [\n";
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    const TenantStats& ts = report.tenants[t];
+    out << "    {\"name\": \"" << escape(ts.name) << "\", \"share\": "
+        << fmt(ts.share) << ", \"submitted\": " << ts.submitted
+        << ", \"admitted\": " << ts.admitted << ", \"rejected\": "
+        << ts.rejected << ", \"completed\": " << ts.completed
+        << ", \"node_seconds\": " << fmt(ts.node_seconds)
+        << ", \"max_wait_s\": " << fmt(ts.max_wait_s)
+        << ", \"sum_wait_s\": " << fmt(ts.sum_wait_s) << "}"
+        << (t + 1 < report.tenants.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const ServedJob& j = report.jobs[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << escape(j.name) << "\",\n";
+    out << "      \"tenant\": \"" << escape(j.tenant) << "\",\n";
+    out << "      \"workload\": \"" << escape(j.workload) << "\",\n";
+    out << "      \"backend\": \"" << escape(j.config.schedule.backend)
+        << "\",\n";
+    out << "      \"schedule_hash\": \"" << j.config.schedule.hash_hex()
+        << "\",\n";
+    out << "      \"priority\": " << j.priority << ",\n";
+    out << "      \"submit_s\": " << fmt(j.submit_s) << ",\n";
+    out << "      \"start_s\": " << fmt(j.start_s) << ",\n";
+    out << "      \"finish_s\": " << fmt(j.finish_s) << ",\n";
+    out << "      \"queue_wait_s\": " << fmt(j.queue_wait_s) << ",\n";
+    out << "      \"service_s\": " << fmt(j.service_s) << ",\n";
+    out << "      \"served_s\": " << fmt(j.served_s) << ",\n";
+    out << "      \"admitted\": " << (j.admitted ? "true" : "false") << ",\n";
+    out << "      \"completed\": " << (j.completed ? "true" : "false")
+        << ",\n";
+    out << "      \"library_hit\": " << (j.library_hit ? "true" : "false")
+        << ",\n";
+    out << "      \"reject_reason\": \"" << escape(j.reject_reason)
+        << "\",\n";
+    out << "      \"nodes\": [";
+    for (std::size_t n = 0; n < j.nodes.size(); ++n) {
+      out << j.nodes[n] << (n + 1 < j.nodes.size() ? ", " : "");
+    }
+    out << "],\n";
+    out << "      \"world_ranks\": " << j.result.world_ranks << ",\n";
+    out << "      \"runtime\": " << fmt(j.result.runtime) << ",\n";
+    out << "      \"fault_counters\": {";
+    {
+      std::size_t k = 0;
+      for (const auto& [key, value] : j.result.fault_counters) {
+        out << "\"" << escape(key) << "\": " << fmt(value)
+            << (++k < j.result.fault_counters.size() ? ", " : "");
+      }
+    }
+    out << "},\n";
+    out << "      \"degraded_kernels\": [";
+    for (std::size_t k = 0; k < j.result.degraded_kernels.size(); ++k) {
+      out << "\"" << escape(j.result.degraded_kernels[k]) << "\""
+          << (k + 1 < j.result.degraded_kernels.size() ? ", " : "");
+    }
+    out << "],\n";
+    out << "      \"timelog\": {";
+    {
+      const std::vector<std::string> cats = j.result.rank_log.categories();
+      for (std::size_t k = 0; k < cats.size(); ++k) {
+        out << "\"" << escape(cats[k]) << "\": ["
+            << fmt(j.result.rank_log.seconds(cats[k])) << ", "
+            << j.result.rank_log.calls(cats[k]) << "]"
+            << (k + 1 < cats.size() ? ", " : "");
+      }
+    }
+    out << "}\n";
+    out << "    }" << (i + 1 < report.jobs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace toast::serve

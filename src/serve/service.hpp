@@ -1,0 +1,143 @@
+#pragma once
+
+// Deterministic multi-tenant job service (docs/MODEL.md §13).
+//
+// The service runs on its own virtual clock, independent of the
+// per-job rank clocks: admission, queueing, packing and completion are
+// *events* on the service clock, while each admitted job's scientific
+// products come from a standalone mpisim::run_benchmark_job call in a
+// fresh ExecContext.  That split is the isolation contract — a job's
+// results (maps, TimeLog, fault counters) are bitwise identical to the
+// same JobConfig run outside the service, no matter which other
+// tenants share the fleet, because nothing of the service state feeds
+// the job's execution.
+//
+// What sharing *does* affect is time: co-resident accelerator jobs on
+// a node contend for its GPUs under a processor-sharing fluid model —
+// a job's service rate is 1 / (max co-resident accel jobs over its
+// nodes), re-evaluated at every event boundary, so its served duration
+// stretches relative to the standalone runtime while its products do
+// not change.  CPU jobs run at rate 1.
+//
+// Scheduling is work-conserving and preemption-free: at every event
+// the queue is scanned in policy order (fair-share: lowest charged
+// node-seconds / share; priority: strict level, FIFO within) and every
+// job that fits is started — a job that does not fit is skipped, not a
+// barrier, which is exactly backfill.  Fair-share charges a job's full
+// expected node-seconds at start time ("charge on start"), so a burst
+// from one tenant interleaves with others even inside a single
+// scheduling pass.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "serve/packer.hpp"
+#include "serve/spec.hpp"
+#include "tune/library.hpp"
+
+namespace toast::serve {
+
+/// Outcome of one submitted job.
+struct ServedJob {
+  std::string name;
+  std::string tenant;
+  std::string workload;
+  int priority = 0;
+  double submit_s = 0.0;
+  double start_s = -1.0;   ///< -1 while queued / rejected
+  double finish_s = -1.0;  ///< -1 while running / rejected
+  double queue_wait_s = 0.0;
+  /// Standalone modelled runtime (the job's own products clock).
+  double service_s = 0.0;
+  /// Wall duration on the service clock (>= service_s under contention).
+  double served_s = 0.0;
+  bool admitted = false;
+  bool completed = false;
+  std::string reject_reason;  ///< non-empty iff rejected at admission
+  bool library_hit = false;   ///< `tuned` lookup found an artifact
+  std::vector<int> nodes;     ///< fleet nodes the job ran on
+  /// Resolved configuration (oracle re-runs compare against this).
+  mpisim::JobConfig config;
+  /// Standalone result: bitwise what run_benchmark_job(config) returns.
+  mpisim::JobResult result;
+};
+
+struct TenantStats {
+  std::string name;
+  double share = 1.0;
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  int completed = 0;
+  /// Node-seconds charged to the tenant (charge-on-start accounting).
+  double node_seconds = 0.0;
+  double max_wait_s = 0.0;
+  double sum_wait_s = 0.0;
+};
+
+struct ServiceReport {
+  SchedPolicy policy = SchedPolicy::kFairShare;
+  std::vector<ServedJob> jobs;  ///< submission (spec) order
+  std::vector<TenantStats> tenants;
+  double makespan_s = 0.0;
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int library_hits = 0;
+  int library_misses = 0;
+  /// Node occupancy: node-seconds with >= 1 resident job, over
+  /// fleet-nodes * makespan (in [0, 1]).
+  double utilization = 0.0;
+  /// False if a queued, currently-fitting, quota-eligible job was ever
+  /// left idle after a scheduling pass (defensive self-check).
+  bool work_conserving = true;
+};
+
+class Service {
+ public:
+  /// Loads the schedule library eagerly when the spec names one.
+  explicit Service(ServiceSpec spec);
+
+  /// Run the scenario to completion; deterministic for a given spec.
+  ServiceReport run();
+
+  /// Service-level trace (one lane per tenant, one span per served
+  /// job); valid after run().
+  const obs::Tracer& tracer() const { return tracer_; }
+  const tune::ScheduleLibrary& library() const { return library_; }
+
+ private:
+  ServiceSpec spec_;
+  tune::ScheduleLibrary library_;
+  accel::VirtualClock clock_;
+  obs::Tracer tracer_{&clock_};
+};
+
+/// Resolve a JobSpec into the standalone JobConfig the service runs:
+/// explicit schedule > `tuned` library hit > backend override > default,
+/// plus the tenant's fault plan / resilience policy and the fleet's
+/// device and network specs.
+mpisim::JobConfig resolve_job_config(const ServiceSpec& spec,
+                                     const JobSpec& job,
+                                     const tune::ScheduleLibrary& lib,
+                                     bool* library_hit);
+
+/// Bitwise comparison of two job results (runtime decomposition, rank
+/// TimeLog, fault/plan counters, degraded kernels, world size); exact
+/// double equality — this is the isolation oracle, not a tolerance.
+bool results_bitwise_equal(const mpisim::JobResult& a,
+                           const mpisim::JobResult& b);
+
+/// Nearest-rank percentile (pct in [0, 100]) of completed jobs' queue
+/// waits; 0 when none completed.
+double queue_wait_percentile(const ServiceReport& report, double pct);
+
+/// Dump a "toastcase-serve-result-v1" document (every double printed
+/// with %.17g, so two runs of the same spec compare bitwise with cmp).
+void write_result_json(std::ostream& out, const ServiceReport& report);
+
+}  // namespace toast::serve

@@ -8,6 +8,7 @@
 //   toast-trace comm <file>         per-rank NIC-lane occupancy (comm engine)
 //   toast-trace plan <file>         ExecutionPlan dump (toastcase-plan-v1)
 //   toast-trace tasks <file>        task-graph dump (toastcase-tasks-v1)
+//   toast-trace serve <file>        job-service day (toastcase-serve-result-v1)
 //
 // summarize/top/diff accept either a metrics file ("toastcase-metrics-v1",
 // as written by write_metrics_json) or a Chrome trace-event file (as
@@ -41,6 +42,7 @@ int usage() {
                "       toast-trace comm <trace-file>\n"
                "       toast-trace plan <plan-file>\n"
                "       toast-trace tasks <tasks-file>\n"
+               "       toast-trace serve <serve-result-file>\n"
                "\n"
                "<file> is a toastcase metrics JSON or a Chrome trace-event\n"
                "JSON produced by the benchmarks' --json / --trace flags;\n"
@@ -692,6 +694,91 @@ int cmd_tasks(const std::string& path) {
   return 0;
 }
 
+/// Multi-tenant service view: the per-tenant accounting and per-job
+/// timeline of a simulated service day (bench_serve's --result output).
+int cmd_serve(const std::string& path) {
+  const json::Value doc = json::load_file(path);
+  if (!doc.is_object() || doc.find("schema") == nullptr ||
+      doc.at("schema").string != "toastcase-serve-result-v1") {
+    std::fprintf(stderr,
+                 "toast-trace: %s is not a toastcase-serve-result-v1 file "
+                 "(pass bench_serve's --result output)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("%s: %s policy, %.0f submitted / %.0f admitted / "
+              "%.0f rejected / %.0f completed\n",
+              path.c_str(), doc.at("policy").string.c_str(),
+              doc.number_or("submitted", 0.0), doc.number_or("admitted", 0.0),
+              doc.number_or("rejected", 0.0),
+              doc.number_or("completed", 0.0));
+  std::printf("makespan %.4fs, node occupancy %.1f%%, work-conserving %s, "
+              "library %.0f hit%s / %.0f miss%s\n",
+              doc.number_or("makespan_s", 0.0),
+              100.0 * doc.number_or("utilization", 0.0),
+              doc.at("work_conserving").boolean ? "yes" : "NO",
+              doc.number_or("library_hits", 0.0),
+              doc.number_or("library_hits", 0.0) == 1.0 ? "" : "s",
+              doc.number_or("library_misses", 0.0),
+              doc.number_or("library_misses", 0.0) == 1.0 ? "" : "es");
+  std::printf("queue wait p50 %.4fs, p95 %.4fs, p99 %.4fs\n",
+              doc.number_or("queue_wait_p50_s", 0.0),
+              doc.number_or("queue_wait_p95_s", 0.0),
+              doc.number_or("queue_wait_p99_s", 0.0));
+
+  std::printf("\n%-12s %6s %5s %5s %5s %5s %11s %10s %10s\n", "tenant",
+              "share", "sub", "adm", "rej", "done", "node-sec", "max wait",
+              "mean wait");
+  std::printf("%.*s\n", 77,
+              "--------------------------------------------------------------"
+              "------------------------------");
+  for (const auto& t : doc.at("tenants").array) {
+    const double completed = t.number_or("completed", 0.0);
+    const double sum_wait = t.number_or("sum_wait_s", 0.0);
+    std::printf("%-12s %6.2f %5.0f %5.0f %5.0f %5.0f %10.3fs %9.4fs "
+                "%9.4fs\n",
+                t.at("name").string.c_str(), t.number_or("share", 0.0),
+                t.number_or("submitted", 0.0), t.number_or("admitted", 0.0),
+                t.number_or("rejected", 0.0), completed,
+                t.number_or("node_seconds", 0.0),
+                t.number_or("max_wait_s", 0.0),
+                completed > 0.0 ? sum_wait / completed : 0.0);
+  }
+
+  std::printf("\n%-12s %-10s %-8s %-12s %9s %9s %9s %9s  %s\n", "job",
+              "tenant", "workload", "backend", "submit", "start", "finish",
+              "wait", "status");
+  std::printf("%.*s\n", 98,
+              "--------------------------------------------------------------"
+              "--------------------------------------");
+  for (const auto& j : doc.at("jobs").array) {
+    char status[96];
+    if (!j.at("admitted").boolean) {
+      std::snprintf(status, sizeof(status), "rejected: %s",
+                    j.at("reject_reason").string.c_str());
+    } else if (!j.at("completed").boolean) {
+      std::snprintf(status, sizeof(status), "incomplete");
+    } else {
+      const auto& nodes = j.at("nodes").array;
+      std::string node_list;
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        node_list += (n > 0 ? "," : "") + std::to_string(
+            static_cast<long>(nodes[n].number));
+      }
+      std::snprintf(status, sizeof(status), "done on node%s %s%s",
+                    nodes.size() == 1 ? "" : "s", node_list.c_str(),
+                    j.at("library_hit").boolean ? " (library hit)" : "");
+    }
+    std::printf("%-12s %-10s %-8s %-12s %8.3fs %8.3fs %8.3fs %8.4fs  %s\n",
+                j.at("name").string.c_str(), j.at("tenant").string.c_str(),
+                j.at("workload").string.c_str(),
+                j.at("backend").string.c_str(), j.number_or("submit_s", 0.0),
+                j.number_or("start_s", 0.0), j.number_or("finish_s", 0.0),
+                j.number_or("queue_wait_s", 0.0), status);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -728,6 +815,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "tasks" && argc == 3) {
       return cmd_tasks(argv[2]);
+    }
+    if (cmd == "serve" && argc == 3) {
+      return cmd_serve(argv[2]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "toast-trace: %s\n", e.what());

@@ -180,14 +180,58 @@ TEST(Engine, SerialSubmitChargesLikeTheBlockingCall) {
   expect_logs_equal(tracer.timelog(), manual.timelog());
 }
 
-TEST(Engine, GraphRunsRefuseOverlapMode) {
+TEST(Engine, OverlapGraphRunPlacesAgainstDeps) {
+  // Hand-built graph: two independent 1s charges on different lanes plus
+  // a task depending on both.  The serial sum is 3s; the placed makespan
+  // overlaps the independent pair, landing the clock on 2s — while the
+  // functional order (and thus every charge the bodies make) stays the
+  // serial one.
+  auto build = [](accel::VirtualClock& clock) {
+    async::TaskGraph g;
+    g.lane_names = {"host", "compute"};
+    for (int i = 0; i < 3; ++i) {
+      async::Task t;
+      t.id = i;
+      t.name = "t" + std::to_string(i);
+      t.lane = i == 0 ? 0 : 1;
+      if (i == 2) {
+        t.lane = 0;
+        t.deps = {0, 1};
+      }
+      t.run = [&clock](bool) { clock.advance(1.0); };
+      g.tasks.push_back(std::move(t));
+    }
+    async::TaskGroup all;
+    all.begin = 0;
+    all.body_begin = all.post_begin = all.tail_begin = all.end = 3;
+    g.groups.push_back(std::move(all));
+    return g;
+  };
+
+  accel::VirtualClock serial_clock;
+  obs::Tracer serial_tracer(&serial_clock);
+  async::Engine serial(serial_clock, &serial_tracer);
+  auto sg = build(serial_clock);
+  const auto srep = serial.run(sg);
+  EXPECT_EQ(serial_clock.now(), 3.0);
+  EXPECT_EQ(srep.makespan_s, 3.0);
+
   accel::VirtualClock clock;
   obs::Tracer tracer(&clock);
   async::Options opt;
   opt.mode = async::Mode::kOverlap;
   async::Engine eng(clock, &tracer, opt);
-  async::TaskGraph g;
-  EXPECT_THROW(eng.run(g), std::logic_error);
+  auto g = build(clock);
+  const auto rep = eng.run(g);
+  // Busy time (the TimeLog view) is unchanged; the clock lands on the
+  // placed makespan: t0 and t1 overlap, t2 waits for both.
+  EXPECT_EQ(rep.total_busy_s, srep.total_busy_s);
+  EXPECT_EQ(rep.makespan_s, 2.0);
+  EXPECT_EQ(clock.now(), 2.0);
+  // Placed times: t1 starts at 0 on its own lane, t2 at max(dep ends).
+  EXPECT_EQ(g.tasks[0].start, 0.0);
+  EXPECT_EQ(g.tasks[1].start, 0.0);
+  EXPECT_EQ(g.tasks[2].start, 1.0);
 }
 
 // --- overlap face: placement and wait charges --------------------------------

@@ -109,6 +109,37 @@ TEST(Topology, ValidatesItsParameters) {
   EXPECT_THROW(comm::Topology::cluster(8, 4, bad), std::invalid_argument);
 }
 
+TEST(Topology, ShrinkValidatesSurvivorSets) {
+  const auto topo = comm::Topology::cluster(8, 4);
+  // Count form: out-of-range counts are structured errors.
+  EXPECT_THROW(topo.shrink(0), comm::TopologyError);
+  EXPECT_THROW(topo.shrink(9), comm::TopologyError);
+  EXPECT_EQ(topo.shrink(5).n_ranks(), 5);
+  // Set form: empty, duplicate and out-of-range survivor ranks reject,
+  // and the error names the offending rank.
+  EXPECT_THROW(topo.shrink(std::vector<int>{}), comm::TopologyError);
+  try {
+    topo.shrink(std::vector<int>{0, 3, 3});
+    FAIL() << "duplicate survivor rank must reject";
+  } catch (const comm::TopologyError& e) {
+    EXPECT_EQ(e.field(), "survivors");
+    EXPECT_EQ(e.value(), 3);
+  }
+  try {
+    topo.shrink(std::vector<int>{0, 8});
+    FAIL() << "out-of-range survivor rank must reject";
+  } catch (const comm::TopologyError& e) {
+    EXPECT_EQ(e.field(), "survivors");
+    EXPECT_EQ(e.value(), 8);
+  }
+  // A valid set re-packs densely: same packing, fewer ranks.
+  const auto small = topo.shrink(std::vector<int>{0, 2, 5});
+  EXPECT_EQ(small.n_ranks(), 3);
+  EXPECT_EQ(small.ranks_per_node(), 4);
+  // TopologyError still is-a std::invalid_argument for legacy catch sites.
+  EXPECT_THROW(topo.shrink(0), std::invalid_argument);
+}
+
 // --- bitwise equivalence with the closed forms ------------------------------
 
 TEST(EngineOracle, RingAllreduceEqualsCommModelBitwise) {
